@@ -1,0 +1,83 @@
+//! Breadth-First Search (BFS): builds the breadth-first tree from a root
+//! (Listing 2 of the paper, in the tree-building variant of Fig. 7).
+
+use crate::alg::{Algorithm, EndIter};
+use crate::layout::Workload;
+use spzip_graph::VertexId;
+
+/// Unvisited marker.
+const INFINITY: u32 = u32::MAX;
+
+/// Frontier-driven BFS producing distances (`dst` array) and tree parents
+/// (`aux` array). Payload is the source id; the per-source distance read
+/// gives BFS its source-vertex traffic (Fig. 7's breakdown).
+#[derive(Debug)]
+pub struct Bfs {
+    root: VertexId,
+    level: u32,
+}
+
+impl Bfs {
+    /// BFS from `root`.
+    pub fn new(root: VertexId) -> Self {
+        Bfs { root, level: 0 }
+    }
+}
+
+impl Algorithm for Bfs {
+    fn name(&self) -> &'static str {
+        "BFS"
+    }
+
+    fn all_active(&self) -> bool {
+        false
+    }
+
+    fn init(&mut self, w: &mut Workload) -> Option<Vec<VertexId>> {
+        for v in 0..w.n() as u64 {
+            w.img.write_u32(w.dst_addr + v * 4, INFINITY);
+            w.img.write_u32(w.aux_addr + v * 4, INFINITY);
+            w.img.write_u32(w.src_addr + v * 4, INFINITY);
+        }
+        let root = self.root.min(w.n() as u32 - 1);
+        self.root = root;
+        w.img.write_u32(w.dst_addr + root as u64 * 4, 0);
+        w.img.write_u32(w.src_addr + root as u64 * 4, 0);
+        self.level = 0;
+        Some(vec![root])
+    }
+
+    fn payload(&self, _w: &Workload, src: VertexId, _edge_idx: usize) -> u32 {
+        src
+    }
+
+    fn apply(&mut self, w: &mut Workload, dst: VertexId, payload: u32) -> bool {
+        let addr = w.dst_addr + dst as u64 * 4;
+        if w.img.read_u32(addr) != INFINITY {
+            return false;
+        }
+        w.img.write_u32(addr, self.level + 1);
+        // Mirror for the per-source distance reads.
+        w.img.write_u32(w.src_addr + dst as u64 * 4, self.level + 1);
+        w.img.write_u32(w.aux_addr + dst as u64 * 4, payload);
+        true
+    }
+
+    fn combine(&self, a: u32, _b: u32) -> u32 {
+        // Any parent is a valid parent; keep the first.
+        a
+    }
+
+    fn end_iteration(&mut self, _w: &mut Workload, _iteration: usize) -> EndIter {
+        self.level += 1;
+        EndIter::Continue
+    }
+
+    fn max_iterations(&self) -> usize {
+        64
+    }
+
+    fn result(&self, w: &Workload) -> Vec<u32> {
+        (0..w.n() as u64).map(|v| w.img.read_u32(w.dst_addr + v * 4)).collect()
+    }
+}

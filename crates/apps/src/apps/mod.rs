@@ -1,0 +1,23 @@
+//! The seven evaluation applications (Sec. IV).
+//!
+//! Three all-active: PageRank ([`pr::PageRank`]), Degree Counting
+//! ([`dc::DegreeCounting`]), and SpMV ([`spmv::SpMv`]). Four
+//! non-all-active: PageRank-Delta ([`prd::PageRankDelta`]), BFS
+//! ([`bfs::Bfs`]), Connected Components ([`cc::ConnectedComponents`]), and
+//! Radii Estimation ([`re::RadiiEstimation`]).
+//!
+//! Vertex data is 32-bit (float bits for the numeric kernels), matching
+//! the paper's 8-byte `{dst, contrib}` update tuples.
+
+pub mod bfs;
+pub mod cc;
+pub mod dc;
+pub mod pr;
+pub mod prd;
+pub mod re;
+pub mod spmv;
+
+/// Helpers shared by the float-valued kernels.
+pub(crate) fn f32_add(a: u32, b: u32) -> u32 {
+    (f32::from_bits(a) + f32::from_bits(b)).to_bits()
+}

@@ -1,0 +1,97 @@
+//! PageRank (PR): all-active rank propagation (Listing 1 of the paper).
+
+use crate::alg::{Algorithm, EndIter};
+use crate::apps::f32_add;
+use crate::layout::Workload;
+use spzip_graph::VertexId;
+
+/// Damping factor.
+const DAMPING: f32 = 0.85;
+
+/// Push-style PageRank: each source pushes `contrib = d * rank / deg` to
+/// its out-neighbors; ranks are rebuilt from the accumulated sums in a
+/// per-vertex phase at the end of each iteration.
+///
+/// Arrays: `src` holds contributions, `dst` accumulates sums, `aux` holds
+/// ranks.
+#[derive(Debug)]
+pub struct PageRank {
+    iterations: usize,
+}
+
+impl PageRank {
+    /// PageRank simulated for `iterations` iterations (the paper uses
+    /// iteration sampling; a few iterations capture steady state).
+    pub fn new(iterations: usize) -> Self {
+        PageRank { iterations: iterations.max(1) }
+    }
+}
+
+impl Algorithm for PageRank {
+    fn name(&self) -> &'static str {
+        "PR"
+    }
+
+    fn all_active(&self) -> bool {
+        true
+    }
+
+    fn init(&mut self, w: &mut Workload) -> Option<Vec<VertexId>> {
+        let n = w.n();
+        let rank = 1.0f32 / n as f32;
+        for v in 0..n as u64 {
+            let deg = w.g.out_degree(v as VertexId).max(1) as f32;
+            w.img.write_u32(w.aux_addr + v * 4, rank.to_bits());
+            w.img
+                .write_u32(w.src_addr + v * 4, (DAMPING * rank / deg).to_bits());
+            w.img.write_u32(w.dst_addr + v * 4, 0f32.to_bits());
+        }
+        None
+    }
+
+    fn payload(&self, w: &Workload, src: VertexId, _edge_idx: usize) -> u32 {
+        w.img.read_u32(w.src_addr + src as u64 * 4)
+    }
+
+    fn apply(&mut self, w: &mut Workload, dst: VertexId, payload: u32) -> bool {
+        let addr = w.dst_addr + dst as u64 * 4;
+        let sum = f32_add(w.img.read_u32(addr), payload);
+        w.img.write_u32(addr, sum);
+        false
+    }
+
+    fn combine(&self, a: u32, b: u32) -> u32 {
+        f32_add(a, b)
+    }
+
+    fn end_iteration(&mut self, w: &mut Workload, iteration: usize) -> EndIter {
+        let n = w.n();
+        let base = (1.0 - DAMPING) / n as f32;
+        for v in 0..n as u64 {
+            let sum = f32::from_bits(w.img.read_u32(w.dst_addr + v * 4));
+            let rank = base + sum;
+            let deg = w.g.out_degree(v as VertexId).max(1) as f32;
+            w.img.write_u32(w.aux_addr + v * 4, rank.to_bits());
+            w.img
+                .write_u32(w.src_addr + v * 4, (DAMPING * rank / deg).to_bits());
+            w.img.write_u32(w.dst_addr + v * 4, 0f32.to_bits());
+        }
+        if iteration + 1 >= self.iterations {
+            EndIter::Done
+        } else {
+            EndIter::ContinueWithVertexPhase
+        }
+    }
+
+    fn max_iterations(&self) -> usize {
+        self.iterations
+    }
+
+    fn result(&self, w: &Workload) -> Vec<u32> {
+        (0..w.n() as u64).map(|v| w.img.read_u32(w.aux_addr + v * 4)).collect()
+    }
+
+    fn tolerance(&self) -> f32 {
+        1e-3
+    }
+}

@@ -1,0 +1,96 @@
+//! Radii Estimation (RE): parallel BFS from a few sources to estimate
+//! vertex radii (the multi-source visit-mask technique of Magnien et al.).
+
+use crate::alg::{Algorithm, EndIter};
+use crate::layout::Workload;
+use spzip_graph::VertexId;
+
+/// Number of simultaneous BFS sources (one bit each).
+const SOURCES: usize = 32;
+
+/// Multi-source BFS with 32-bit visit masks: `dst` holds each vertex's
+/// mask of reached sources (mirrored to `src` for per-source reads), and
+/// `aux` holds the radius estimate (the last iteration that grew the
+/// mask).
+#[derive(Debug)]
+pub struct RadiiEstimation {
+    round: u32,
+}
+
+impl RadiiEstimation {
+    /// Creates the kernel.
+    pub fn new() -> Self {
+        RadiiEstimation { round: 0 }
+    }
+}
+
+impl Default for RadiiEstimation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Algorithm for RadiiEstimation {
+    fn name(&self) -> &'static str {
+        "RE"
+    }
+
+    fn all_active(&self) -> bool {
+        false
+    }
+
+    fn init(&mut self, w: &mut Workload) -> Option<Vec<VertexId>> {
+        for v in 0..w.n() as u64 {
+            w.img.write_u32(w.dst_addr + v * 4, 0);
+            w.img.write_u32(w.src_addr + v * 4, 0);
+            w.img.write_u32(w.aux_addr + v * 4, 0);
+        }
+        // Seed the highest-degree vertices, one bit each.
+        let mut order: Vec<VertexId> = (0..w.n() as VertexId).collect();
+        order.sort_by_key(|&v| std::cmp::Reverse(w.g.out_degree(v)));
+        let seeds: Vec<VertexId> = order.into_iter().take(SOURCES).collect();
+        for (bit, &s) in seeds.iter().enumerate() {
+            let mask = 1u32 << bit;
+            w.img.write_u32(w.dst_addr + s as u64 * 4, mask);
+            w.img.write_u32(w.src_addr + s as u64 * 4, mask);
+        }
+        self.round = 0;
+        let mut sorted = seeds;
+        sorted.sort_unstable();
+        Some(sorted)
+    }
+
+    fn payload(&self, w: &Workload, src: VertexId, _edge_idx: usize) -> u32 {
+        w.img.read_u32(w.dst_addr + src as u64 * 4)
+    }
+
+    fn apply(&mut self, w: &mut Workload, dst: VertexId, payload: u32) -> bool {
+        let addr = w.dst_addr + dst as u64 * 4;
+        let old = w.img.read_u32(addr);
+        let new = old | payload;
+        if new != old {
+            w.img.write_u32(addr, new);
+            w.img.write_u32(w.src_addr + dst as u64 * 4, new);
+            w.img.write_u32(w.aux_addr + dst as u64 * 4, self.round + 1);
+            return true;
+        }
+        false
+    }
+
+    fn combine(&self, a: u32, b: u32) -> u32 {
+        a | b
+    }
+
+    fn end_iteration(&mut self, _w: &mut Workload, _iteration: usize) -> EndIter {
+        self.round += 1;
+        EndIter::Continue
+    }
+
+    fn max_iterations(&self) -> usize {
+        16
+    }
+
+    fn result(&self, w: &Workload) -> Vec<u32> {
+        (0..w.n() as u64).map(|v| w.img.read_u32(w.dst_addr + v * 4)).collect()
+    }
+}

@@ -1,0 +1,74 @@
+//! Sparse Matrix-Vector multiplication (SP): `y += A^T x` in scatter form,
+//! the key sparse linear algebra kernel of the evaluation.
+
+use crate::alg::{Algorithm, EndIter};
+use crate::apps::f32_add;
+use crate::layout::Workload;
+use spzip_graph::VertexId;
+
+/// Scatter-form SpMV: row `i` pushes `a_ij * x[i]` to `y[j]` for each
+/// stored nonzero. `src` holds `x`, `dst` accumulates `y`.
+#[derive(Debug, Default)]
+pub struct SpMv {
+    _private: (),
+}
+
+impl SpMv {
+    /// Creates the kernel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Algorithm for SpMv {
+    fn name(&self) -> &'static str {
+        "SP"
+    }
+
+    fn all_active(&self) -> bool {
+        true
+    }
+
+    fn init(&mut self, w: &mut Workload) -> Option<Vec<VertexId>> {
+        assert!(w.values_addr.is_some(), "SpMV needs a matrix with values");
+        for v in 0..w.n() as u64 {
+            let x = 1.0f32 / (v as f32 + 1.0);
+            w.img.write_u32(w.src_addr + v * 4, x.to_bits());
+            w.img.write_u32(w.dst_addr + v * 4, 0f32.to_bits());
+        }
+        None
+    }
+
+    fn payload(&self, w: &Workload, src: VertexId, edge_idx: usize) -> u32 {
+        let a = f32::from_bits(w.img.read_u32(w.values_addr.unwrap() + edge_idx as u64 * 4));
+        let x = f32::from_bits(w.img.read_u32(w.src_addr + src as u64 * 4));
+        (a * x).to_bits()
+    }
+
+    fn apply(&mut self, w: &mut Workload, dst: VertexId, payload: u32) -> bool {
+        let addr = w.dst_addr + dst as u64 * 4;
+        let sum = f32_add(w.img.read_u32(addr), payload);
+        w.img.write_u32(addr, sum);
+        false
+    }
+
+    fn combine(&self, a: u32, b: u32) -> u32 {
+        f32_add(a, b)
+    }
+
+    fn end_iteration(&mut self, _w: &mut Workload, _iteration: usize) -> EndIter {
+        EndIter::Done
+    }
+
+    fn max_iterations(&self) -> usize {
+        1
+    }
+
+    fn result(&self, w: &Workload) -> Vec<u32> {
+        (0..w.n() as u64).map(|v| w.img.read_u32(w.dst_addr + v * 4)).collect()
+    }
+
+    fn tolerance(&self) -> f32 {
+        1e-3
+    }
+}

@@ -1,0 +1,67 @@
+//! Core instruction-cost model.
+//!
+//! The simulator's cores consume abstract `Compute(n)` events; this module
+//! centralizes the per-operation cycle costs the runtime charges. The
+//! constants approximate instruction counts of the corresponding inner
+//! loops on a Haswell-class core (a few ALU ops + branches per edge for
+//! software traversal; a dequeue + branch for SpZip), and are the only
+//! tuning knobs in the performance model.
+
+/// Per-operation core costs in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Software traversal: per-source loop overhead (offset handling,
+    /// bounds, frontier bookkeeping).
+    pub sw_per_src: u32,
+    /// Software traversal: per-edge index arithmetic and branch.
+    pub sw_per_edge: u32,
+    /// SpZip: per-source overhead (marker handling).
+    pub spzip_per_src: u32,
+    /// SpZip: per-edge overhead beyond the dequeue instruction.
+    pub spzip_per_edge: u32,
+    /// Applying one update (the algorithm's arithmetic).
+    pub apply: u32,
+    /// Binning an update in software UB (bin id compute + store addressing).
+    pub bin_update: u32,
+    /// Pushing one update into PHI's cache interface.
+    pub phi_push: u32,
+    /// Accumulation-phase per-update overhead (software).
+    pub accum_update: u32,
+    /// Per-vertex work in vertex phases (e.g. PR contribution recompute).
+    pub vertex_op: u32,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            sw_per_src: 6,
+            sw_per_edge: 5,
+            spzip_per_src: 1,
+            spzip_per_edge: 1,
+            apply: 2,
+            bin_update: 4,
+            phi_push: 3,
+            accum_update: 3,
+            vertex_op: 4,
+        }
+    }
+}
+
+impl CostModel {
+    /// The default model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn software_traversal_costs_more_than_spzip() {
+        let c = CostModel::new();
+        assert!(c.sw_per_edge > c.spzip_per_edge);
+        assert!(c.sw_per_src > c.spzip_per_src);
+    }
+}

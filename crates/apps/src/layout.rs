@@ -1,0 +1,475 @@
+//! Workload memory layout: the data structures a run operates on.
+//!
+//! Builds the [`MemoryImage`] holding everything the engines and cores
+//! touch: the adjacency matrix (raw, and entropy-compressed in the Fig. 3
+//! layout when the scheme compresses it), per-vertex data, frontier
+//! buffers, per-(core, bin) update storage for UB/PHI, and the compressed
+//! vertex-slice regions used when vertex data is compressed.
+
+use crate::scheme::SchemeConfig;
+use spzip_compress::CodecKind;
+use spzip_core::memory::MemoryImage;
+use spzip_graph::{Csr, VertexId};
+use spzip_mem::DataClass;
+
+/// Rows per compressed-adjacency group for all-active traversals
+/// ("for programs that access long chunks, we could compress several rows
+/// at once").
+pub const ADJ_GROUP_ROWS: u32 = 32;
+
+/// Vertices per traversal chunk handed to one core at a time.
+pub const CHUNK_VERTICES: u32 = 256;
+
+/// Elements per compressed source-data chunk (aligned with traversal
+/// chunks so the fetcher can stream one compressed frame per chunk).
+pub const VERTEX_CHUNK: u32 = CHUNK_VERTICES;
+
+/// Elements per compressed destination-slice sub-chunk; a bin's slice
+/// spans several sub-chunks so fetch and writeback parallelize across
+/// cores.
+pub const DST_SUBCHUNK: u32 = 1024;
+
+/// Compressed adjacency matrix (the Fig. 3 layout).
+#[derive(Debug)]
+pub struct CompressedAdj {
+    /// Rows per compressed group (1 for random-access traversals).
+    pub group_rows: u32,
+    /// Address of the byte-offset array (u64 per group, +1 sentinel).
+    pub offsets_addr: u64,
+    /// Address of the concatenated compressed streams.
+    pub bytes_addr: u64,
+    /// Host-side copy of the group byte offsets.
+    pub offsets: Vec<u64>,
+    /// Total compressed bytes.
+    pub total_bytes: u64,
+    /// Compression ratio achieved.
+    pub ratio: f64,
+}
+
+/// Per-(core, bin) update storage for UB/PHI.
+#[derive(Debug)]
+pub struct BinLayout {
+    /// Number of destination bins.
+    pub num_bins: u32,
+    /// Destination vertices per bin (the cache-fitting slice).
+    pub slice_vertices: u32,
+    /// MQU1 staging chunks: base of core 0 bin 0; laid out
+    /// `[core][bin]` with strides below.
+    pub mqu1_base: u64,
+    /// Byte stride between bins within a core's MQU1 region.
+    pub mqu1_stride: u64,
+    /// Bins (compressed or raw updates): base of core 0 bin 0.
+    pub bins_base: u64,
+    /// Byte stride between bins within a core's region.
+    pub bin_stride: u64,
+    /// Byte stride between cores' bin regions.
+    pub core_stride: u64,
+    /// MQU tail-pointer metadata base (8 B per (core, bin)).
+    pub meta_base: u64,
+}
+
+impl BinLayout {
+    /// Base address of `(core, bin)`'s bin storage.
+    pub fn bin_addr(&self, core: usize, bin: u32) -> u64 {
+        self.bins_base + core as u64 * self.core_stride + bin as u64 * self.bin_stride
+    }
+
+    /// Base address of `(core, bin)`'s MQU1 staging chunk.
+    pub fn mqu1_addr(&self, core: usize, bin: u32) -> u64 {
+        self.mqu1_base
+            + (core as u64 * self.num_bins as u64 + bin as u64) * self.mqu1_stride
+    }
+
+    /// Address of `(core, bin)`'s tail pointer.
+    pub fn meta_addr(&self, core: usize, bin: u32) -> u64 {
+        self.meta_base + (core as u64 * self.num_bins as u64 + bin as u64) * 8
+    }
+
+    /// The bin that destination vertex `dst` maps to.
+    pub fn bin_of(&self, dst: VertexId) -> u32 {
+        dst / self.slice_vertices
+    }
+}
+
+/// Compressed vertex-data slices (one compressed stream per chunk of the
+/// underlying array), used when a scheme compresses vertex data.
+#[derive(Debug)]
+pub struct CompressedSlices {
+    /// Elements per chunk.
+    pub chunk_elems: u32,
+    /// Base of chunk 0's compressed region.
+    pub base: u64,
+    /// Byte stride between chunk regions.
+    pub stride: u64,
+    /// Host-side compressed length of each chunk.
+    pub lens: Vec<u32>,
+}
+
+impl CompressedSlices {
+    /// Address of chunk `i`'s compressed stream.
+    pub fn chunk_addr(&self, i: usize) -> u64 {
+        self.base + i as u64 * self.stride
+    }
+
+    /// Total compressed bytes across chunks.
+    pub fn total_bytes(&self) -> u64 {
+        self.lens.iter().map(|&l| l as u64).sum()
+    }
+}
+
+/// The full workload image.
+pub struct Workload {
+    /// The synthetic address space with real contents.
+    pub img: MemoryImage,
+    /// The graph / matrix.
+    pub g: Csr,
+    /// Raw offsets array (u64 per vertex + 1).
+    pub offsets_addr: u64,
+    /// Raw neighbors array (u32 per edge).
+    pub neighbors_addr: u64,
+    /// Raw per-edge values (f32 per edge), for SpMV.
+    pub values_addr: Option<u64>,
+    /// Source vertex data (4 B per vertex).
+    pub src_addr: u64,
+    /// Destination vertex data (4 B per vertex). Equal to `src_addr` when
+    /// the algorithm pushes the array it updates (CC, BFS distances).
+    pub dst_addr: u64,
+    /// Auxiliary per-vertex array (4 B; e.g. BFS parents, PR scores).
+    pub aux_addr: u64,
+    /// Frontier buffer A (u32 per vertex capacity).
+    pub frontier_addr: u64,
+    /// Frontier buffer B.
+    pub next_frontier_addr: u64,
+    /// Compressed frontier stream region (+ lengths host-side).
+    pub cfrontier_addr: u64,
+    /// Compressed adjacency, if the scheme compresses it.
+    pub cadj: Option<CompressedAdj>,
+    /// Update bins, if the strategy bins updates.
+    pub bins: Option<BinLayout>,
+    /// Compressed destination-slice regions (vertex compression).
+    pub cdst: Option<CompressedSlices>,
+    /// Compressed source-chunk regions (vertex compression, all-active).
+    pub csrc: Option<CompressedSlices>,
+    /// Staging buffer of one slice (decompressed working copy).
+    pub staging_addr: u64,
+    /// Number of cores (bin regions are per core).
+    pub cores: usize,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("vertices", &self.g.num_vertices())
+            .field("edges", &self.g.num_edges())
+            .field("compressed_adj", &self.cadj.is_some())
+            .field("bins", &self.bins.is_some())
+            .finish()
+    }
+}
+
+impl Workload {
+    /// Builds the image for `g` under `scheme` on a `cores`-core machine
+    /// with `llc_bytes` of shared cache (bin slices are sized against it).
+    pub fn build(
+        g: Csr,
+        scheme: &SchemeConfig,
+        cores: usize,
+        llc_bytes: u64,
+        all_active: bool,
+    ) -> Workload {
+        let n = g.num_vertices();
+        let e = g.num_edges();
+        let mut img = MemoryImage::new();
+
+        let offsets_addr = {
+            let offs: Vec<u64> = g.offsets().to_vec();
+            img.alloc_u64s("offsets", &offs, DataClass::AdjacencyMatrix)
+        };
+        let neighbors_addr =
+            img.alloc_u32s("neighbors", g.neighbors_flat(), DataClass::AdjacencyMatrix);
+        let values_addr = g.values_flat().map(|vals| {
+            let bits: Vec<u32> = vals.iter().map(|&v| (v as f32).to_bits()).collect();
+            img.alloc_u32s("values", &bits, DataClass::AdjacencyMatrix)
+        });
+
+        let src_addr = img.alloc("src_data", n as u64 * 4, DataClass::SourceVertex);
+        let dst_addr = img.alloc("dst_data", n as u64 * 4, DataClass::DestinationVertex);
+        let aux_addr = img.alloc("aux_data", n as u64 * 4, DataClass::DestinationVertex);
+        let frontier_addr = img.alloc("frontier", n as u64 * 4 + 64, DataClass::Frontier);
+        let next_frontier_addr =
+            img.alloc("next_frontier", n as u64 * 4 + 64, DataClass::Frontier);
+        let cfrontier_addr = img.alloc("cfrontier", n as u64 * 5 + 4096, DataClass::Frontier);
+
+        // Compressed adjacency (Fig. 3 layout): per-row for random access,
+        // multi-row groups for sequential all-active traversals.
+        let cadj = scheme.compress_adjacency.then(|| {
+            let group_rows = if all_active { ADJ_GROUP_ROWS } else { 1 };
+            build_compressed_adj(&mut img, &g, scheme.adjacency_codec, group_rows)
+        });
+
+        // Update bins: slices sized so one slice of destination data fits
+        // comfortably in the LLC (the paper's "cache-fitting range").
+        let bins = scheme.bins_updates().then(|| {
+            let slice_bytes = (llc_bytes / 4).max(4096);
+            let slice_vertices = ((slice_bytes / 4).min(n as u64).max(1) as u32)
+                .next_multiple_of(DST_SUBCHUNK);
+            let num_bins = (n as u32).div_ceil(slice_vertices).max(1);
+            // Worst-case updates per (core, bin): assume 4x the mean for
+            // skew, plus headroom for compression framing.
+            let mean = (e as u64 * 8).div_ceil(cores as u64 * num_bins as u64);
+            let bin_stride = (mean * 6 + 4096).next_multiple_of(64);
+            let mqu1_stride = 512u64; // 32 x 8 B chunk + slack
+            let core_stride = bin_stride * num_bins as u64;
+            let bins_base = img.alloc(
+                "bins",
+                core_stride * cores as u64,
+                DataClass::Updates,
+            );
+            let mqu1_base = img.alloc(
+                "mqu1_chunks",
+                mqu1_stride * num_bins as u64 * cores as u64,
+                DataClass::Updates,
+            );
+            let meta_base = img.alloc(
+                "bin_meta",
+                cores as u64 * num_bins as u64 * 8,
+                DataClass::Updates,
+            );
+            BinLayout {
+                num_bins,
+                slice_vertices,
+                mqu1_base,
+                mqu1_stride,
+                bins_base,
+                bin_stride,
+                core_stride,
+                meta_base,
+            }
+        });
+
+        let cdst = (scheme.compress_vertex && scheme.bins_updates()).then(|| {
+            alloc_slices(&mut img, "cdst", n, DST_SUBCHUNK, DataClass::DestinationVertex)
+        });
+        let csrc = (scheme.compress_vertex && scheme.bins_updates() && all_active).then(|| {
+            alloc_slices(&mut img, "csrc", n, VERTEX_CHUNK, DataClass::SourceVertex)
+        });
+
+        let staging_bytes = bins
+            .as_ref()
+            .map_or(VERTEX_CHUNK as u64 * 4, |b| b.slice_vertices as u64 * 4)
+            .max(VERTEX_CHUNK as u64 * 4);
+        // Staging holds the decompressed destination slice: its cache
+        // behaviour (and any writebacks) are destination-vertex traffic.
+        let staging_addr = img.alloc("staging", staging_bytes, DataClass::DestinationVertex);
+
+        Workload {
+            img,
+            g,
+            offsets_addr,
+            neighbors_addr,
+            values_addr,
+            src_addr,
+            dst_addr,
+            aux_addr,
+            frontier_addr,
+            next_frontier_addr,
+            cfrontier_addr,
+            cadj,
+            bins,
+            cdst,
+            csrc,
+            staging_addr,
+            cores,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.g.num_vertices()
+    }
+
+    /// Recompresses destination-data chunk `i` (after an accumulation bin
+    /// applies), updating the stored compressed bytes and length. Returns
+    /// the new compressed length.
+    pub fn recompress_dst_chunk(&mut self, codec: CodecKind, i: usize) -> u32 {
+        let Some(cdst) = &self.cdst else { return 0 };
+        let chunk = cdst.chunk_elems as usize;
+        let lo = i * chunk;
+        let hi = ((i + 1) * chunk).min(self.n());
+        let values: Vec<u64> =
+            (lo..hi).map(|v| self.img.read_u32(self.dst_addr + v as u64 * 4) as u64).collect();
+        let mut bytes = Vec::new();
+        codec.build().compress(&values, &mut bytes);
+        let addr = cdst.chunk_addr(i);
+        assert!(
+            (bytes.len() as u64) < cdst.stride,
+            "compressed vertex chunk overflows its region"
+        );
+        self.img.write_bytes(addr, &bytes);
+        let len = bytes.len() as u32;
+        self.cdst.as_mut().unwrap().lens[i] = len;
+        len
+    }
+
+    /// Recompresses source-data chunk `i` (end-of-iteration vertex phase).
+    pub fn recompress_src_chunk(&mut self, codec: CodecKind, i: usize) -> u32 {
+        let Some(csrc) = &self.csrc else { return 0 };
+        let chunk = csrc.chunk_elems as usize;
+        let lo = i * chunk;
+        let hi = ((i + 1) * chunk).min(self.n());
+        let values: Vec<u64> =
+            (lo..hi).map(|v| self.img.read_u32(self.src_addr + v as u64 * 4) as u64).collect();
+        let mut bytes = Vec::new();
+        codec.build().compress(&values, &mut bytes);
+        let addr = csrc.chunk_addr(i);
+        assert!((bytes.len() as u64) < csrc.stride, "compressed source chunk overflow");
+        self.img.write_bytes(addr, &bytes);
+        let len = bytes.len() as u32;
+        self.csrc.as_mut().unwrap().lens[i] = len;
+        len
+    }
+}
+
+fn alloc_slices(
+    img: &mut MemoryImage,
+    name: &str,
+    n: usize,
+    chunk_elems: u32,
+    class: DataClass,
+) -> CompressedSlices {
+    let chunks = (n as u64).div_ceil(chunk_elems as u64);
+    // Worst case ~9 bytes/element for delta, plus framing.
+    let stride = (chunk_elems as u64 * 10 + 64).next_multiple_of(64);
+    let base = img.alloc(name, stride * chunks, class);
+    CompressedSlices { chunk_elems, base, stride, lens: vec![0; chunks as usize] }
+}
+
+fn build_compressed_adj(
+    img: &mut MemoryImage,
+    g: &Csr,
+    codec: CodecKind,
+    group_rows: u32,
+) -> CompressedAdj {
+    let codec = codec.build();
+    let n = g.num_vertices();
+    let mut bytes = Vec::new();
+    let mut offsets = vec![0u64];
+    let mut row = 0usize;
+    while row < n {
+        let hi = (row + group_rows as usize).min(n);
+        let stream: Vec<u64> = (row..hi)
+            .flat_map(|v| g.neighbors(v as VertexId).iter().map(|&d| d as u64))
+            .collect();
+        codec.compress(&stream, &mut bytes);
+        offsets.push(bytes.len() as u64);
+        row = hi;
+    }
+    let bytes_addr = img.alloc_from("cadj_bytes", &bytes, DataClass::AdjacencyMatrix);
+    let offsets_addr = img.alloc_u64s("cadj_offsets", &offsets, DataClass::AdjacencyMatrix);
+    let raw = g.num_edges() as f64 * 4.0;
+    CompressedAdj {
+        group_rows,
+        offsets_addr,
+        bytes_addr,
+        total_bytes: bytes.len() as u64,
+        ratio: raw / bytes.len().max(1) as f64,
+        offsets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{Scheme, SchemeConfig, Strategy};
+    use spzip_graph::gen::{community, CommunityParams};
+
+    fn graph() -> Csr {
+        community(&CommunityParams::web_crawl(1 << 10, 8), 5)
+    }
+
+    #[test]
+    fn push_layout_has_no_bins_or_cadj() {
+        let w = Workload::build(graph(), &Scheme::Push.config(), 4, 64 * 1024, true);
+        assert!(w.cadj.is_none());
+        assert!(w.bins.is_none());
+        assert!(w.cdst.is_none());
+    }
+
+    #[test]
+    fn push_spzip_compresses_adjacency_only() {
+        let w = Workload::build(graph(), &Scheme::PushSpzip.config(), 4, 64 * 1024, true);
+        let cadj = w.cadj.as_ref().unwrap();
+        assert!(cadj.ratio > 1.0, "ratio {}", cadj.ratio);
+        assert_eq!(cadj.group_rows, ADJ_GROUP_ROWS);
+        assert!(w.bins.is_none());
+    }
+
+    #[test]
+    fn non_all_active_uses_per_row_groups() {
+        let w = Workload::build(graph(), &Scheme::PushSpzip.config(), 4, 64 * 1024, false);
+        assert_eq!(w.cadj.as_ref().unwrap().group_rows, 1);
+    }
+
+    #[test]
+    fn ub_spzip_has_everything() {
+        let w = Workload::build(graph(), &Scheme::UbSpzip.config(), 4, 64 * 1024, true);
+        assert!(w.cadj.is_some());
+        let bins = w.bins.as_ref().unwrap();
+        assert!(bins.num_bins >= 1);
+        assert_eq!(bins.bin_of(0), 0);
+        assert_eq!(bins.bin_of(bins.slice_vertices - 1), 0);
+        if bins.num_bins > 1 {
+            assert_eq!(bins.bin_of(bins.slice_vertices), 1);
+        }
+        assert!(w.cdst.is_some());
+        assert!(w.csrc.is_some());
+    }
+
+    #[test]
+    fn bin_addresses_do_not_alias() {
+        let w = Workload::build(graph(), &Scheme::UbSpzip.config(), 4, 16 * 1024, true);
+        let b = w.bins.as_ref().unwrap();
+        let mut addrs: Vec<u64> = Vec::new();
+        for core in 0..4 {
+            for bin in 0..b.num_bins {
+                addrs.push(b.bin_addr(core, bin));
+                addrs.push(b.mqu1_addr(core, bin));
+                addrs.push(b.meta_addr(core, bin));
+            }
+        }
+        let len = addrs.len();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), len, "aliased bin addresses");
+    }
+
+    #[test]
+    fn compressed_adjacency_roundtrips() {
+        let g = graph();
+        let w = Workload::build(g.clone(), &Scheme::PushSpzip.config(), 4, 64 * 1024, true);
+        let cadj = w.cadj.as_ref().unwrap();
+        let codec = Scheme::PushSpzip.config().adjacency_codec.build();
+        // Decode group 0 and compare with the raw rows.
+        let lo = cadj.offsets[0] as usize;
+        let hi = cadj.offsets[1] as usize;
+        let blob = w.img.read_bytes(cadj.bytes_addr + lo as u64, hi - lo);
+        let mut vals = Vec::new();
+        codec.decompress_frames(&blob, &mut vals).unwrap();
+        let expect: Vec<u64> = (0..ADJ_GROUP_ROWS as usize)
+            .flat_map(|v| g.neighbors(v as VertexId).iter().map(|&d| d as u64))
+            .collect();
+        assert_eq!(vals, expect);
+    }
+
+    #[test]
+    fn recompress_dst_chunk_tracks_lengths() {
+        let mut w = Workload::build(graph(), &Scheme::UbSpzip.config(), 4, 16 * 1024, true);
+        let codec = SchemeConfig::with_spzip(Strategy::Ub).vertex_codec;
+        for v in 0..64 {
+            w.img.write_u32(w.dst_addr + v * 4, (v % 7) as u32);
+        }
+        let len = w.recompress_dst_chunk(codec, 0);
+        assert!(len > 0);
+        assert_eq!(w.cdst.as_ref().unwrap().lens[0], len);
+    }
+}

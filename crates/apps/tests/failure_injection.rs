@@ -1,0 +1,108 @@
+//! Failure-injection tests: corrupt inputs and protocol misuse must fail
+//! loudly and diagnosably, never silently corrupt results.
+
+use spzip_apps::layout::Workload;
+use spzip_apps::pipelines::{self, TraversalOpts};
+use spzip_apps::scheme::Scheme;
+use spzip_core::dcl::{OperatorKind, PipelineBuilder, RangeInput};
+use spzip_core::func::FuncEngine;
+use spzip_graph::gen::{community, CommunityParams};
+use spzip_mem::DataClass;
+
+#[test]
+fn corrupt_compressed_adjacency_panics_loudly() {
+    // Flip bytes in the compressed neighbor stream: the fetcher's
+    // decompressor must detect it (panic with a clear message), not emit
+    // garbage neighbors.
+    let g = community(&CommunityParams::web_crawl(512, 6), 3);
+    let mut w = Workload::build(g, &Scheme::PushSpzip.config(), 4, 32 * 1024, true);
+    let trav = pipelines::traversal(
+        &w,
+        &Scheme::PushSpzip.config(),
+        TraversalOpts {
+            all_active: true,
+            prefetch_dst: false,
+            frontier_compressed: false,
+            read_source: false,
+        },
+    );
+    // Corrupt the stream.
+    let cadj_bytes = w.cadj.as_ref().unwrap().bytes_addr;
+    for i in 0..64 {
+        w.img.write_bytes(cadj_bytes + i * 3, &[0xFF]);
+    }
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut eng = FuncEngine::new(trav.pipeline.clone());
+        eng.enqueue_value(trav.in_q, 0, 8);
+        eng.enqueue_value(trav.in_q, 3, 8);
+        eng.run(&mut w.img);
+        eng.drain_output(trav.neigh_q)
+    }));
+    // Either the codec rejects the frame (panic) or decodes *something*;
+    // it must never read out of bounds or hang. A panic is the expected
+    // diagnosable outcome for a corrupt header.
+    if let Ok(items) = result {
+        // If it decoded, the stream stays bounded (no runaway allocation).
+        assert!(items.len() < 1 << 20);
+    }
+}
+
+#[test]
+fn out_of_range_traversal_panics() {
+    // Enqueueing a range past the offsets array must hit the memory
+    // image's bounds check, not read garbage.
+    let g = community(&CommunityParams::web_crawl(256, 4), 5);
+    let n = g.num_vertices() as u64;
+    let w = Workload::build(g, &Scheme::Push.config(), 4, 32 * 1024, true);
+    let mut b = PipelineBuilder::new();
+    let q0 = b.queue(8);
+    let q1 = b.queue(32);
+    b.operator(
+        OperatorKind::RangeFetch {
+            base: w.offsets_addr,
+            idx_bytes: 8,
+            elem_bytes: 8,
+            input: RangeInput::Pairs,
+            marker: None,
+            class: DataClass::AdjacencyMatrix,
+        },
+        q0,
+        vec![q1],
+    );
+    let p = b.build().unwrap();
+    let mut img = w.img;
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut eng = FuncEngine::new(p);
+        eng.enqueue_value(0, 0, 8);
+        eng.enqueue_value(0, n * 1000, 8);
+        eng.run(&mut img);
+    }));
+    assert!(result.is_err(), "overrun must panic");
+}
+
+#[test]
+fn trace_operator_mismatch_is_rejected() {
+    use spzip_core::engine::{EngineConfig, EngineModel};
+    let mut b = PipelineBuilder::new();
+    let q0 = b.queue(8);
+    let q1 = b.queue(8);
+    b.operator(
+        OperatorKind::RangeFetch {
+            base: 0x1000,
+            idx_bytes: 8,
+            elem_bytes: 4,
+            input: RangeInput::Pairs,
+            marker: None,
+            class: DataClass::Other,
+        },
+        q0,
+        vec![q1],
+    );
+    let p = b.build().unwrap();
+    let mut model = EngineModel::new(EngineConfig::fetcher(), 0);
+    model.load_program(&p, 0);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        model.append_trace(vec![Vec::new(), Vec::new(), Vec::new()]);
+    }));
+    assert!(result.is_err(), "trace with wrong operator count must be rejected");
+}

@@ -1,0 +1,114 @@
+//! Golden checks that the runtime's generated DCL programs have the
+//! paper's figure structures, and that each round-trips through the
+//! textual DCL (parser <-> printer coherence on real programs).
+
+use spzip_apps::layout::Workload;
+use spzip_apps::pipelines::{self, TraversalOpts};
+use spzip_apps::scheme::Scheme;
+use spzip_core::parser;
+use spzip_graph::gen::{community, CommunityParams};
+use std::collections::HashMap;
+
+fn workload(scheme: Scheme, all_active: bool) -> Workload {
+    let g = community(&CommunityParams::web_crawl(512, 6), 9);
+    Workload::build(g, &scheme.config(), 4, 32 * 1024, all_active)
+}
+
+fn opname(pipeline: &spzip_core::dcl::Pipeline) -> Vec<&'static str> {
+    pipeline.operators().iter().map(|op| op.kind.name()).collect()
+}
+
+#[test]
+fn fig5_pagerank_pipeline_shape() {
+    // Push PageRank (Fig. 5): offsets range + neighbors range + source
+    // range + destination prefetch indirection.
+    let w = workload(Scheme::PushSpzip, true);
+    let t = pipelines::traversal(
+        &w,
+        &Scheme::PushSpzip.config(),
+        TraversalOpts {
+            all_active: true,
+            prefetch_dst: true,
+            frontier_compressed: false,
+            read_source: true,
+        },
+    );
+    let names = opname(&t.pipeline);
+    // Compressed adjacency adds the Fig. 11 decompressor.
+    assert!(names.contains(&"decompress"), "{names:?}");
+    assert!(names.contains(&"indirect"), "prefetch indirection present");
+    assert_eq!(names.iter().filter(|n| **n == "range").count(), 3, "{names:?}");
+}
+
+#[test]
+fn fig6_bfs_pipeline_shape() {
+    // Non-all-active BFS (Fig. 6): frontier range + offsets indirection +
+    // neighbors range + prefetch indirection.
+    let w = workload(Scheme::Push, false);
+    let mut cfg = Scheme::PushSpzip.config();
+    cfg.compress_adjacency = false;
+    // Rebuild without compressed adjacency so the shape matches Fig. 6
+    // exactly.
+    let w2 = Workload::build(w.g.clone(), &cfg, 4, 32 * 1024, false);
+    let t = pipelines::traversal(
+        &w2,
+        &cfg,
+        TraversalOpts {
+            all_active: false,
+            prefetch_dst: true,
+            frontier_compressed: false,
+            read_source: true,
+        },
+    );
+    let names = opname(&t.pipeline);
+    assert_eq!(
+        names.iter().filter(|n| **n == "indirect").count(),
+        3,
+        "offsets pair-fetch + source + prefetch: {names:?}"
+    );
+    assert_eq!(names.iter().filter(|n| **n == "range").count(), 2, "{names:?}");
+}
+
+#[test]
+fn fig14_binning_pipeline_shape() {
+    // UB binning compressor (Fig. 14): MQU -> compress -> MQU.
+    let w = workload(Scheme::UbSpzip, true);
+    let bc = pipelines::binning_compressor(&w, &Scheme::UbSpzip.config(), 0);
+    assert_eq!(opname(&bc.pipeline), vec!["memqueue", "compress", "memqueue"]);
+}
+
+#[test]
+fn all_generated_pipelines_roundtrip_textually() {
+    for scheme in [Scheme::PushSpzip, Scheme::UbSpzip, Scheme::PhiSpzip] {
+        for all_active in [true, false] {
+            let w = workload(scheme, all_active);
+            let t = pipelines::traversal(
+                &w,
+                &scheme.config(),
+                TraversalOpts {
+                    all_active,
+                    prefetch_dst: true,
+                    frontier_compressed: false,
+                    read_source: true,
+                },
+            );
+            let text = parser::to_text(&t.pipeline);
+            let reparsed = parser::parse(&text, &HashMap::new())
+                .unwrap_or_else(|e| panic!("{scheme}/{all_active}: {e}\n{text}"));
+            assert_eq!(t.pipeline, reparsed, "{scheme}/{all_active}");
+            // And the DOT export names every operator.
+            let dot = parser::to_dot(&t.pipeline);
+            for op in t.pipeline.operators() {
+                assert!(dot.contains(op.kind.name()));
+            }
+            if scheme != Scheme::PushSpzip {
+                let bc = pipelines::binning_compressor(&w, &scheme.config(), 1);
+                let text = parser::to_text(&bc.pipeline);
+                assert_eq!(bc.pipeline, parser::parse(&text, &HashMap::new()).unwrap());
+                let af = pipelines::accum_fetcher(&w, &scheme.config());
+                let text = parser::to_text(&af.pipeline);
+                assert_eq!(af.pipeline, parser::parse(&text, &HashMap::new()).unwrap());
+            }
+        }
+    }
+}

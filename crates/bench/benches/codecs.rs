@@ -1,0 +1,125 @@
+//! Criterion microbenchmarks for the compression codecs: encode/decode
+//! throughput on the data shapes the engines actually see (neighbor sets,
+//! update bins, vertex slices).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spzip_compress::{
+    bpc::BpcCodec, delta::DeltaCodec, rle::RleCodec, sorted::SortedChunks, Codec, CodecKind,
+    ElemWidth,
+};
+
+fn datasets() -> Vec<(&'static str, Vec<u64>)> {
+    // Clustered neighbor ids (preprocessed adjacency).
+    let clustered: Vec<u64> = (0..4096u64).map(|i| 1_000_000 + (i * 7) % 512).collect();
+    // Scattered neighbor ids (randomized adjacency).
+    let scattered: Vec<u64> = (0..4096u64)
+        .map(|i| {
+            let mut h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h ^= h >> 31;
+            h % (1 << 17)
+        })
+        .collect();
+    // Update tuples (dst << 32 | payload) within one bin slice.
+    let updates: Vec<u64> = (0..4096u64)
+        .map(|i| {
+            let dst = (i.wrapping_mul(2654435761) >> 7) % 8192;
+            (dst << 32) | (i & 0xFFFF)
+        })
+        .collect();
+    // Small integers (degree counts).
+    let counts: Vec<u64> = (0..4096u64).map(|i| (i * i) % 40).collect();
+    vec![
+        ("clustered_ids", clustered),
+        ("scattered_ids", scattered),
+        ("update_tuples", updates),
+        ("degree_counts", counts),
+    ]
+}
+
+fn codecs() -> Vec<(&'static str, Box<dyn Codec>)> {
+    vec![
+        ("delta", Box::new(DeltaCodec::new())),
+        ("bpc32", Box::new(BpcCodec::new(ElemWidth::W32))),
+        ("bpc64", Box::new(BpcCodec::new(ElemWidth::W64))),
+        ("rle", Box::new(RleCodec::new())),
+        ("delta_sorted", Box::new(SortedChunks::new(DeltaCodec::new()))),
+        ("identity", CodecKind::None.build() as Box<dyn Codec>),
+    ]
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress");
+    for (data_name, data) in datasets() {
+        group.throughput(Throughput::Bytes(data.len() as u64 * 8));
+        for (codec_name, codec) in codecs() {
+            group.bench_with_input(
+                BenchmarkId::new(codec_name, data_name),
+                &data,
+                |b, data| {
+                    let mut out = Vec::with_capacity(data.len() * 9);
+                    b.iter(|| {
+                        out.clear();
+                        codec.compress(std::hint::black_box(data), &mut out);
+                        out.len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompress");
+    for (data_name, data) in datasets() {
+        group.throughput(Throughput::Bytes(data.len() as u64 * 8));
+        for (codec_name, codec) in codecs() {
+            let mut compressed = Vec::new();
+            codec.compress(&data, &mut compressed);
+            group.bench_with_input(
+                BenchmarkId::new(codec_name, data_name),
+                &compressed,
+                |b, compressed| {
+                    let mut out = Vec::with_capacity(data.len());
+                    b.iter(|| {
+                        out.clear();
+                        codec
+                            .decompress(std::hint::black_box(compressed), &mut out)
+                            .unwrap();
+                        out.len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_bdi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdi_line");
+    let mut line = [0u8; 64];
+    for (i, b) in line.iter_mut().enumerate() {
+        *b = (i as u8).wrapping_mul(3);
+    }
+    group.throughput(Throughput::Bytes(64));
+    group.bench_function("best_encoding", |b| {
+        b.iter(|| spzip_compress::bdi::best_encoding(std::hint::black_box(&line)))
+    });
+    group.bench_function("roundtrip", |b| {
+        b.iter(|| {
+            let enc = spzip_compress::bdi::compress_line(std::hint::black_box(&line));
+            spzip_compress::bdi::decompress_line(&enc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_compress, bench_decompress, bench_bdi
+}
+criterion_main!(benches);

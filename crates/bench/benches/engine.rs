@@ -1,0 +1,149 @@
+//! Criterion microbenchmarks for the simulation substrate itself: cache
+//! lookups, DCL functional execution, and engine trace replay — the
+//! quantities that bound how fast experiments run.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spzip_core::dcl::{OperatorKind, PipelineBuilder, RangeInput};
+use spzip_core::engine::{EngineConfig, EngineModel};
+use spzip_core::func::FuncEngine;
+use spzip_core::memory::MemoryImage;
+use spzip_mem::cache::{Cache, CacheConfig, Replacement};
+use spzip_mem::hierarchy::{MemConfig, MemorySystem};
+use spzip_mem::{DataClass, Port};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(1));
+    for (name, repl) in [("lru", Replacement::Lru), ("drrip", Replacement::Drrip)] {
+        group.bench_function(name, |b| {
+            let mut cache = Cache::new(CacheConfig::new(128 * 1024, 16, repl));
+            let mut addr = 0u64;
+            b.iter(|| {
+                addr = addr.wrapping_add(0x9E37_79B9).wrapping_mul(1664525) % (1 << 20);
+                if !cache.access(addr, false) {
+                    cache.fill(addr, false, DataClass::Other);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_memory_system(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory_system");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("issue_scattered_load", |b| {
+        let mut mem = MemorySystem::new(MemConfig::paper_scaled());
+        let mut addr = 0x10000u64;
+        let mut now = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+                % (1 << 24);
+            now += 4;
+            mem.access_line(
+                (addr % 16) as usize,
+                Port::Core,
+                addr,
+                spzip_mem::MemOp::Load,
+                DataClass::Other,
+                now,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn traversal_setup() -> (spzip_core::dcl::Pipeline, MemoryImage) {
+    let mut img = MemoryImage::new();
+    let offsets: Vec<u64> = (0..=4096u64).map(|i| i * 16).collect();
+    let rows: Vec<u32> = (0..65536u32).collect();
+    let offsets_a = img.alloc_u64s("offsets", &offsets, DataClass::AdjacencyMatrix);
+    let rows_a = img.alloc_u32s("rows", &rows, DataClass::AdjacencyMatrix);
+    let mut b = PipelineBuilder::new();
+    let q0 = b.queue(8);
+    let q1 = b.queue(24);
+    let q2 = b.queue(64);
+    b.operator(
+        OperatorKind::RangeFetch {
+            base: offsets_a,
+            idx_bytes: 8,
+            elem_bytes: 8,
+            input: RangeInput::Pairs,
+            marker: None,
+            class: DataClass::AdjacencyMatrix,
+        },
+        q0,
+        vec![q1],
+    );
+    b.operator(
+        OperatorKind::RangeFetch {
+            base: rows_a,
+            idx_bytes: 8,
+            elem_bytes: 4,
+            input: RangeInput::Consecutive,
+            marker: Some(0),
+            class: DataClass::AdjacencyMatrix,
+        },
+        q1,
+        vec![q2],
+    );
+    (b.build().unwrap(), img)
+}
+
+fn bench_functional_engine(c: &mut Criterion) {
+    let (pipeline, mut img) = traversal_setup();
+    let mut group = c.benchmark_group("func_engine");
+    group.throughput(Throughput::Elements(65536));
+    group.bench_function("csr_traversal_64k_edges", |b| {
+        b.iter(|| {
+            let mut eng = FuncEngine::new(pipeline.clone());
+            eng.enqueue_value(0, 0, 8);
+            eng.enqueue_value(0, 4097, 8);
+            eng.run(&mut img);
+            eng.drain_output(2).len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_engine_replay(c: &mut Criterion) {
+    let (pipeline, mut img) = traversal_setup();
+    let mut eng = FuncEngine::new(pipeline.clone());
+    eng.enqueue_value(0, 0, 8);
+    eng.enqueue_value(0, 4097, 8);
+    eng.run(&mut img);
+    let firings = eng.take_firings();
+    let n_firings: usize = firings.iter().map(|f| f.len()).sum();
+
+    let mut group = c.benchmark_group("engine_replay");
+    group.throughput(Throughput::Elements(n_firings as u64));
+    group.bench_function("fetcher_trace_64k_edges", |b| {
+        b.iter(|| {
+            let mut mem = MemorySystem::new(MemConfig::paper_scaled());
+            let mut model = EngineModel::new(EngineConfig::fetcher(), 0);
+            model.load_program(&pipeline, 0);
+            model.append_trace(firings.clone());
+            model.enqueue(0, 16);
+            let mut now = 0u64;
+            while !model.idle() && now < 50_000_000 {
+                model.tick(now, 64, &mut mem);
+                while model.can_dequeue(2, 4) {
+                    model.dequeue(2, 4);
+                }
+                now += 64;
+            }
+            now
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_cache, bench_memory_system, bench_functional_engine, bench_engine_replay
+}
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Table I: area breakdown of the SpZip fetcher and compressor.
+
+use spzip_core::area;
+
+fn main() {
+    println!("=== Table I: SpZip area breakdown (45 nm) ===");
+    for engine in [area::fetcher_area(), area::compressor_area()] {
+        println!("{engine}");
+        println!(
+            "  -> {:.2}% of a Haswell-class core\n",
+            area::engine_core_fraction(&engine) * 100.0
+        );
+    }
+}

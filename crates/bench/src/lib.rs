@@ -1,0 +1,220 @@
+//! Benchmark harness: regenerates every table and figure of the paper's
+//! evaluation (see DESIGN.md Sec. 3 for the experiment index).
+//!
+//! Each figure has a binary in `src/bin/`; this library holds the shared
+//! sweep and table-printing machinery. All harnesses print the same
+//! rows/series the paper reports, normalized the same way (speedups over
+//! Push as geometric means, traffic as arithmetic means).
+
+use spzip_apps::{run_app, AppName, RunOutcome, Scheme};
+use spzip_graph::datasets::{self, Scale};
+use spzip_graph::reorder::Preprocessing;
+use spzip_graph::Csr;
+use spzip_mem::DataClass;
+use spzip_sim::MachineConfig;
+use std::collections::HashMap;
+
+/// Seed used to randomize vertex ids for the non-preprocessed variants
+/// ("we randomize the vertex ids of the input graph").
+pub const RANDOMIZE_SEED: u64 = 0x5EED;
+
+/// One experiment cell: application x input x scheme x preprocessing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cell {
+    /// Application.
+    pub app: AppName,
+    /// Dataset short name.
+    pub input: &'static str,
+    /// Scheme.
+    pub scheme: Scheme,
+    /// Preprocessing applied.
+    pub prep: Preprocessing,
+}
+
+/// Cached, preprocessed inputs so sweeps do not regenerate graphs.
+#[derive(Default)]
+pub struct InputCache {
+    graphs: HashMap<(String, Preprocessing), Csr>,
+    scale: Option<Scale>,
+}
+
+impl InputCache {
+    /// Creates a cache generating inputs at `scale`.
+    pub fn new(scale: Scale) -> Self {
+        InputCache { graphs: HashMap::new(), scale: Some(scale) }
+    }
+
+    /// The input for `name` under `prep` (generated and cached on demand).
+    pub fn get(&mut self, name: &str, prep: Preprocessing) -> &Csr {
+        let scale = self.scale.unwrap_or_default();
+        self.graphs.entry((name.to_string(), prep)).or_insert_with(|| {
+            let spec = datasets::by_name(name).unwrap_or_else(|| panic!("unknown dataset {name}"));
+            let g = spec.generate(scale);
+            match prep {
+                // The published inputs arrive preprocessed; `None` means
+                // randomized ids (the paper's convention).
+                Preprocessing::None => spzip_graph::reorder::randomize(&g, RANDOMIZE_SEED),
+                other => {
+                    let randomized = spzip_graph::reorder::randomize(&g, RANDOMIZE_SEED);
+                    other.apply(&randomized, 0)
+                }
+            }
+        })
+    }
+}
+
+/// Runs one cell and returns its outcome.
+pub fn run_cell(cache: &mut InputCache, cell: Cell) -> RunOutcome {
+    let g = cache.get(cell.input, cell.prep).clone();
+    run_app(cell.app, &g, &cell.scheme.config(), machine_config())
+}
+
+/// The standard scaled Table II machine.
+pub fn machine_config() -> MachineConfig {
+    MachineConfig::paper_scaled()
+}
+
+/// Speedup table row: per-scheme cycles normalized to the first scheme.
+pub fn speedups_over_first(outcomes: &[(Scheme, RunOutcome)]) -> Vec<(Scheme, f64)> {
+    let base = outcomes[0].1.report.cycles.max(1) as f64;
+    outcomes
+        .iter()
+        .map(|(s, o)| (*s, base / o.report.cycles.max(1) as f64))
+        .collect()
+}
+
+/// Traffic normalized to the first scheme, broken down by data class.
+pub fn traffic_breakdown(outcomes: &[(Scheme, RunOutcome)]) -> Vec<(Scheme, [f64; 6])> {
+    let base = outcomes[0].1.report.traffic.total_bytes().max(1);
+    outcomes
+        .iter()
+        .map(|(s, o)| (*s, o.report.breakdown(base)))
+        .collect()
+}
+
+/// Prints a speedup + traffic table in the paper's layout.
+pub fn print_scheme_table(title: &str, outcomes: &[(Scheme, RunOutcome)]) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<12} {:>9} {:>9} {:>8} | {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "scheme", "cycles", "speedup", "traffic", "Adj", "Src", "Dst", "Upd", "Fro", "Oth"
+    );
+    let base_cycles = outcomes[0].1.report.cycles.max(1) as f64;
+    let base_traffic = outcomes[0].1.report.traffic.total_bytes().max(1);
+    for (s, o) in outcomes {
+        let b = o.report.breakdown(base_traffic);
+        println!(
+            "{:<12} {:>9} {:>8.2}x {:>7.2}x | {:>6.3} {:>6.3} {:>6.3} {:>6.3} {:>6.3} {:>6.3}{}",
+            s.to_string(),
+            o.report.cycles,
+            base_cycles / o.report.cycles.max(1) as f64,
+            o.report.traffic.total_bytes() as f64 / base_traffic as f64,
+            b[0],
+            b[1],
+            b[2],
+            b[3],
+            b[4],
+            b[5],
+            if o.validated { "" } else { "  !! VALIDATION FAILED" }
+        );
+    }
+    if std::env::var("SPZIP_DIAG").is_ok() {
+        for (s, o) in outcomes {
+            println!(
+                "  [diag] {:<12} total {:>12} B  dram-util {:>5.1}%  stalls {:>12}  f-fired {:>10}  c-fired {:>10}",
+                s.to_string(),
+                o.report.traffic.total_bytes(),
+                o.report.dram_utilization * 100.0,
+                o.report.core_stall_cycles,
+                o.report.fetcher_fired,
+                o.report.compressor_fired,
+            );
+        }
+    }
+}
+
+/// Per-class byte totals, for breakdowns across runs.
+pub fn class_bytes(o: &RunOutcome) -> [u64; 6] {
+    let mut out = [0u64; 6];
+    for (i, c) in DataClass::all().into_iter().enumerate() {
+        out[i] = o.report.traffic.class_bytes(c);
+    }
+    out
+}
+
+/// Parses the common `--scale tiny|bench|large` and `--preprocess` flags.
+pub fn parse_args() -> (Scale, bool) {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = Scale::Bench;
+    let mut preprocess = false;
+    for (i, a) in args.iter().enumerate() {
+        match a.as_str() {
+            "--scale" => {
+                scale = match args.get(i + 1).map(|s| s.as_str()) {
+                    Some("tiny") => Scale::Tiny,
+                    Some("large") => Scale::Large,
+                    _ => Scale::Bench,
+                }
+            }
+            "--preprocess" => preprocess = true,
+            _ => {}
+        }
+    }
+    (scale, preprocess)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_cache_caches() {
+        let mut cache = InputCache::new(Scale::Tiny);
+        let a = cache.get("ukl", Preprocessing::None).clone();
+        let b = cache.get("ukl", Preprocessing::None).clone();
+        assert_eq!(a, b);
+        let c = cache.get("ukl", Preprocessing::Dfs).clone();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn run_cell_produces_validated_outcome() {
+        let mut cache = InputCache::new(Scale::Tiny);
+        let out = run_cell(
+            &mut cache,
+            Cell {
+                app: AppName::Dc,
+                input: "arb",
+                scheme: Scheme::Push,
+                prep: Preprocessing::None,
+            },
+        );
+        assert!(out.validated);
+    }
+
+    #[test]
+    fn speedup_helpers() {
+        let mut cache = InputCache::new(Scale::Tiny);
+        let outcomes: Vec<(Scheme, RunOutcome)> = [Scheme::Push, Scheme::PushSpzip]
+            .iter()
+            .map(|&s| {
+                (
+                    s,
+                    run_cell(
+                        &mut cache,
+                        Cell {
+                            app: AppName::Dc,
+                            input: "arb",
+                            scheme: s,
+                            prep: Preprocessing::None,
+                        },
+                    ),
+                )
+            })
+            .collect();
+        let sp = speedups_over_first(&outcomes);
+        assert_eq!(sp[0].1, 1.0);
+        let tb = traffic_breakdown(&outcomes);
+        assert_eq!(tb.len(), 2);
+    }
+}

@@ -1,0 +1,391 @@
+//! Bit-Plane Compression (BPC), after Kim et al., ISCA 2016.
+//!
+//! BPC transforms a chunk of 32 elements as follows: the first element is the
+//! *base*, and the remaining 31 elements are replaced by deltas from their
+//! predecessor. The deltas (width+1-bit two's complement) are then rotated
+//! into *bit planes* — plane `p` collects bit `p` of every delta — and
+//! adjacent planes are XORed (the "delta-bitplane-XOR", DBX, transform).
+//! Correlated data produces many all-zero DBX planes, which encode in a
+//! couple of bits.
+//!
+//! The paper's implementation supports 32- and 64-bit elements and "uses a
+//! simple byte-level symbol encoding for each bitplane" (Sec. III-E); we do
+//! the same, with one opcode byte per symbol:
+//!
+//! | opcode | meaning                           | payload |
+//! |--------|-----------------------------------|---------|
+//! | `0x00` | run of all-zero planes            | 1 byte run length |
+//! | `0x01` | all-ones plane                    | — |
+//! | `0x02` | single one bit                    | 1 byte bit position |
+//! | `0x03` | two consecutive one bits          | 1 byte first position |
+//! | `0x04` | raw plane                         | 4 bytes LE |
+//!
+//! BPC needs long chunks to amortize the base, so the paper uses it for
+//! longer streams (update bins, vertex data) and delta byte-code for short
+//! neighbor sets.
+
+use crate::{varint, Codec, DecodeError, ElemWidth, CHUNK_ELEMS};
+
+const OP_ZERO_RUN: u8 = 0x00;
+const OP_ALL_ONES: u8 = 0x01;
+const OP_SINGLE_ONE: u8 = 0x02;
+const OP_TWO_CONSEC: u8 = 0x03;
+const OP_RAW: u8 = 0x04;
+
+/// Bit-Plane Compression codec over 32-element chunks.
+///
+/// # Examples
+///
+/// ```
+/// use spzip_compress::{Codec, ElemWidth, bpc::BpcCodec};
+///
+/// // Slowly-varying data (e.g. sorted update destinations) compresses well.
+/// let data: Vec<u64> = (0..256).map(|i| 10_000 + i / 3).collect();
+/// let codec = BpcCodec::new(ElemWidth::W32);
+/// assert!(codec.compressed_len(&data) < data.len() * 4 / 4);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BpcCodec {
+    width: ElemWidth,
+}
+
+impl BpcCodec {
+    /// Creates a BPC codec for elements of `width`.
+    pub fn new(width: ElemWidth) -> Self {
+        BpcCodec { width }
+    }
+
+    /// Element width this codec was configured with.
+    pub fn width(&self) -> ElemWidth {
+        self.width
+    }
+
+    /// Number of bit planes: element width + 1 (deltas carry a borrow bit).
+    fn planes(&self) -> u32 {
+        self.width.bits() + 1
+    }
+
+    fn write_base(&self, out: &mut Vec<u8>, base: u64) {
+        match self.width {
+            ElemWidth::W32 => out.extend_from_slice(&(base as u32).to_le_bytes()),
+            ElemWidth::W64 => out.extend_from_slice(&base.to_le_bytes()),
+        }
+    }
+
+    fn read_base(&self, input: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
+        let bytes = self.width.bytes();
+        if *pos + bytes > input.len() {
+            return Err(DecodeError::truncated("BPC base"));
+        }
+        let base = match self.width {
+            ElemWidth::W32 => {
+                u32::from_le_bytes(input[*pos..*pos + 4].try_into().unwrap()) as u64
+            }
+            ElemWidth::W64 => u64::from_le_bytes(input[*pos..*pos + 8].try_into().unwrap()),
+        };
+        *pos += bytes;
+        Ok(base)
+    }
+
+    /// Computes the DBX planes of a chunk. `chunk.len()` must be >= 2.
+    fn dbx_planes(&self, chunk: &[u64]) -> Vec<u32> {
+        let nbits = self.planes();
+        let ndeltas = chunk.len() - 1;
+        // (width+1)-bit two's-complement deltas, kept in u128 for W64.
+        let modulus_mask: u128 = if nbits >= 128 { u128::MAX } else { (1u128 << nbits) - 1 };
+        let deltas: Vec<u128> = chunk
+            .windows(2)
+            .map(|w| ((w[1] as i128 - w[0] as i128) as u128) & modulus_mask)
+            .collect();
+        // DBP: plane p = bit p of each delta.
+        let mut dbp = vec![0u32; nbits as usize];
+        for (i, &d) in deltas.iter().enumerate() {
+            for (p, plane) in dbp.iter_mut().enumerate() {
+                *plane |= (((d >> p) & 1) as u32) << i;
+            }
+        }
+        // DBX: XOR with the plane above; top plane kept as-is.
+        let mut dbx = vec![0u32; nbits as usize];
+        dbx[nbits as usize - 1] = dbp[nbits as usize - 1];
+        for p in 0..nbits as usize - 1 {
+            dbx[p] = dbp[p] ^ dbp[p + 1];
+        }
+        debug_assert!(ndeltas <= 31);
+        dbx
+    }
+
+    fn encode_planes(planes: &[u32], out: &mut Vec<u8>, plane_bits: u32) {
+        let all_ones: u32 = if plane_bits >= 32 { u32::MAX } else { (1 << plane_bits) - 1 };
+        let mut p = planes.len();
+        // Encode from the top plane down: correlated data zeroes high planes.
+        while p > 0 {
+            p -= 1;
+            let plane = planes[p];
+            if plane == 0 {
+                // Greedily absorb a run of zero planes.
+                let mut run = 1u32;
+                while p > 0 && planes[p - 1] == 0 && run < 255 {
+                    p -= 1;
+                    run += 1;
+                }
+                out.push(OP_ZERO_RUN);
+                out.push(run as u8);
+            } else if plane == all_ones {
+                out.push(OP_ALL_ONES);
+            } else if plane.count_ones() == 1 {
+                out.push(OP_SINGLE_ONE);
+                out.push(plane.trailing_zeros() as u8);
+            } else if plane.count_ones() == 2 && (plane >> plane.trailing_zeros()) == 0b11 {
+                out.push(OP_TWO_CONSEC);
+                out.push(plane.trailing_zeros() as u8);
+            } else {
+                out.push(OP_RAW);
+                out.extend_from_slice(&plane.to_le_bytes());
+            }
+        }
+    }
+
+    fn decode_planes(
+        input: &[u8],
+        pos: &mut usize,
+        nplanes: usize,
+        plane_bits: u32,
+    ) -> Result<Vec<u32>, DecodeError> {
+        let all_ones: u32 = if plane_bits >= 32 { u32::MAX } else { (1 << plane_bits) - 1 };
+        let mut planes = vec![0u32; nplanes];
+        let mut p = nplanes;
+        while p > 0 {
+            let op = *input
+                .get(*pos)
+                .ok_or_else(|| DecodeError::truncated("BPC opcode"))?;
+            *pos += 1;
+            match op {
+                OP_ZERO_RUN => {
+                    let run = *input
+                        .get(*pos)
+                        .ok_or_else(|| DecodeError::truncated("BPC zero-run length"))?
+                        as usize;
+                    *pos += 1;
+                    if run == 0 || run > p {
+                        return Err(DecodeError::new("BPC zero-run out of range"));
+                    }
+                    for _ in 0..run {
+                        p -= 1;
+                        planes[p] = 0;
+                    }
+                }
+                OP_ALL_ONES => {
+                    p -= 1;
+                    planes[p] = all_ones;
+                }
+                OP_SINGLE_ONE | OP_TWO_CONSEC => {
+                    let bit = *input
+                        .get(*pos)
+                        .ok_or_else(|| DecodeError::truncated("BPC bit position"))?
+                        as u32;
+                    *pos += 1;
+                    if bit >= plane_bits || (op == OP_TWO_CONSEC && bit + 1 >= plane_bits) {
+                        return Err(DecodeError::new("BPC bit position out of range"));
+                    }
+                    p -= 1;
+                    planes[p] = if op == OP_SINGLE_ONE { 1 << bit } else { 0b11 << bit };
+                }
+                OP_RAW => {
+                    if *pos + 4 > input.len() {
+                        return Err(DecodeError::truncated("BPC raw plane"));
+                    }
+                    p -= 1;
+                    planes[p] = u32::from_le_bytes(input[*pos..*pos + 4].try_into().unwrap());
+                    *pos += 4;
+                }
+                other => {
+                    return Err(DecodeError::new(format!("unknown BPC opcode {other:#x}")));
+                }
+            }
+        }
+        Ok(planes)
+    }
+
+    fn compress_chunk(&self, chunk: &[u64], out: &mut Vec<u8>) {
+        debug_assert!(!chunk.is_empty() && chunk.len() <= CHUNK_ELEMS);
+        out.push(chunk.len() as u8);
+        self.write_base(out, chunk[0]);
+        if chunk.len() < 2 {
+            return;
+        }
+        let dbx = self.dbx_planes(chunk);
+        Self::encode_planes(&dbx, out, (chunk.len() - 1) as u32);
+    }
+
+    fn decompress_chunk(&self, input: &[u8], pos: &mut usize, out: &mut Vec<u64>) -> Result<(), DecodeError> {
+        let n = *input
+            .get(*pos)
+            .ok_or_else(|| DecodeError::truncated("BPC chunk length"))? as usize;
+        *pos += 1;
+        if n == 0 || n > CHUNK_ELEMS {
+            return Err(DecodeError::new("BPC chunk length out of range"));
+        }
+        let base = self.read_base(input, pos)?;
+        out.push(base);
+        if n < 2 {
+            return Ok(());
+        }
+        let nbits = self.planes() as usize;
+        let dbx = Self::decode_planes(input, pos, nbits, (n - 1) as u32)?;
+        // Invert DBX back to DBP.
+        let mut dbp = vec![0u32; nbits];
+        dbp[nbits - 1] = dbx[nbits - 1];
+        for p in (0..nbits - 1).rev() {
+            dbp[p] = dbx[p] ^ dbp[p + 1];
+        }
+        // Re-assemble the deltas and prefix-sum back to values.
+        let mut prev = base;
+        for i in 0..n - 1 {
+            let mut delta: u128 = 0;
+            for (p, plane) in dbp.iter().enumerate() {
+                delta |= (((plane >> i) & 1) as u128) << p;
+            }
+            // Sign-extend the (width+1)-bit delta.
+            let nb = self.planes();
+            let signed = if delta >> (nb - 1) & 1 == 1 {
+                (delta as i128) - (1i128 << nb)
+            } else {
+                delta as i128
+            };
+            prev = (prev as i128 + signed) as u64 & self.width.mask();
+            out.push(prev);
+        }
+        Ok(())
+    }
+}
+
+impl Codec for BpcCodec {
+    fn name(&self) -> &'static str {
+        match self.width {
+            ElemWidth::W32 => "bpc32",
+            ElemWidth::W64 => "bpc64",
+        }
+    }
+
+    fn compress(&self, input: &[u64], out: &mut Vec<u8>) {
+        varint::write_u64(out, input.len() as u64);
+        for chunk in input.chunks(CHUNK_ELEMS) {
+            self.compress_chunk(chunk, out);
+        }
+    }
+
+    fn decode_frame(
+        &self,
+        input: &[u8],
+        pos: &mut usize,
+        out: &mut Vec<u64>,
+    ) -> Result<(), DecodeError> {
+        let total = varint::read_u64(input, pos)? as usize;
+        // Header counts are untrusted input: cap the speculative reserve.
+        out.reserve(total.min(input.len().saturating_mul(8)));
+        let mut decoded = 0;
+        while decoded < total {
+            let before = out.len();
+            self.decompress_chunk(input, pos, out)?;
+            decoded += out.len() - before;
+        }
+        if decoded != total {
+            return Err(DecodeError::new("BPC chunk sizes disagree with header"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(width: ElemWidth, data: &[u64]) {
+        let codec = BpcCodec::new(width);
+        let mut buf = Vec::new();
+        codec.compress(data, &mut buf);
+        let mut out = Vec::new();
+        codec.decompress(&buf, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn roundtrip_empty_and_single() {
+        roundtrip(ElemWidth::W32, &[]);
+        roundtrip(ElemWidth::W32, &[7]);
+        roundtrip(ElemWidth::W64, &[u64::MAX]);
+    }
+
+    #[test]
+    fn roundtrip_linear_sequences() {
+        let data: Vec<u64> = (0..97).map(|i| 1000 + 3 * i).collect();
+        roundtrip(ElemWidth::W32, &data);
+        roundtrip(ElemWidth::W64, &data);
+    }
+
+    #[test]
+    fn roundtrip_alternating() {
+        let data: Vec<u64> = (0..64).map(|i| if i % 2 == 0 { 5 } else { 4_000_000_000 }).collect();
+        roundtrip(ElemWidth::W32, &data);
+    }
+
+    #[test]
+    fn roundtrip_w64_extremes() {
+        let data = [0u64, u64::MAX, 1, u64::MAX - 1, 1 << 63, (1 << 63) - 1];
+        roundtrip(ElemWidth::W64, &data);
+    }
+
+    #[test]
+    fn roundtrip_partial_chunk_sizes() {
+        for n in [1usize, 2, 31, 32, 33, 63, 64, 65] {
+            let data: Vec<u64> = (0..n as u64).map(|i| i * 17 + 3).collect();
+            roundtrip(ElemWidth::W32, &data);
+        }
+    }
+
+    #[test]
+    fn constant_data_compresses_dramatically() {
+        let data = vec![123456u64; 256];
+        let codec = BpcCodec::new(ElemWidth::W32);
+        let size = codec.compressed_len(&data);
+        // 8 chunks x (len byte + 4-byte base + ~2 symbol bytes).
+        assert!(size < 80, "size = {size}");
+    }
+
+    #[test]
+    fn linear_data_beats_raw_substantially() {
+        let data: Vec<u64> = (0..320).map(|i| 77 + i).collect();
+        let codec = BpcCodec::new(ElemWidth::W32);
+        let size = codec.compressed_len(&data);
+        assert!(size * 4 < data.len() * 4, "size = {size}");
+    }
+
+    #[test]
+    fn random_data_does_not_explode() {
+        let data: Vec<u64> = (0..320)
+            .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) & 0xFFFF_FFFF)
+            .collect();
+        let codec = BpcCodec::new(ElemWidth::W32);
+        let size = codec.compressed_len(&data);
+        // Worst case: every plane raw = 33 * 5 bytes per 32-element chunk,
+        // bounded by ~5.2 bytes/element.
+        assert!(size < data.len() * 6, "size = {size}");
+    }
+
+    #[test]
+    fn truncation_anywhere_is_an_error_or_caught() {
+        let data: Vec<u64> = (0..40).map(|i| i * i).collect();
+        let codec = BpcCodec::new(ElemWidth::W32);
+        let mut buf = Vec::new();
+        codec.compress(&data, &mut buf);
+        for cut in 1..buf.len() {
+            let mut out = Vec::new();
+            assert!(codec.decompress(&buf[..cut], &mut out).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn width_accessor() {
+        assert_eq!(BpcCodec::new(ElemWidth::W64).width(), ElemWidth::W64);
+    }
+}

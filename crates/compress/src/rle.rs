@@ -1,0 +1,136 @@
+//! Run-length encoding, one of the compression formats the DCL's operator
+//! set is designed to host (Sec. II-A lists run-length encoding among the
+//! formats a system may support).
+//!
+//! Effective on highly repetitive streams such as degree counts of low-degree
+//! vertices or dense-frontier bitmaps.
+
+use crate::{varint, Codec, DecodeError};
+
+/// Decompression-bomb guard: [`RleCodec::decompress`] refuses streams that
+/// expand beyond this many elements (a few bytes of RLE can claim billions).
+pub const MAX_DECODED_ELEMS: usize = 1 << 28;
+
+/// Run-length codec over `(value, run)` pairs with varint-coded fields.
+///
+/// # Examples
+///
+/// ```
+/// use spzip_compress::{Codec, rle::RleCodec};
+///
+/// let data = vec![7u64; 1000];
+/// let codec = RleCodec::new();
+/// assert!(codec.compressed_len(&data) < 16);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RleCodec {
+    _private: (),
+}
+
+impl RleCodec {
+    /// Creates a run-length codec.
+    pub fn new() -> Self {
+        RleCodec { _private: () }
+    }
+}
+
+impl Codec for RleCodec {
+    fn name(&self) -> &'static str {
+        "rle"
+    }
+
+    fn compress(&self, input: &[u64], out: &mut Vec<u8>) {
+        varint::write_u64(out, input.len() as u64);
+        let mut i = 0;
+        while i < input.len() {
+            let value = input[i];
+            let mut run = 1u64;
+            while i + (run as usize) < input.len() && input[i + run as usize] == value {
+                run += 1;
+            }
+            varint::write_u64(out, value);
+            varint::write_u64(out, run);
+            i += run as usize;
+        }
+    }
+
+    fn decode_frame(
+        &self,
+        input: &[u8],
+        pos: &mut usize,
+        out: &mut Vec<u64>,
+    ) -> Result<(), DecodeError> {
+        let total = varint::read_u64(input, pos)? as usize;
+        if total > MAX_DECODED_ELEMS {
+            return Err(DecodeError::new("RLE stream exceeds decode size limit"));
+        }
+        // Header counts are untrusted input: cap the speculative reserve.
+        out.reserve(total.min(1 << 20));
+        let mut decoded = 0usize;
+        while decoded < total {
+            let value = varint::read_u64(input, pos)?;
+            let run = varint::read_u64(input, pos)? as usize;
+            if run == 0 || decoded + run > total {
+                return Err(DecodeError::new("RLE run length out of range"));
+            }
+            out.extend(std::iter::repeat_n(value, run));
+            decoded += run;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u64]) {
+        let codec = RleCodec::new();
+        let mut buf = Vec::new();
+        codec.compress(data, &mut buf);
+        let mut out = Vec::new();
+        codec.decompress(&buf, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn roundtrip_runs_and_singles() {
+        roundtrip(&[1, 1, 1, 2, 3, 3, 4]);
+        roundtrip(&[u64::MAX; 5]);
+        roundtrip(&[0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn long_run_compresses_to_constant_size() {
+        let codec = RleCodec::new();
+        let small = codec.compressed_len(&[9u64; 10]);
+        let large = codec.compressed_len(&vec![9u64; 1_000_000]);
+        assert!(large <= small + 4);
+    }
+
+    #[test]
+    fn zero_run_is_rejected() {
+        // header: 1 element; then value=5, run=0.
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, 1);
+        varint::write_u64(&mut buf, 5);
+        varint::write_u64(&mut buf, 0);
+        let mut out = Vec::new();
+        assert!(RleCodec::new().decompress(&buf, &mut out).is_err());
+    }
+
+    #[test]
+    fn overlong_run_is_rejected() {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, 2);
+        varint::write_u64(&mut buf, 5);
+        varint::write_u64(&mut buf, 3);
+        let mut out = Vec::new();
+        assert!(RleCodec::new().decompress(&buf, &mut out).is_err());
+    }
+}

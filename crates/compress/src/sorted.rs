@@ -1,0 +1,132 @@
+//! The paper's order-insensitive-data optimization (Sec. III-C).
+//!
+//! Many compressed streams are semantically *sets*: update bins hold sets of
+//! `{dst, contrib}` tuples and the frontier holds the set of active vertices,
+//! so reordering elements does not affect semantics. SpZip optionally sorts
+//! each 32-element chunk before compression, placing similar values nearby
+//! and improving the ratios of both delta encoding and BPC. The paper
+//! measures this lifting UB's bin compression ratio from 1.26x to 1.55x on
+//! Connected Components.
+
+use crate::{Codec, DecodeError, CHUNK_ELEMS};
+
+/// Wraps a codec, sorting each [`CHUNK_ELEMS`]-element chunk before
+/// compression.
+///
+/// Round-trip guarantee: decompression yields each chunk's elements in sorted
+/// order — the same *multiset* per chunk, not the same sequence. Only apply
+/// to order-insensitive data.
+///
+/// # Examples
+///
+/// ```
+/// use spzip_compress::{Codec, delta::DeltaCodec, sorted::SortedChunks};
+///
+/// let scattered: Vec<u64> = (0..32).map(|i| (i * 13) % 32 * 50 + 1000).collect();
+/// let plain = DeltaCodec::new();
+/// let sorted = SortedChunks::new(DeltaCodec::new());
+/// assert!(sorted.compressed_len(&scattered) < plain.compressed_len(&scattered));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SortedChunks<C> {
+    inner: C,
+}
+
+impl<C: Codec> SortedChunks<C> {
+    /// Wraps `inner` with per-chunk sorting.
+    pub fn new(inner: C) -> Self {
+        SortedChunks { inner }
+    }
+
+    /// Returns the wrapped codec.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<C: Codec> Codec for SortedChunks<C> {
+    fn name(&self) -> &'static str {
+        "sorted"
+    }
+
+    fn compress(&self, input: &[u64], out: &mut Vec<u8>) {
+        let mut buf: Vec<u64> = Vec::with_capacity(input.len());
+        for chunk in input.chunks(CHUNK_ELEMS) {
+            let start = buf.len();
+            buf.extend_from_slice(chunk);
+            buf[start..].sort_unstable();
+        }
+        self.inner.compress(&buf, out);
+    }
+
+    fn decode_frame(
+        &self,
+        input: &[u8],
+        pos: &mut usize,
+        out: &mut Vec<u64>,
+    ) -> Result<(), DecodeError> {
+        self.inner.decode_frame(input, pos, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bpc::BpcCodec;
+    use crate::delta::DeltaCodec;
+    use crate::ElemWidth;
+
+    #[test]
+    fn roundtrip_is_per_chunk_multiset() {
+        let data: Vec<u64> = (0..100).map(|i| (i * 37) % 100).collect();
+        let codec = SortedChunks::new(DeltaCodec::new());
+        let mut buf = Vec::new();
+        codec.compress(&data, &mut buf);
+        let mut out = Vec::new();
+        codec.decompress(&buf, &mut out).unwrap();
+        assert_eq!(out.len(), data.len());
+        for (got, want) in out.chunks(CHUNK_ELEMS).zip(data.chunks(CHUNK_ELEMS)) {
+            let mut want = want.to_vec();
+            want.sort_unstable();
+            assert_eq!(got, &want[..]);
+        }
+    }
+
+    #[test]
+    fn sorting_improves_bpc_on_scattered_sets() {
+        // Simulates an update bin: destinations within a cache-fitting slice,
+        // arriving in scattered order.
+        let data: Vec<u64> = (0..512)
+            .map(|i| {
+                // Hash-scattered destinations: a multiply alone is linear in
+                // i (constant stride that plain BPC exploits), so mix with
+                // xorshift rounds.
+                let mut h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                h ^= h >> 29;
+                h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                h ^= h >> 32;
+                (h % 4096) + (1 << 20)
+            })
+            .collect();
+        let plain = BpcCodec::new(ElemWidth::W32);
+        let sorted = SortedChunks::new(BpcCodec::new(ElemWidth::W32));
+        assert!(sorted.compressed_len(&data) < plain.compressed_len(&data));
+    }
+
+    #[test]
+    fn already_sorted_data_is_unchanged() {
+        let data: Vec<u64> = (0..64).collect();
+        let codec = SortedChunks::new(DeltaCodec::new());
+        let mut buf = Vec::new();
+        codec.compress(&data, &mut buf);
+        let mut out = Vec::new();
+        codec.decompress(&buf, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn into_inner_returns_codec() {
+        let codec = SortedChunks::new(DeltaCodec::new());
+        let _inner: DeltaCodec = codec.into_inner();
+    }
+}

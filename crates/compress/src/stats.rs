@@ -1,0 +1,139 @@
+//! Compression-ratio accounting shared by the engines and benchmarks.
+
+use std::fmt;
+
+/// Accumulates uncompressed/compressed byte totals and reports the ratio.
+///
+/// # Examples
+///
+/// ```
+/// use spzip_compress::stats::CompressionStats;
+///
+/// let mut stats = CompressionStats::new();
+/// stats.record(1000, 400);
+/// stats.record(1000, 600);
+/// assert_eq!(stats.ratio(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CompressionStats {
+    uncompressed_bytes: u64,
+    compressed_bytes: u64,
+    chunks: u64,
+}
+
+impl CompressionStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one compressed chunk.
+    pub fn record(&mut self, uncompressed_bytes: u64, compressed_bytes: u64) {
+        self.uncompressed_bytes += uncompressed_bytes;
+        self.compressed_bytes += compressed_bytes;
+        self.chunks += 1;
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &CompressionStats) {
+        self.uncompressed_bytes += other.uncompressed_bytes;
+        self.compressed_bytes += other.compressed_bytes;
+        self.chunks += other.chunks;
+    }
+
+    /// Total uncompressed bytes recorded.
+    pub fn uncompressed_bytes(&self) -> u64 {
+        self.uncompressed_bytes
+    }
+
+    /// Total compressed bytes recorded.
+    pub fn compressed_bytes(&self) -> u64 {
+        self.compressed_bytes
+    }
+
+    /// Number of chunks recorded.
+    pub fn chunks(&self) -> u64 {
+        self.chunks
+    }
+
+    /// Compression ratio (uncompressed / compressed); 1.0 when empty.
+    pub fn ratio(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            1.0
+        } else {
+            self.uncompressed_bytes as f64 / self.compressed_bytes as f64
+        }
+    }
+}
+
+impl fmt::Display for CompressionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {} bytes ({:.2}x over {} chunks)",
+            self.uncompressed_bytes,
+            self.compressed_bytes,
+            self.ratio(),
+            self.chunks
+        )
+    }
+}
+
+/// Geometric mean of a slice of positive ratios; 1.0 for an empty slice.
+///
+/// Used for the paper's "gmean" speedup summaries.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean; 0.0 for an empty slice. Used for traffic summaries
+/// ("averages are geometric means for speedups and arithmetic means for
+/// traffic").
+pub fn arithmetic_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_ratio_is_one() {
+        assert_eq!(CompressionStats::new().ratio(), 1.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CompressionStats::new();
+        a.record(100, 50);
+        let mut b = CompressionStats::new();
+        b.record(300, 150);
+        a.merge(&b);
+        assert_eq!(a.ratio(), 2.0);
+        assert_eq!(a.chunks(), 2);
+        assert_eq!(a.uncompressed_bytes(), 400);
+        assert_eq!(a.compressed_bytes(), 200);
+    }
+
+    #[test]
+    fn display_mentions_ratio() {
+        let mut s = CompressionStats::new();
+        s.record(200, 100);
+        assert!(s.to_string().contains("2.00x"));
+    }
+
+    #[test]
+    fn gmean_and_amean() {
+        assert_eq!(geometric_mean(&[]), 1.0);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(arithmetic_mean(&[]), 0.0);
+        assert!((arithmetic_mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+}

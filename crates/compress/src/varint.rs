@@ -1,0 +1,107 @@
+//! LEB128 variable-length integers, used for framing headers and run lengths.
+
+use crate::DecodeError;
+
+/// Appends `value` to `out` as an unsigned LEB128 varint.
+///
+/// # Examples
+///
+/// ```
+/// let mut buf = Vec::new();
+/// spzip_compress::varint::write_u64(&mut buf, 300);
+/// assert_eq!(buf, [0xAC, 0x02]);
+/// ```
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned LEB128 varint from `input` at `*pos`, advancing `*pos`.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncated input or a varint longer than the 10
+/// bytes a `u64` can need.
+pub fn read_u64(input: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *input
+            .get(*pos)
+            .ok_or_else(|| DecodeError::truncated("varint"))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(DecodeError::new("varint longer than 64 bits"));
+        }
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// ZigZag-encodes a signed value so small magnitudes become small unsigned
+/// values regardless of sign.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverts [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_edges() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_truncated_is_error() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert!(read_u64(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn varint_overlong_is_error() {
+        let buf = [0x80u8; 11];
+        let mut pos = 0;
+        assert!(read_u64(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 1234567, -7654321] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_small_magnitudes_stay_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based round-trip tests for every stream codec.
+
+use proptest::prelude::*;
+use spzip_compress::bdi::{self, LINE_BYTES};
+use spzip_compress::bpc::BpcCodec;
+use spzip_compress::delta::DeltaCodec;
+use spzip_compress::rle::RleCodec;
+use spzip_compress::sorted::SortedChunks;
+use spzip_compress::{Codec, ElemWidth, IdentityCodec, CHUNK_ELEMS};
+
+fn roundtrip_exact(codec: &dyn Codec, data: &[u64]) {
+    let mut buf = Vec::new();
+    codec.compress(data, &mut buf);
+    let mut out = Vec::new();
+    codec
+        .decompress(&buf, &mut out)
+        .unwrap_or_else(|e| panic!("{}: {e}", codec.name()));
+    assert_eq!(out, data, "codec {}", codec.name());
+}
+
+/// Data shapes codecs see in practice: ascending ids, clustered ids, runs,
+/// and uniform noise.
+fn data_strategy(mask: u64) -> impl Strategy<Value = Vec<u64>> {
+    prop_oneof![
+        // Uniform random.
+        proptest::collection::vec(any::<u64>().prop_map(move |v| v & mask), 0..200),
+        // Sorted (neighbor-set-like).
+        proptest::collection::vec(any::<u64>().prop_map(move |v| v & mask), 0..200).prop_map(
+            |mut v| {
+                v.sort_unstable();
+                v
+            }
+        ),
+        // Clustered around a center.
+        (any::<u64>(), proptest::collection::vec(0u64..64, 0..200)).prop_map(
+            move |(center, offs)| offs
+                .iter()
+                .map(|o| (center & mask).wrapping_add(*o) & mask)
+                .collect()
+        ),
+        // Runs.
+        proptest::collection::vec((any::<u64>(), 1usize..20), 0..20).prop_map(move |runs| {
+            runs.iter()
+                .flat_map(|(v, n)| std::iter::repeat_n(*v & mask, *n))
+                .collect()
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn delta_roundtrip(data in data_strategy(u64::MAX)) {
+        roundtrip_exact(&DeltaCodec::new(), &data);
+    }
+
+    #[test]
+    fn bpc32_roundtrip(data in data_strategy(u32::MAX as u64)) {
+        roundtrip_exact(&BpcCodec::new(ElemWidth::W32), &data);
+    }
+
+    #[test]
+    fn bpc64_roundtrip(data in data_strategy(u64::MAX)) {
+        roundtrip_exact(&BpcCodec::new(ElemWidth::W64), &data);
+    }
+
+    #[test]
+    fn rle_roundtrip(data in data_strategy(u64::MAX)) {
+        roundtrip_exact(&RleCodec::new(), &data);
+    }
+
+    #[test]
+    fn identity_roundtrip(data in data_strategy(u64::MAX)) {
+        roundtrip_exact(&IdentityCodec::new(ElemWidth::W64), &data);
+    }
+
+    #[test]
+    fn sorted_roundtrip_is_chunk_multiset(data in data_strategy(u32::MAX as u64)) {
+        let codec = SortedChunks::new(DeltaCodec::new());
+        let mut buf = Vec::new();
+        codec.compress(&data, &mut buf);
+        let mut out = Vec::new();
+        codec.decompress(&buf, &mut out).unwrap();
+        prop_assert_eq!(out.len(), data.len());
+        for (got, want) in out.chunks(CHUNK_ELEMS).zip(data.chunks(CHUNK_ELEMS)) {
+            let mut want = want.to_vec();
+            want.sort_unstable();
+            prop_assert_eq!(got, &want[..]);
+            // And each chunk really is sorted.
+            prop_assert!(got.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn bdi_roundtrip(bytes in proptest::collection::vec(any::<u8>(), LINE_BYTES)) {
+        let line: [u8; LINE_BYTES] = bytes.try_into().unwrap();
+        let enc = bdi::compress_line(&line);
+        prop_assert_eq!(bdi::decompress_line(&enc), line);
+        prop_assert!(enc.len() <= LINE_BYTES + 1);
+    }
+
+    #[test]
+    fn decompress_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Codecs must reject or decode arbitrary input, never panic.
+        // (Headers can claim huge element counts; cap the damage by
+        // ignoring results.)
+        for codec in [
+            Box::new(DeltaCodec::new()) as Box<dyn Codec>,
+            Box::new(BpcCodec::new(ElemWidth::W32)),
+            Box::new(BpcCodec::new(ElemWidth::W64)),
+            Box::new(RleCodec::new()),
+        ] {
+            let mut out = Vec::new();
+            let _ = codec.decompress(&bytes, &mut out);
+        }
+    }
+}

@@ -1,0 +1,544 @@
+//! The Dataflow Configuration Language (DCL).
+//!
+//! A DCL program is an acyclic graph of simple, composable operators that
+//! communicate through queues (Sec. II-A). Memory-access operators fetch or
+//! write data streams; (de)compression operators transform streams; each
+//! operator takes one input stream and fans out to one or more consumers.
+//!
+//! A [`Pipeline`] validates the hardware's structural constraints: at most
+//! 16 operators and 16 queues (the paper's implementation), single producer
+//! and single consumer per queue, acyclicity, and scratchpad capacity.
+
+use crate::QueueId;
+use spzip_compress::CodecKind;
+use spzip_mem::DataClass;
+use std::fmt;
+
+/// Hardware limit on operator contexts per engine (Sec. III-B).
+pub const MAX_OPERATORS: usize = 16;
+/// Hardware limit on queues per engine.
+pub const MAX_QUEUES: usize = 16;
+/// Default scratchpad size in bytes (Sec. III-E: 2 KB per engine).
+pub const DEFAULT_SCRATCHPAD_BYTES: u32 = 2048;
+
+/// How a range-fetch operator consumes its input indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RangeInput {
+    /// Consecutive `(start, end)` pairs at the input.
+    Pairs,
+    /// Each input is the end of the previous range and the start of the
+    /// next (Fig. 11's `useEndAsNextStart`): offsets arrays.
+    Consecutive,
+}
+
+/// Whether a MemQueue operator buffers chunks or appends to large bins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemQueueMode {
+    /// Build fixed-size chunks per queue, emitting each full (or closed)
+    /// chunk downstream — the first MQU of Fig. 14.
+    Buffer,
+    /// Append incoming chunks to per-queue growable storage — the second
+    /// MQU of Fig. 14 (compressed bins).
+    Append,
+}
+
+/// An operator's behaviour and static configuration (its "context").
+#[derive(Debug, Clone, PartialEq)]
+pub enum OperatorKind {
+    /// Fetches `A[i..j]` for each input range (Sec. II-A).
+    RangeFetch {
+        /// Base address of the array.
+        base: u64,
+        /// Bytes per input index (4 or 8).
+        idx_bytes: u8,
+        /// Bytes per fetched element.
+        elem_bytes: u8,
+        /// Input mode.
+        input: RangeInput,
+        /// Emit a marker with this value after each range.
+        marker: Option<u32>,
+        /// Traffic class of the fetched data.
+        class: DataClass,
+    },
+    /// Fetches `A[i]` for each input index; with no output queues this is
+    /// the prefetch-only form of Fig. 5.
+    Indirect {
+        /// Base address of the array.
+        base: u64,
+        /// Bytes per fetched element.
+        elem_bytes: u8,
+        /// Also fetch `A[i+1]` and emit both — how the Fig. 6 BFS pipeline
+        /// turns a non-contiguous offsets access into a (start, end) pair
+        /// for the downstream neighbor range fetch.
+        pair: bool,
+        /// Traffic class.
+        class: DataClass,
+    },
+    /// Decompresses marker-delimited byte chunks into values.
+    Decompress {
+        /// Codec of the stored stream.
+        codec: CodecKind,
+        /// Bytes per decoded output element.
+        elem_bytes: u8,
+    },
+    /// Compresses marker-delimited value chunks into bytes.
+    Compress {
+        /// Codec to encode with.
+        codec: CodecKind,
+        /// Bytes per input element.
+        elem_bytes: u8,
+        /// Sort each chunk before encoding (order-insensitive data,
+        /// Sec. III-C).
+        sort_chunks: bool,
+    },
+    /// Writes its input stream sequentially to memory from `base`,
+    /// tracking the length (the compressor's stream-writer unit).
+    StreamWrite {
+        /// Start address of the output stream.
+        base: u64,
+        /// Traffic class of the written data.
+        class: DataClass,
+    },
+    /// Memory-backed queues (the MQU, Sec. III-C): maintains `num_queues`
+    /// queues in conventional memory.
+    MemQueue {
+        /// Number of in-memory queues (bins).
+        num_queues: u32,
+        /// Base address of queue 0's storage.
+        data_base: u64,
+        /// Byte stride between consecutive queues' storage.
+        stride: u64,
+        /// Address of the tail-pointer array (8 B per queue).
+        meta_addr: u64,
+        /// Elements per emitted chunk (Buffer mode).
+        chunk_elems: u32,
+        /// Bytes per element (Buffer mode; Append mode moves raw bytes).
+        elem_bytes: u8,
+        /// Buffering or appending behaviour.
+        mode: MemQueueMode,
+        /// Traffic class of queue storage.
+        class: DataClass,
+    },
+}
+
+impl OperatorKind {
+    /// Short operator name for display and parsing.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OperatorKind::RangeFetch { .. } => "range",
+            OperatorKind::Indirect { .. } => "indirect",
+            OperatorKind::Decompress { .. } => "decompress",
+            OperatorKind::Compress { .. } => "compress",
+            OperatorKind::StreamWrite { .. } => "streamwrite",
+            OperatorKind::MemQueue { .. } => "memqueue",
+        }
+    }
+
+    /// Whether this operator touches memory when it fires.
+    pub fn touches_memory(&self) -> bool {
+        !matches!(self, OperatorKind::Decompress { .. } | OperatorKind::Compress { .. })
+    }
+}
+
+/// An operator instance: kind + input queue + output queues.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorSpec {
+    /// Behaviour and configuration.
+    pub kind: OperatorKind,
+    /// The single input queue.
+    pub input: QueueId,
+    /// Output queues (the stream fans out to all of them). May be empty
+    /// (prefetch-only indirections, stream writers, append MQUs).
+    pub outputs: Vec<QueueId>,
+}
+
+/// A queue declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueSpec {
+    /// Capacity in 32-bit words within the scratchpad.
+    pub capacity_words: u16,
+}
+
+/// Validation failure for a DCL program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    detail: String,
+}
+
+impl ValidateError {
+    fn new(detail: impl Into<String>) -> Self {
+        ValidateError { detail: detail.into() }
+    }
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid DCL program: {}", self.detail)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// A validated DCL program.
+///
+/// # Examples
+///
+/// Building the CSR-traversal pipeline of Fig. 2 (two chained range
+/// fetches):
+///
+/// ```
+/// use spzip_core::dcl::*;
+/// use spzip_mem::DataClass;
+///
+/// let mut b = PipelineBuilder::new();
+/// let input = b.queue(16);
+/// let offsets_q = b.queue(32);
+/// let rows_q = b.queue(64);
+/// b.operator(
+///     OperatorKind::RangeFetch {
+///         base: 0x1000, idx_bytes: 8, elem_bytes: 8,
+///         input: RangeInput::Pairs, marker: None,
+///         class: DataClass::AdjacencyMatrix,
+///     },
+///     input, vec![offsets_q],
+/// );
+/// b.operator(
+///     OperatorKind::RangeFetch {
+///         base: 0x2000, idx_bytes: 8, elem_bytes: 8,
+///         input: RangeInput::Consecutive, marker: Some(0),
+///         class: DataClass::AdjacencyMatrix,
+///     },
+///     offsets_q, vec![rows_q],
+/// );
+/// let pipeline = b.build().unwrap();
+/// assert_eq!(pipeline.operators().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pipeline {
+    queues: Vec<QueueSpec>,
+    operators: Vec<OperatorSpec>,
+}
+
+impl Pipeline {
+    /// The queue declarations.
+    pub fn queues(&self) -> &[QueueSpec] {
+        &self.queues
+    }
+
+    /// The operator instances, in definition order.
+    pub fn operators(&self) -> &[OperatorSpec] {
+        &self.operators
+    }
+
+    /// Queues read by an operator but produced by none: the core's
+    /// enqueue targets.
+    pub fn core_input_queues(&self) -> Vec<QueueId> {
+        (0..self.queues.len() as QueueId)
+            .filter(|q| self.operators.iter().any(|op| op.input == *q))
+            .filter(|q| !self.operators.iter().any(|op| op.outputs.contains(q)))
+            .collect()
+    }
+
+    /// Queues produced by operators but consumed by no operator: the
+    /// core's dequeue sources.
+    pub fn core_output_queues(&self) -> Vec<QueueId> {
+        (0..self.queues.len() as QueueId)
+            .filter(|q| self.operators.iter().any(|op| op.outputs.contains(q)))
+            .filter(|q| !self.operators.iter().any(|op| op.input == *q))
+            .collect()
+    }
+
+    /// Total scratchpad words declared.
+    pub fn scratchpad_words(&self) -> u32 {
+        self.queues.iter().map(|q| q.capacity_words as u32).sum()
+    }
+
+    /// Scales every queue capacity by `factor` (the Fig. 21 scratchpad
+    /// sweep: queues use the whole scratchpad in all cases).
+    pub fn scale_queues(&self, factor: f64) -> Pipeline {
+        let mut p = self.clone();
+        for q in &mut p.queues {
+            q.capacity_words = ((q.capacity_words as f64 * factor) as u16).max(4);
+        }
+        p
+    }
+}
+
+/// Incremental builder for [`Pipeline`].
+#[derive(Debug, Default)]
+pub struct PipelineBuilder {
+    queues: Vec<QueueSpec>,
+    operators: Vec<OperatorSpec>,
+}
+
+impl PipelineBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a queue of `capacity_words` 32-bit words, returning its id.
+    pub fn queue(&mut self, capacity_words: u16) -> QueueId {
+        let id = self.queues.len() as QueueId;
+        self.queues.push(QueueSpec { capacity_words });
+        id
+    }
+
+    /// Adds an operator reading `input` and fanning out to `outputs`.
+    pub fn operator(&mut self, kind: OperatorKind, input: QueueId, outputs: Vec<QueueId>) -> &mut Self {
+        self.operators.push(OperatorSpec { kind, input, outputs });
+        self
+    }
+
+    /// Replaces the outputs of the operator currently producing `q` —
+    /// used when a stage's fan-out is only known after later stages are
+    /// declared (e.g. adding a source-data consumer to the frontier
+    /// stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no declared operator produces `q`.
+    pub fn retarget_producer_of(&mut self, q: QueueId, new_outputs: Vec<QueueId>) {
+        let op = self
+            .operators
+            .iter_mut()
+            .rev()
+            .find(|op| op.outputs.contains(&q))
+            .unwrap_or_else(|| panic!("no producer of queue {q} to retarget"));
+        op.outputs = new_outputs;
+    }
+
+    /// Validates and produces the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] if the program violates hardware limits,
+    /// references undeclared queues, gives a queue multiple producers or
+    /// consumers, or contains a cycle.
+    pub fn build(self) -> Result<Pipeline, ValidateError> {
+        let nq = self.queues.len();
+        if nq == 0 {
+            return Err(ValidateError::new("no queues declared"));
+        }
+        if nq > MAX_QUEUES {
+            return Err(ValidateError::new(format!("{nq} queues exceed the hardware limit of {MAX_QUEUES}")));
+        }
+        if self.operators.is_empty() {
+            return Err(ValidateError::new("no operators declared"));
+        }
+        if self.operators.len() > MAX_OPERATORS {
+            return Err(ValidateError::new(format!(
+                "{} operators exceed the hardware limit of {MAX_OPERATORS}",
+                self.operators.len()
+            )));
+        }
+        let mut consumers = vec![0u32; nq];
+        let mut producers = vec![0u32; nq];
+        for (i, op) in self.operators.iter().enumerate() {
+            if op.input as usize >= nq {
+                return Err(ValidateError::new(format!("operator {i} reads undeclared queue {}", op.input)));
+            }
+            consumers[op.input as usize] += 1;
+            for &o in &op.outputs {
+                if o as usize >= nq {
+                    return Err(ValidateError::new(format!("operator {i} writes undeclared queue {o}")));
+                }
+                if o == op.input {
+                    return Err(ValidateError::new(format!("operator {i} writes its own input queue {o}")));
+                }
+                producers[o as usize] += 1;
+            }
+            if let OperatorKind::MemQueue { num_queues, stride, chunk_elems, elem_bytes, mode, .. } = &op.kind {
+                if *num_queues == 0 {
+                    return Err(ValidateError::new("MemQueue with zero queues"));
+                }
+                if *mode == MemQueueMode::Buffer
+                    && *stride < *chunk_elems as u64 * *elem_bytes as u64
+                {
+                    return Err(ValidateError::new("MemQueue stride smaller than one chunk"));
+                }
+            }
+        }
+        for q in 0..nq {
+            if producers[q] > 1 {
+                return Err(ValidateError::new(format!("queue {q} has {} producers", producers[q])));
+            }
+            if consumers[q] > 1 {
+                return Err(ValidateError::new(format!("queue {q} has {} consumers", consumers[q])));
+            }
+        }
+        // Acyclicity: operators form a DAG through queues. Kahn's algorithm
+        // over operator nodes.
+        let producer_of: Vec<Option<usize>> = (0..nq)
+            .map(|q| self.operators.iter().position(|op| op.outputs.contains(&(q as QueueId))))
+            .collect();
+        let mut indeg: Vec<u32> = self
+            .operators
+            .iter()
+            .map(|op| u32::from(producer_of[op.input as usize].is_some()))
+            .collect();
+        let mut ready: Vec<usize> = indeg
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let mut seen = 0;
+        while let Some(i) = ready.pop() {
+            seen += 1;
+            for &o in &self.operators[i].outputs {
+                if let Some(consumer) = self.operators.iter().position(|op| op.input == o) {
+                    indeg[consumer] -= 1;
+                    if indeg[consumer] == 0 {
+                        ready.push(consumer);
+                    }
+                }
+            }
+        }
+        if seen != self.operators.len() {
+            return Err(ValidateError::new("operator graph contains a cycle"));
+        }
+        Ok(Pipeline { queues: self.queues, operators: self.operators })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn range(base: u64) -> OperatorKind {
+        OperatorKind::RangeFetch {
+            base,
+            idx_bytes: 8,
+            elem_bytes: 4,
+            input: RangeInput::Pairs,
+            marker: Some(0),
+            class: DataClass::AdjacencyMatrix,
+        }
+    }
+
+    #[test]
+    fn fig2_pipeline_builds() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(8);
+        let q1 = b.queue(16);
+        let q2 = b.queue(32);
+        b.operator(range(0), q0, vec![q1]);
+        b.operator(range(64), q1, vec![q2]);
+        let p = b.build().unwrap();
+        assert_eq!(p.core_input_queues(), vec![0]);
+        assert_eq!(p.core_output_queues(), vec![2]);
+        assert_eq!(p.scratchpad_words(), 56);
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(8);
+        let q1 = b.queue(8);
+        b.operator(range(0), q0, vec![q1]);
+        b.operator(range(0), q1, vec![q0]);
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn rejects_double_producer_and_consumer() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(8);
+        let q1 = b.queue(8);
+        b.operator(range(0), q0, vec![q1]);
+        b.operator(range(0), q0, vec![q1]);
+        let err = b.build().unwrap_err();
+        let s = err.to_string();
+        assert!(s.contains("producers") || s.contains("consumers"), "{s}");
+    }
+
+    #[test]
+    fn rejects_undeclared_queues() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(8);
+        b.operator(range(0), q0, vec![7]);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(8);
+        b.operator(range(0), q0, vec![q0]);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn rejects_too_many_operators() {
+        let mut b = PipelineBuilder::new();
+        let mut prev = b.queue(4);
+        for _ in 0..17 {
+            let next = b.queue(4);
+            b.operator(range(0), prev, vec![next]);
+            prev = next;
+        }
+        // 18 queues also exceeds MAX_QUEUES; either error is acceptable,
+        // but the message must mention a limit.
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("limit"));
+    }
+
+    #[test]
+    fn prefetch_only_indirection_is_valid() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(8);
+        b.operator(
+            OperatorKind::Indirect { base: 0, elem_bytes: 8, pair: false, class: DataClass::DestinationVertex },
+            q0,
+            vec![],
+        );
+        let p = b.build().unwrap();
+        assert!(p.core_output_queues().is_empty());
+    }
+
+    #[test]
+    fn memqueue_stride_validation() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(8);
+        b.operator(
+            OperatorKind::MemQueue {
+                num_queues: 4,
+                data_base: 0,
+                stride: 8, // too small for 32 x 8B chunks
+                meta_addr: 4096,
+                chunk_elems: 32,
+                elem_bytes: 8,
+                mode: MemQueueMode::Buffer,
+                class: DataClass::Updates,
+            },
+            q0,
+            vec![],
+        );
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn scale_queues_scales_capacity() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(100);
+        let q1 = b.queue(50);
+        b.operator(range(0), q0, vec![q1]);
+        let p = b.build().unwrap();
+        let doubled = p.scale_queues(2.0);
+        assert_eq!(doubled.queues()[0].capacity_words, 200);
+        assert_eq!(doubled.queues()[1].capacity_words, 100);
+        let halved = p.scale_queues(0.01);
+        assert_eq!(halved.queues()[0].capacity_words, 4, "floor applies");
+    }
+
+    #[test]
+    fn operator_names_and_memory_touch() {
+        assert_eq!(range(0).name(), "range");
+        assert!(range(0).touches_memory());
+        let d = OperatorKind::Decompress { codec: CodecKind::Delta, elem_bytes: 4 };
+        assert!(!d.touches_memory());
+        assert_eq!(d.name(), "decompress");
+    }
+}

@@ -1,0 +1,535 @@
+//! The time-multiplexed engine timing model (Sec. III-B / III-C).
+//!
+//! Rather than a reconfigurable fabric, SpZip implements programmability by
+//! time-multiplexing: a scratchpad holds the program's queues as circular
+//! buffers, operator contexts hold per-operator configuration, and a
+//! round-robin scheduler fires **one ready operator per cycle**. An
+//! operator is ready when its input queue has an element, its output
+//! queues have space, and its functional unit is available (the access
+//! unit supports a bounded number of outstanding line requests).
+//!
+//! The model replays the per-operator firing traces produced by
+//! [`crate::func::FuncEngine`] under those constraints. Decoupling,
+//! backpressure, and run-ahead emerge from queue occupancy: the core sees
+//! only its enqueue/dequeue interface.
+//!
+//! The same model implements the fetcher (issuing through the L2 port) and
+//! the compressor (issuing through the LLC port).
+
+use crate::dcl::Pipeline;
+use crate::func::Firing;
+use crate::QueueId;
+use spzip_mem::hierarchy::MemorySystem;
+use spzip_mem::Port;
+use std::collections::VecDeque;
+
+/// Static engine parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Scratchpad bytes available for queues (2 KB in the paper).
+    pub scratchpad_bytes: u32,
+    /// Outstanding line requests the access unit supports (8 in the paper).
+    pub au_outstanding: usize,
+    /// Cycles before a non-memory (transform) firing's output is visible.
+    pub transform_latency: u64,
+    /// Port this engine issues memory accesses through.
+    pub port: Port,
+    /// One-time cost of loading a DCL program (memory-mapped I/O writes).
+    pub config_cycles: u64,
+}
+
+impl EngineConfig {
+    /// The fetcher: 8 outstanding lines, L2 port. The paper's scratchpad
+    /// is 2 KB; the default here is scaled down 4x with the caches (the
+    /// scratchpad bounds the prefetch run-ahead distance, which must scale
+    /// with cache residency — see DESIGN.md). The Fig. 21 sweep scales the
+    /// 1/2/4 KB points accordingly.
+    pub fn fetcher() -> Self {
+        EngineConfig {
+            scratchpad_bytes: 512,
+            au_outstanding: 8,
+            transform_latency: 2,
+            port: Port::FetcherL2,
+            config_cycles: 64,
+        }
+    }
+
+    /// The paper's compressor: same engine at the LLC port.
+    pub fn compressor() -> Self {
+        EngineConfig { port: Port::EngineLlc, ..Self::fetcher() }
+    }
+}
+
+#[derive(Debug, Default)]
+struct QState {
+    capacity_q: u32,
+    /// Quarters visible to consumers.
+    occupancy_q: u32,
+    /// Quarters reserved by in-flight producer firings.
+    reserved_q: u32,
+}
+
+#[derive(Debug)]
+struct Pending {
+    complete_at: u64,
+    op: usize,
+    produced_q: u16,
+    /// Whether this pending entry holds an access-unit slot.
+    uses_au: bool,
+}
+
+/// Why the engine could not fire on a given tick (diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stall {
+    /// No trace entries remain anywhere.
+    Drained,
+    /// Every runnable operator waits on input data.
+    InputEmpty,
+    /// Some operator is blocked on output-queue space.
+    OutputFull,
+    /// The access unit is out of outstanding-request slots.
+    AuBusy,
+    /// Only in-flight work remains (waiting on memory).
+    InFlight,
+}
+
+/// The engine timing model. See the module docs.
+pub struct EngineModel {
+    cfg: EngineConfig,
+    core: usize,
+    queues: Vec<QState>,
+    outputs: Vec<Vec<QueueId>>,
+    inputs: Vec<QueueId>,
+    traces: Vec<VecDeque<Firing>>,
+    pending: Vec<Pending>,
+    rr_next: usize,
+    ready_at: u64,
+    /// Total firings executed (utilization statistics).
+    pub fired: u64,
+    /// Ticks on which no operator could fire.
+    pub stalled_ticks: u64,
+}
+
+impl EngineModel {
+    /// Creates an engine for `core` with no program loaded.
+    pub fn new(cfg: EngineConfig, core: usize) -> Self {
+        EngineModel {
+            cfg,
+            core,
+            queues: Vec::new(),
+            outputs: Vec::new(),
+            inputs: Vec::new(),
+            traces: Vec::new(),
+            pending: Vec::new(),
+            rr_next: 0,
+            ready_at: 0,
+            fired: 0,
+            stalled_ticks: 0,
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Loads a DCL program at cycle `now`: sizes the queues (scaled so the
+    /// program's declared capacities fill the scratchpad, as in the Fig. 21
+    /// sweep), clears traces, and charges the configuration cost.
+    pub fn load_program(&mut self, pipeline: &Pipeline, now: u64) {
+        let declared: u32 = pipeline.scratchpad_words();
+        let budget_words = self.cfg.scratchpad_bytes / 4;
+        let scale = budget_words as f64 / declared.max(1) as f64;
+        self.queues = pipeline
+            .queues()
+            .iter()
+            .map(|q| QState {
+                // Floor of 16 words (64 quarters): a queue must hold at
+                // least one maximal firing (32 B + marker).
+                capacity_q: (((q.capacity_words as f64 * scale) as u32).max(16)) * 4,
+                occupancy_q: 0,
+                reserved_q: 0,
+            })
+            .collect();
+        self.outputs = pipeline.operators().iter().map(|op| op.outputs.clone()).collect();
+        self.inputs = pipeline.operators().iter().map(|op| op.input).collect();
+        self.traces = (0..pipeline.operators().len()).map(|_| VecDeque::new()).collect();
+        self.pending.clear();
+        self.rr_next = 0;
+        self.ready_at = now + self.cfg.config_cycles;
+    }
+
+    /// Appends per-operator firings (from a functional run over newly
+    /// enqueued work).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no program is loaded or the trace count mismatches.
+    pub fn append_trace(&mut self, firings: Vec<Vec<Firing>>) {
+        assert_eq!(firings.len(), self.traces.len(), "trace/operator count mismatch");
+        for (t, f) in self.traces.iter_mut().zip(firings) {
+            t.extend(f);
+        }
+    }
+
+    /// Whether the core can enqueue `quarters` into queue `q` now.
+    pub fn can_enqueue(&self, q: QueueId, quarters: u16) -> bool {
+        let qs = &self.queues[q as usize];
+        qs.occupancy_q + qs.reserved_q + quarters as u32 <= qs.capacity_q
+    }
+
+    /// Core-side enqueue (caller must have checked [`Self::can_enqueue`]).
+    pub fn enqueue(&mut self, q: QueueId, quarters: u16) {
+        debug_assert!(self.can_enqueue(q, quarters));
+        self.queues[q as usize].occupancy_q += quarters as u32;
+    }
+
+    /// Whether the core can dequeue `quarters` from queue `q` now.
+    pub fn can_dequeue(&self, q: QueueId, quarters: u16) -> bool {
+        self.queues[q as usize].occupancy_q >= quarters as u32
+    }
+
+    /// Core-side dequeue (caller must have checked [`Self::can_dequeue`]).
+    pub fn dequeue(&mut self, q: QueueId, quarters: u16) {
+        debug_assert!(self.can_dequeue(q, quarters));
+        self.queues[q as usize].occupancy_q -= quarters as u32;
+    }
+
+    /// Whether all traces are drained and no work is in flight.
+    pub fn idle(&self) -> bool {
+        self.pending.is_empty() && self.traces.iter().all(|t| t.is_empty())
+    }
+
+    /// Advances the engine through `[now, now + budget)` cycles, firing at
+    /// most one operator per cycle. Returns the number of firings.
+    pub fn tick(&mut self, now: u64, budget: u64, mem: &mut MemorySystem) -> u64 {
+        if self.traces.is_empty() {
+            return 0;
+        }
+        let mut fired_now = 0u64;
+        for dt in 0..budget {
+            let t = now + dt;
+            if t < self.ready_at {
+                continue;
+            }
+            self.commit_pending(t);
+            if self.fire_one(t, mem) {
+                fired_now += 1;
+            } else {
+                self.stalled_ticks += 1;
+            }
+        }
+        // Commit anything that completes exactly at the end of the window
+        // so core-side checks at `now + budget` see it.
+        self.commit_pending(now + budget);
+        self.fired += fired_now;
+        fired_now
+    }
+
+    fn commit_pending(&mut self, t: u64) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].complete_at <= t {
+                let p = self.pending.swap_remove(i);
+                for &q in &self.outputs[p.op] {
+                    let qs = &mut self.queues[q as usize];
+                    qs.reserved_q -= p.produced_q as u32;
+                    qs.occupancy_q += p.produced_q as u32;
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn au_in_use(&self) -> usize {
+        self.pending.iter().filter(|p| p.uses_au).count()
+    }
+
+    /// Attempts to fire one ready operator (round-robin). Returns whether
+    /// a firing happened.
+    fn fire_one(&mut self, t: u64, mem: &mut MemorySystem) -> bool {
+        let n_ops = self.traces.len();
+        for scan in 0..n_ops {
+            let op = (self.rr_next + scan) % n_ops;
+            let Some(f) = self.traces[op].front().copied() else { continue };
+            // Input available?
+            if self.queues[self.inputs[op] as usize].occupancy_q < f.consumed_q as u32 {
+                continue;
+            }
+            // Output space (including in-flight reservations)?
+            let fits = self.outputs[op].iter().all(|&q| {
+                let qs = &self.queues[q as usize];
+                qs.occupancy_q + qs.reserved_q + f.produced_q as u32 <= qs.capacity_q
+            });
+            if !fits {
+                continue;
+            }
+            // Functional unit available?
+            let uses_au = f.mem.is_some();
+            if uses_au && self.au_in_use() >= self.cfg.au_outstanding {
+                continue;
+            }
+            // Fire.
+            self.traces[op].pop_front();
+            self.queues[self.inputs[op] as usize].occupancy_q -= f.consumed_q as u32;
+            for &q in &self.outputs[op] {
+                self.queues[q as usize].reserved_q += f.produced_q as u32;
+            }
+            let complete_at = match f.mem {
+                // Writes are posted: the access updates cache state and
+                // traffic, but the unit does not wait for the round trip.
+                Some(acc) if acc.op.is_write() => {
+                    mem.issue(self.core, self.cfg.port, &acc, t);
+                    t + 1
+                }
+                Some(acc) => mem.issue(self.core, self.cfg.port, &acc, t),
+                None => t + self.cfg.transform_latency,
+            };
+            self.pending.push(Pending { complete_at, op, produced_q: f.produced_q, uses_au });
+            self.rr_next = (op + 1) % n_ops;
+            return true;
+        }
+        false
+    }
+
+    /// Diagnoses why the engine cannot fire at `t` (after committing
+    /// arrivals), for tests and deadlock reports.
+    pub fn stall_reason(&mut self, t: u64) -> Stall {
+        self.commit_pending(t);
+        if self.idle() {
+            return Stall::Drained;
+        }
+        if self.traces.iter().all(|t| t.is_empty()) {
+            return Stall::InFlight;
+        }
+        let mut saw_output_full = false;
+        let mut saw_au = false;
+        for op in 0..self.traces.len() {
+            let Some(f) = self.traces[op].front() else { continue };
+            if self.queues[self.inputs[op] as usize].occupancy_q < f.consumed_q as u32 {
+                continue;
+            }
+            let fits = self.outputs[op].iter().all(|&q| {
+                let qs = &self.queues[q as usize];
+                qs.occupancy_q + qs.reserved_q + f.produced_q as u32 <= qs.capacity_q
+            });
+            if !fits {
+                saw_output_full = true;
+                continue;
+            }
+            if f.mem.is_some() && self.au_in_use() >= self.cfg.au_outstanding {
+                saw_au = true;
+            }
+        }
+        if saw_au {
+            Stall::AuBusy
+        } else if saw_output_full {
+            Stall::OutputFull
+        } else {
+            Stall::InputEmpty
+        }
+    }
+
+    /// Occupancy of queue `q` in quarter-words (tests, reporting).
+    pub fn occupancy(&self, q: QueueId) -> u32 {
+        self.queues[q as usize].occupancy_q
+    }
+}
+
+impl std::fmt::Debug for EngineModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineModel")
+            .field("core", &self.core)
+            .field("fired", &self.fired)
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dcl::{OperatorKind, PipelineBuilder, RangeInput};
+    use crate::func::FuncEngine;
+    use crate::memory::MemoryImage;
+    use spzip_mem::hierarchy::{MemConfig, MemorySystem};
+    use spzip_mem::DataClass;
+
+    /// Builds the Fig. 2 pipeline over real data and returns everything a
+    /// timing test needs.
+    fn fig2_setup() -> (Pipeline, MemoryImage, Vec<Vec<Firing>>, u16, u16) {
+        let mut img = MemoryImage::new();
+        let offsets: Vec<u64> = (0..=64u64).map(|i| i * 7).collect();
+        let rows: Vec<u32> = (0..448u32).collect();
+        let offsets_a = img.alloc_u64s("offsets", &offsets, DataClass::AdjacencyMatrix);
+        let rows_a = img.alloc_u32s("rows", &rows, DataClass::AdjacencyMatrix);
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(16);
+        let q1 = b.queue(32);
+        let q2 = b.queue(64);
+        b.operator(
+            OperatorKind::RangeFetch {
+                base: offsets_a,
+                idx_bytes: 8,
+                elem_bytes: 8,
+                input: RangeInput::Pairs,
+                marker: None,
+                class: DataClass::AdjacencyMatrix,
+            },
+            q0,
+            vec![q1],
+        );
+        b.operator(
+            OperatorKind::RangeFetch {
+                base: rows_a,
+                idx_bytes: 8,
+                elem_bytes: 4,
+                input: RangeInput::Consecutive,
+                marker: Some(0),
+                class: DataClass::AdjacencyMatrix,
+            },
+            q1,
+            vec![q2],
+        );
+        let p = b.build().unwrap();
+        let mut eng = FuncEngine::new(p.clone());
+        let mut enq = 0;
+        enq += eng.enqueue_value(q0, 0, 8);
+        enq += eng.enqueue_value(q0, 64, 8);
+        eng.run(&mut img);
+        let firings = eng.take_firings();
+        let out_q: u32 = eng.drain_output_costed(q2).iter().map(|&(_, c)| c as u32).sum();
+        (p, img, firings, enq, out_q as u16)
+    }
+
+    #[test]
+    fn replay_drains_trace_and_produces_all_output() {
+        let (p, _img, firings, enq, out_q) = fig2_setup();
+        let mut mem = MemorySystem::new(MemConfig::paper_scaled());
+        let mut model = EngineModel::new(EngineConfig::fetcher(), 0);
+        model.load_program(&p, 0);
+        model.append_trace(firings);
+        model.enqueue(0, enq);
+        let mut now = 0u64;
+        let mut drained_q = 0u32;
+        while !model.idle() && now < 2_000_000 {
+            model.tick(now, 16, &mut mem);
+            // The "core" drains the output queue greedily.
+            while model.can_dequeue(2, 4) {
+                model.dequeue(2, 4);
+                drained_q += 4;
+            }
+            now += 16;
+        }
+        assert!(model.idle(), "engine wedged: {:?}", model.stall_reason(now));
+        while model.can_dequeue(2, 4) {
+            model.dequeue(2, 4);
+            drained_q += 4;
+        }
+        assert_eq!(drained_q, out_q as u32);
+        assert!(model.fired > 0);
+    }
+
+    #[test]
+    fn backpressure_blocks_until_core_dequeues() {
+        let (p, _img, firings, enq, _) = fig2_setup();
+        let mut mem = MemorySystem::new(MemConfig::paper_scaled());
+        let mut model = EngineModel::new(EngineConfig::fetcher(), 0);
+        model.load_program(&p, 0);
+        model.append_trace(firings);
+        model.enqueue(0, enq);
+        // Run without the core ever dequeueing: the engine must stall with
+        // full output queues, not wedge or overflow.
+        let mut now = 0;
+        for _ in 0..5000 {
+            model.tick(now, 8, &mut mem);
+            now += 8;
+        }
+        assert!(!model.idle());
+        assert_eq!(model.stall_reason(now), Stall::OutputFull);
+        let cap_before = model.occupancy(2);
+        // Core drains; engine proceeds to completion.
+        while !model.idle() && now < 4_000_000 {
+            while model.can_dequeue(2, 4) {
+                model.dequeue(2, 4);
+            }
+            model.tick(now, 8, &mut mem);
+            now += 8;
+        }
+        assert!(model.idle(), "wedged after drain: {:?}", model.stall_reason(now));
+        assert!(cap_before > 0);
+    }
+
+    #[test]
+    fn decoupling_runs_ahead_of_core() {
+        let (p, _img, firings, enq, _) = fig2_setup();
+        let mut mem = MemorySystem::new(MemConfig::paper_scaled());
+        let mut model = EngineModel::new(EngineConfig::fetcher(), 0);
+        model.load_program(&p, 0);
+        model.append_trace(firings);
+        model.enqueue(0, enq);
+        // Without any core dequeues, the fetcher fills its output queue.
+        let mut now = 0;
+        for _ in 0..3000 {
+            model.tick(now, 8, &mut mem);
+            now += 8;
+        }
+        assert!(model.occupancy(2) > 0, "fetcher ran ahead and buffered output");
+    }
+
+    #[test]
+    fn au_limit_bounds_outstanding_requests() {
+        let (p, _img, firings, enq, _) = fig2_setup();
+        let mut mem = MemorySystem::new(MemConfig::paper_scaled());
+        let mut cfg = EngineConfig::fetcher();
+        cfg.au_outstanding = 1;
+        let mut slow = EngineModel::new(cfg, 0);
+        slow.load_program(&p, 0);
+        slow.append_trace(firings.clone());
+        slow.enqueue(0, enq);
+        let run = |model: &mut EngineModel, mem: &mut MemorySystem| -> u64 {
+            let mut now = 0;
+            while !model.idle() && now < 10_000_000 {
+                model.tick(now, 16, mem);
+                while model.can_dequeue(2, 4) {
+                    model.dequeue(2, 4);
+                }
+                now += 16;
+            }
+            now
+        };
+        let t_slow = run(&mut slow, &mut mem);
+        let mut mem2 = MemorySystem::new(MemConfig::paper_scaled());
+        let mut fast = EngineModel::new(EngineConfig::fetcher(), 0);
+        fast.load_program(&p, 0);
+        fast.append_trace(firings);
+        fast.enqueue(0, enq);
+        let t_fast = run(&mut fast, &mut mem2);
+        assert!(
+            t_slow > t_fast,
+            "1 outstanding request ({t_slow}) must be slower than 8 ({t_fast})"
+        );
+    }
+
+    #[test]
+    fn config_cost_delays_start() {
+        let (p, _img, firings, enq, _) = fig2_setup();
+        let mut mem = MemorySystem::new(MemConfig::paper_scaled());
+        let mut model = EngineModel::new(EngineConfig::fetcher(), 0);
+        model.load_program(&p, 0);
+        model.append_trace(firings);
+        model.enqueue(0, enq);
+        model.tick(0, 32, &mut mem);
+        assert_eq!(model.fired, 0, "nothing fires during configuration");
+        model.tick(64, 32, &mut mem);
+        assert!(model.fired > 0);
+    }
+
+    #[test]
+    fn idle_engine_tick_is_cheap_noop() {
+        let mut mem = MemorySystem::new(MemConfig::paper_scaled());
+        let mut model = EngineModel::new(EngineConfig::fetcher(), 0);
+        assert_eq!(model.tick(0, 1000, &mut mem), 0);
+    }
+}

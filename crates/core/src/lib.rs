@@ -1,0 +1,107 @@
+#![warn(missing_docs)]
+//! SpZip: programmable traversal, decompression, and compression engines.
+//!
+//! This crate implements the paper's primary contribution:
+//!
+//! * [`dcl`] — the **Dataflow Configuration Language**: an acyclic graph of
+//!   memory-access operators (range fetch, indirection) and
+//!   (de)compression operators connected by queues with chunk markers
+//!   (Sec. II). The DCL is SpZip's hardware-software interface.
+//! * [`parser`] — a textual form of the DCL, so pipelines can be written,
+//!   printed, and round-tripped as programs.
+//! * [`memory`] — a synthetic address space holding the application's real
+//!   data, which the functional engine reads and writes.
+//! * [`func`] — the functional engine: executes a DCL pipeline against a
+//!   [`memory::MemoryImage`], producing output streams *and a firing trace*
+//!   (one entry per operator activation with its queue I/O and memory
+//!   access).
+//! * [`engine`] — the time-multiplexed hardware model (Sec. III): a
+//!   scratchpad of circular-buffer queues, operator contexts, an access
+//!   unit with bounded outstanding misses, and a round-robin scheduler
+//!   firing one ready operator per cycle. The same model implements both
+//!   the fetcher (L2 port) and the compressor (LLC port).
+//! * [`area`] — the Table I area model.
+//!
+//! Decoupling is emergent: the engine runs its firing trace ahead of the
+//! core, stalling only on queue backpressure, memory latency, or the
+//! access unit's outstanding-request limit.
+
+pub mod area;
+pub mod dcl;
+pub mod engine;
+pub mod func;
+pub mod memory;
+pub mod parser;
+
+use std::fmt;
+
+/// Identifies a queue within one DCL program (the paper's implementation
+/// supports 16 queues per engine).
+pub type QueueId = u8;
+
+/// One element of a queue stream.
+///
+/// Queues carry 32-bit words, each tagged with a marker bit (Sec. III-B
+/// "Queues and markers"): markers delimit variable-length chunks and carry
+/// a 32-bit value (e.g. a row-end tag or a bin id). Multi-word values
+/// occupy consecutive words in the physical queue; this logical view keeps
+/// them whole.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueItem {
+    /// A data element of up to 8 bytes (its width is the producing
+    /// operator's element size).
+    Value(u64),
+    /// A chunk delimiter carrying an operator-configured value.
+    Marker(u32),
+}
+
+impl QueueItem {
+    /// Whether this item is a marker.
+    pub fn is_marker(&self) -> bool {
+        matches!(self, QueueItem::Marker(_))
+    }
+
+    /// The value carried (data value or marker payload widened).
+    pub fn value(&self) -> u64 {
+        match *self {
+            QueueItem::Value(v) => v,
+            QueueItem::Marker(m) => m as u64,
+        }
+    }
+}
+
+impl fmt::Display for QueueItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueItem::Value(v) => write!(f, "{v}"),
+            QueueItem::Marker(m) => write!(f, "M({m})"),
+        }
+    }
+}
+
+/// Number of 32-bit physical queue words a value of `elem_bytes` occupies.
+pub fn words_for_elem(elem_bytes: u8) -> u16 {
+    elem_bytes.div_ceil(4).max(1) as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_item_accessors() {
+        assert!(!QueueItem::Value(3).is_marker());
+        assert!(QueueItem::Marker(1).is_marker());
+        assert_eq!(QueueItem::Value(7).value(), 7);
+        assert_eq!(QueueItem::Marker(9).value(), 9);
+        assert_eq!(QueueItem::Marker(9).to_string(), "M(9)");
+    }
+
+    #[test]
+    fn word_sizing() {
+        assert_eq!(words_for_elem(1), 1);
+        assert_eq!(words_for_elem(4), 1);
+        assert_eq!(words_for_elem(5), 2);
+        assert_eq!(words_for_elem(8), 2);
+    }
+}

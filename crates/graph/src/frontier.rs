@@ -1,0 +1,189 @@
+//! Frontiers for non-all-active graph algorithms.
+//!
+//! Non-all-active algorithms (BFS, PageRank-Delta, ...) maintain the subset
+//! of active vertices — the *frontier* — and process only those each
+//! iteration (paper Sec. II-C). The frontier is produced in one phase and
+//! consumed in the next, which is exactly the read-write pattern SpZip's
+//! compressor + fetcher pair handles: the frontier is an order-insensitive
+//! set and can be stored compressed.
+
+use crate::VertexId;
+use std::fmt;
+
+/// A set of active vertex ids.
+///
+/// Kept as a sorted sparse list; conversion to a dense bitmap is provided
+/// for algorithms that switch representation when the frontier is large.
+///
+/// # Examples
+///
+/// ```
+/// use spzip_graph::Frontier;
+///
+/// let mut f = Frontier::new();
+/// f.push(5);
+/// f.push(2);
+/// f.push(5);
+/// let f = f.finish();
+/// assert_eq!(f.as_slice(), &[2, 5]);
+/// assert_eq!(f.len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Frontier {
+    vertices: Vec<VertexId>,
+    finished: bool,
+}
+
+impl Frontier {
+    /// Creates an empty frontier accepting pushes.
+    pub fn new() -> Self {
+        Frontier::default()
+    }
+
+    /// Creates a frontier holding a single root vertex.
+    pub fn single(root: VertexId) -> Self {
+        Frontier { vertices: vec![root], finished: true }
+    }
+
+    /// Creates a frontier of all vertices `0..n` (all-active start).
+    pub fn all(n: usize) -> Self {
+        Frontier { vertices: (0..n as VertexId).collect(), finished: true }
+    }
+
+    /// Creates a frontier from an arbitrary id list (deduplicated, sorted).
+    pub fn from_vec(mut vertices: Vec<VertexId>) -> Self {
+        vertices.sort_unstable();
+        vertices.dedup();
+        Frontier { vertices, finished: true }
+    }
+
+    /// Appends an id; duplicates are removed by [`Frontier::finish`].
+    pub fn push(&mut self, v: VertexId) {
+        debug_assert!(!self.finished, "push after finish");
+        self.vertices.push(v);
+    }
+
+    /// Sorts and deduplicates, making the frontier consumable.
+    pub fn finish(mut self) -> Self {
+        self.vertices.sort_unstable();
+        self.vertices.dedup();
+        self.finished = true;
+        self
+    }
+
+    /// Number of active vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether no vertices are active.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// The sorted active ids.
+    pub fn as_slice(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// Iterates over the active ids.
+    pub fn iter(&self) -> std::slice::Iter<'_, VertexId> {
+        self.vertices.iter()
+    }
+
+    /// Converts to a dense bitmap of size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is `>= n`.
+    pub fn to_bitmap(&self, n: usize) -> Vec<bool> {
+        let mut bits = vec![false; n];
+        for &v in &self.vertices {
+            bits[v as usize] = true;
+        }
+        bits
+    }
+
+    /// Splits the frontier into contiguous chunks of at most `chunk` ids,
+    /// the unit the runtime hands to worker threads ("threads enqueue
+    /// traversals to fetchers chunk by chunk").
+    pub fn chunks(&self, chunk: usize) -> std::slice::Chunks<'_, VertexId> {
+        self.vertices.chunks(chunk.max(1))
+    }
+}
+
+impl fmt::Debug for Frontier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Frontier")
+            .field("len", &self.vertices.len())
+            .field("finished", &self.finished)
+            .finish()
+    }
+}
+
+impl FromIterator<VertexId> for Frontier {
+    fn from_iter<T: IntoIterator<Item = VertexId>>(iter: T) -> Self {
+        Frontier::from_vec(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Frontier {
+    type Item = &'a VertexId;
+    type IntoIter = std::slice::Iter<'a, VertexId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.vertices.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_finish_dedups_and_sorts() {
+        let mut f = Frontier::new();
+        for v in [9, 1, 4, 1, 9, 0] {
+            f.push(v);
+        }
+        let f = f.finish();
+        assert_eq!(f.as_slice(), &[0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Frontier::single(3).as_slice(), &[3]);
+        assert_eq!(Frontier::all(4).len(), 4);
+        assert!(Frontier::new().is_empty());
+        let f: Frontier = [5u32, 2, 5].into_iter().collect();
+        assert_eq!(f.as_slice(), &[2, 5]);
+    }
+
+    #[test]
+    fn bitmap_roundtrip() {
+        let f = Frontier::from_vec(vec![0, 3]);
+        assert_eq!(f.to_bitmap(5), vec![true, false, false, true, false]);
+    }
+
+    #[test]
+    fn chunking() {
+        let f = Frontier::all(10);
+        let chunks: Vec<_> = f.chunks(4).collect();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[2], &[8, 9]);
+    }
+
+    #[test]
+    fn iterators() {
+        let f = Frontier::from_vec(vec![2, 1]);
+        let sum: u32 = f.iter().sum();
+        assert_eq!(sum, 3);
+        let sum2: u32 = (&f).into_iter().sum();
+        assert_eq!(sum2, 3);
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        assert!(format!("{:?}", Frontier::new()).contains("len"));
+    }
+}

@@ -1,0 +1,451 @@
+//! Set-associative write-back caches with LRU and DRRIP replacement.
+//!
+//! Table II: L1/L2 use 8-way set-associativity; the LLC is 16-way with
+//! DRRIP replacement. The model is tag-only (no data bytes): each line
+//! tracks validity, dirtiness, its traffic class (so writebacks can be
+//! attributed), and replacement metadata.
+
+use crate::{DataClass, LINE_BYTES};
+use std::fmt;
+
+/// Replacement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Replacement {
+    /// Least-recently-used.
+    #[default]
+    Lru,
+    /// Dynamic re-reference interval prediction (set-dueling SRRIP/BRRIP),
+    /// the paper's LLC policy.
+    Drrip,
+}
+
+/// Static cache geometry and policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Replacement policy.
+    pub replacement: Replacement,
+}
+
+impl CacheConfig {
+    /// Creates a config; capacity must be a multiple of `ways * 64`.
+    pub fn new(size_bytes: u64, ways: u32, replacement: Replacement) -> Self {
+        assert!(size_bytes.is_multiple_of(ways as u64 * LINE_BYTES), "capacity not a whole number of sets");
+        CacheConfig { size_bytes, ways, replacement }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.ways as u64 * LINE_BYTES)
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LineMeta {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    class: DataClass,
+    /// LRU timestamp or RRIP re-reference prediction value.
+    repl: u64,
+}
+
+/// A line evicted by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Line address (byte address / 64) of the victim.
+    pub line_addr: u64,
+    /// Whether the victim was dirty (needs writeback).
+    pub dirty: bool,
+    /// The victim's traffic class.
+    pub class: DataClass,
+}
+
+/// Hit/miss/eviction counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+    /// Valid lines evicted by fills.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in `[0, 1]`; 0 when no lookups happened.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// A tag-only set-associative cache.
+///
+/// # Examples
+///
+/// ```
+/// use spzip_mem::cache::{Cache, CacheConfig, Replacement};
+/// use spzip_mem::DataClass;
+///
+/// let mut c = Cache::new(CacheConfig::new(1024, 2, Replacement::Lru));
+/// assert!(!c.access(0, false));          // cold miss
+/// c.fill(0, false, DataClass::Other);
+/// assert!(c.access(0, false));           // now a hit
+/// ```
+#[derive(Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<LineMeta>>,
+    stats: CacheStats,
+    tick: u64,
+    /// DRRIP set-dueling policy selector (saturating).
+    psel: i32,
+}
+
+/// RRIP distant value for a 2-bit counter.
+const RRPV_MAX: u64 = 3;
+/// DRRIP leader-set stride: sets where `set % 64 == 0` lead SRRIP and
+/// `set % 64 == 1` lead BRRIP.
+const DUEL_STRIDE: u64 = 64;
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = (0..cfg.sets())
+            .map(|_| vec![LineMeta::default(); cfg.ways as usize])
+            .collect();
+        Cache { cfg, sets, stats: CacheStats::default(), tick: 0, psel: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn set_of(&self, line_addr: u64) -> usize {
+        // Hash the set index so strided/power-of-two layouts spread evenly
+        // (Table II: the LLC is "hashed set-associative").
+        let sets = self.cfg.sets();
+        let h = line_addr ^ (line_addr >> 13) ^ (line_addr >> 27);
+        (h % sets) as usize
+    }
+
+    /// Looks a line up; on hit, updates replacement state and dirtiness.
+    /// Counts toward hit/miss statistics.
+    pub fn access(&mut self, line_addr: u64, write: bool) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(line_addr);
+        let lines = &mut self.sets[set];
+        for line in lines.iter_mut() {
+            if line.valid && line.tag == line_addr {
+                line.dirty |= write;
+                line.repl = match self.cfg.replacement {
+                    Replacement::Lru => tick,
+                    Replacement::Drrip => 0, // promote to near-immediate
+                };
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Checks presence without touching statistics or replacement state.
+    pub fn contains(&self, line_addr: u64) -> bool {
+        let set = self.set_of(line_addr);
+        self.sets[set]
+            .iter()
+            .any(|l| l.valid && l.tag == line_addr)
+    }
+
+    /// Inserts a line (which must not be present), evicting a victim if the
+    /// set is full. Returns the victim if one was valid.
+    pub fn fill(&mut self, line_addr: u64, dirty: bool, class: DataClass) -> Option<Evicted> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(line_addr);
+        debug_assert!(
+            !self.sets[set].iter().any(|l| l.valid && l.tag == line_addr),
+            "fill of already-present line {line_addr:#x}"
+        );
+        let insert_repl = match self.cfg.replacement {
+            Replacement::Lru => tick,
+            Replacement::Drrip => {
+                // Set dueling: leader sets pin their policy and train PSEL;
+                // follower sets use the winning policy.
+                let srrip = if (set as u64).is_multiple_of(DUEL_STRIDE) {
+                    true
+                } else if set as u64 % DUEL_STRIDE == 1 {
+                    false
+                } else {
+                    self.psel <= 0
+                };
+                if srrip {
+                    RRPV_MAX - 1
+                } else {
+                    // BRRIP: distant most of the time.
+                    if tick.is_multiple_of(32) { RRPV_MAX - 1 } else { RRPV_MAX }
+                }
+            }
+        };
+        let victim_idx = self.pick_victim(set);
+        let lines = &mut self.sets[set];
+        let victim = &mut lines[victim_idx];
+        let evicted = victim.valid.then_some(Evicted {
+            line_addr: victim.tag,
+            dirty: victim.dirty,
+            class: victim.class,
+        });
+        if evicted.is_some() {
+            self.stats.evictions += 1;
+            // Train the dueling selector: a miss-driven eviction in a leader
+            // set is a (coarse) vote against its policy.
+            if (set as u64).is_multiple_of(DUEL_STRIDE) {
+                self.psel = (self.psel + 1).min(1023);
+            } else if set as u64 % DUEL_STRIDE == 1 {
+                self.psel = (self.psel - 1).max(-1023);
+            }
+        }
+        *victim = LineMeta { tag: line_addr, valid: true, dirty, class, repl: insert_repl };
+        evicted
+    }
+
+    fn pick_victim(&mut self, set: usize) -> usize {
+        match self.cfg.replacement {
+            Replacement::Lru => {
+                let lines = &self.sets[set];
+                let mut best = 0;
+                for (i, l) in lines.iter().enumerate() {
+                    if !l.valid {
+                        return i;
+                    }
+                    if l.repl < lines[best].repl {
+                        best = i;
+                    }
+                }
+                best
+            }
+            Replacement::Drrip => loop {
+                let lines = &mut self.sets[set];
+                if let Some(i) = lines.iter().position(|l| !l.valid) {
+                    return i;
+                }
+                if let Some(i) = lines.iter().position(|l| l.repl >= RRPV_MAX) {
+                    return i;
+                }
+                for l in lines.iter_mut() {
+                    l.repl += 1;
+                }
+            },
+        }
+    }
+
+    /// Removes a line if present, returning whether it was dirty.
+    pub fn invalidate(&mut self, line_addr: u64) -> Option<bool> {
+        let set = self.set_of(line_addr);
+        for line in &mut self.sets[set] {
+            if line.valid && line.tag == line_addr {
+                line.valid = false;
+                return Some(line.dirty);
+            }
+        }
+        None
+    }
+
+    /// Marks a present line clean (after its writeback), returning whether
+    /// it was present.
+    pub fn clean(&mut self, line_addr: u64) -> bool {
+        let set = self.set_of(line_addr);
+        for line in &mut self.sets[set] {
+            if line.valid && line.tag == line_addr {
+                line.dirty = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().flatten().filter(|l| l.valid).count()
+    }
+
+    /// All dirty resident lines with their classes (end-of-run accounting).
+    pub fn dirty_lines(&self) -> Vec<(u64, DataClass)> {
+        self.sets
+            .iter()
+            .flatten()
+            .filter(|l| l.valid && l.dirty)
+            .map(|l| (l.tag, l.class))
+            .collect()
+    }
+}
+
+impl fmt::Debug for Cache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cache")
+            .field("cfg", &self.cfg)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lru_cache(lines: u32, ways: u32) -> Cache {
+        Cache::new(CacheConfig::new(
+            lines as u64 * LINE_BYTES,
+            ways,
+            Replacement::Lru,
+        ))
+    }
+
+    #[test]
+    fn config_sets() {
+        let cfg = CacheConfig::new(8192, 8, Replacement::Lru);
+        assert_eq!(cfg.sets(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of sets")]
+    fn bad_capacity_panics() {
+        CacheConfig::new(1000, 8, Replacement::Lru);
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = lru_cache(16, 4);
+        assert!(!c.access(42, false));
+        c.fill(42, false, DataClass::Other);
+        assert!(c.access(42, true));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // Single-set cache: 4 ways.
+        let mut c = lru_cache(4, 4);
+        // Find 5 lines in the same set (hashed index).
+        let mut same_set = Vec::new();
+        let set0 = 0;
+        let mut addr = 0u64;
+        while same_set.len() < 5 {
+            let probe = Cache::new(c.cfg);
+            if probe.set_of(addr) == set0 {
+                same_set.push(addr);
+            }
+            addr += 1;
+        }
+        for &a in &same_set[..4] {
+            c.fill(a, false, DataClass::Other);
+        }
+        // Touch lines 1..4 so line 0 is LRU.
+        for &a in &same_set[1..4] {
+            assert!(c.access(a, false));
+        }
+        let ev = c.fill(same_set[4], false, DataClass::Other).unwrap();
+        assert_eq!(ev.line_addr, same_set[0]);
+    }
+
+    #[test]
+    fn eviction_reports_dirty_and_class() {
+        let mut c = lru_cache(1, 1);
+        c.fill(7, true, DataClass::Updates);
+        let ev = c.fill(993, false, DataClass::Other);
+        // Same single set, so the dirty line must be the victim.
+        let ev = ev.unwrap();
+        assert_eq!(ev.line_addr, 7);
+        assert!(ev.dirty);
+        assert_eq!(ev.class, DataClass::Updates);
+    }
+
+    #[test]
+    fn invalidate_and_clean() {
+        let mut c = lru_cache(16, 4);
+        c.fill(1, true, DataClass::Other);
+        assert!(c.clean(1));
+        assert_eq!(c.invalidate(1), Some(false));
+        assert_eq!(c.invalidate(1), None);
+        assert!(!c.clean(1));
+    }
+
+    #[test]
+    fn occupancy_counts() {
+        let mut c = lru_cache(16, 4);
+        // Consecutive line addresses spread across sets.
+        for a in 0..5 {
+            c.fill(a, false, DataClass::Other);
+        }
+        assert_eq!(c.occupancy(), 5);
+    }
+
+    #[test]
+    fn drrip_basic_operation() {
+        let mut c = Cache::new(CacheConfig::new(64 * LINE_BYTES * 64, 16, Replacement::Drrip));
+        // Fill far beyond capacity; must not loop forever and must keep
+        // reasonable occupancy.
+        for a in 0..100_000u64 {
+            if !c.access(a % 4096, a % 3 == 0) {
+                c.fill(a % 4096, false, DataClass::Other);
+            }
+        }
+        let capacity_lines = (c.config().size_bytes / LINE_BYTES) as usize;
+        assert!(c.occupancy() <= capacity_lines);
+        assert!(c.stats().hits > 0);
+    }
+
+    #[test]
+    fn drrip_keeps_hot_lines_under_scan() {
+        // A small hot set reused constantly plus a big scanning stream:
+        // RRIP should retain most hot lines.
+        let mut c = Cache::new(CacheConfig::new(64 * LINE_BYTES * 16, 16, Replacement::Drrip));
+        let hot: Vec<u64> = (0..256).collect();
+        let mut hot_misses = 0;
+        let mut scan_addr = 1_000_000u64;
+        for round in 0..200 {
+            for &h in &hot {
+                if !c.access(h, false) {
+                    if round > 10 {
+                        hot_misses += 1;
+                    }
+                    c.fill(h, false, DataClass::Other);
+                }
+            }
+            for _ in 0..512 {
+                scan_addr += 1;
+                if !c.access(scan_addr, false) {
+                    c.fill(scan_addr, false, DataClass::Other);
+                }
+            }
+        }
+        // Hot lines mostly survive the scan.
+        assert!(hot_misses < 200 * 256 / 4, "hot misses {hot_misses}");
+    }
+
+    #[test]
+    fn stats_miss_ratio() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.miss_ratio(), 0.0);
+        s.hits = 3;
+        s.misses = 1;
+        assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
+    }
+}

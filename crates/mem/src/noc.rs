@@ -1,0 +1,94 @@
+//! Mesh network-on-chip latency model.
+//!
+//! Table II: a 4×4 mesh with X-Y routing, 1-cycle pipelined routers and
+//! 1-cycle links. Each core tile hosts one LLC bank; the model charges the
+//! Manhattan-distance hop latency between a requesting tile and the bank
+//! that owns a line.
+
+/// A `width × height` mesh of tiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mesh {
+    width: usize,
+    height: usize,
+    /// Cycles per hop (router + link).
+    cycles_per_hop: u64,
+}
+
+impl Mesh {
+    /// The paper's 4×4 mesh with 2 cycles/hop (1-cycle router + 1-cycle link).
+    pub fn paper() -> Self {
+        Mesh { width: 4, height: 4, cycles_per_hop: 2 }
+    }
+
+    /// Creates a mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize, cycles_per_hop: u64) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be positive");
+        Mesh { width, height, cycles_per_hop }
+    }
+
+    /// Number of tiles.
+    pub fn tiles(&self) -> usize {
+        self.width * self.height
+    }
+
+    fn coords(&self, tile: usize) -> (usize, usize) {
+        (tile % self.width, tile / self.width)
+    }
+
+    /// X-Y routing hop count between two tiles.
+    pub fn hops(&self, from: usize, to: usize) -> u64 {
+        let (x0, y0) = self.coords(from % self.tiles());
+        let (x1, y1) = self.coords(to % self.tiles());
+        (x0.abs_diff(x1) + y0.abs_diff(y1)) as u64
+    }
+
+    /// One-way latency in cycles between two tiles.
+    pub fn latency(&self, from: usize, to: usize) -> u64 {
+        self.hops(from, to) * self.cycles_per_hop
+    }
+
+    /// Round-trip latency from a tile to the LLC bank holding `line_addr`
+    /// (banks are address-interleaved across tiles).
+    pub fn llc_round_trip(&self, tile: usize, line_addr: u64) -> u64 {
+        let bank = (line_addr % self.tiles() as u64) as usize;
+        2 * self.latency(tile, bank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_tile_is_free() {
+        let m = Mesh::paper();
+        assert_eq!(m.latency(5, 5), 0);
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let m = Mesh::paper();
+        // Tile 0 = (0,0), tile 15 = (3,3): 6 hops.
+        assert_eq!(m.hops(0, 15), 6);
+        assert_eq!(m.latency(0, 15), 12);
+        // Symmetric.
+        assert_eq!(m.hops(15, 0), 6);
+    }
+
+    #[test]
+    fn round_trip_doubles() {
+        let m = Mesh::paper();
+        let bank1 = 1; // line 1 lives on tile 1
+        assert_eq!(m.llc_round_trip(0, 1), 2 * m.latency(0, bank1));
+    }
+
+    #[test]
+    fn tiles_count() {
+        assert_eq!(Mesh::paper().tiles(), 16);
+        assert_eq!(Mesh::new(2, 3, 1).tiles(), 6);
+    }
+}

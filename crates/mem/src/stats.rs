@@ -1,0 +1,148 @@
+//! DRAM-boundary traffic accounting by data type.
+//!
+//! The paper's traffic plots break main-memory traffic down by data type
+//! (AdjacencyMatrix / SourceVertex / DestinationVertex / Updates); this
+//! module accumulates read and write bytes per [`DataClass`] at the DRAM
+//! boundary, plus hierarchy-level counters used in sanity checks.
+
+use crate::DataClass;
+use std::fmt;
+
+/// Per-class DRAM traffic plus hierarchy counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrafficStats {
+    read_bytes: [u64; 6],
+    write_bytes: [u64; 6],
+    /// Invalidations sent to private caches by stores/atomics/LLC evictions.
+    pub invalidations: u64,
+    /// Atomic operations performed.
+    pub atomics: u64,
+}
+
+impl TrafficStats {
+    /// Creates zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a DRAM read of `bytes` for `class`.
+    pub fn record_read(&mut self, class: DataClass, bytes: u64) {
+        self.read_bytes[class.index()] += bytes;
+    }
+
+    /// Records a DRAM write (writeback) of `bytes` for `class`.
+    pub fn record_write(&mut self, class: DataClass, bytes: u64) {
+        self.write_bytes[class.index()] += bytes;
+    }
+
+    /// DRAM read bytes for `class`.
+    pub fn read_bytes(&self, class: DataClass) -> u64 {
+        self.read_bytes[class.index()]
+    }
+
+    /// DRAM write bytes for `class`.
+    pub fn write_bytes(&self, class: DataClass) -> u64 {
+        self.write_bytes[class.index()]
+    }
+
+    /// Total (read + write) bytes for `class`.
+    pub fn class_bytes(&self, class: DataClass) -> u64 {
+        self.read_bytes(class) + self.write_bytes(class)
+    }
+
+    /// Total DRAM traffic in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes.iter().sum::<u64>() + self.write_bytes.iter().sum::<u64>()
+    }
+
+    /// Merges `other` into `self`.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        for i in 0..6 {
+            self.read_bytes[i] += other.read_bytes[i];
+            self.write_bytes[i] += other.write_bytes[i];
+        }
+        self.invalidations += other.invalidations;
+        self.atomics += other.atomics;
+    }
+
+    /// Per-class totals in [`DataClass::all`] order, as fractions of
+    /// `denominator` bytes — the normalized stacked bars of the paper's
+    /// traffic figures.
+    pub fn breakdown_normalized(&self, denominator: u64) -> [f64; 6] {
+        let mut out = [0.0; 6];
+        if denominator == 0 {
+            return out;
+        }
+        for (i, c) in DataClass::all().into_iter().enumerate() {
+            out[i] = self.class_bytes(c) as f64 / denominator as f64;
+        }
+        out
+    }
+}
+
+impl fmt::Display for TrafficStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DRAM traffic: {} B total (", self.total_bytes())?;
+        let mut first = true;
+        for c in DataClass::all() {
+            let b = self.class_bytes(c);
+            if b > 0 {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{c}: {b}")?;
+                first = false;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut t = TrafficStats::new();
+        t.record_read(DataClass::Updates, 64);
+        t.record_write(DataClass::Updates, 128);
+        t.record_read(DataClass::AdjacencyMatrix, 64);
+        assert_eq!(t.class_bytes(DataClass::Updates), 192);
+        assert_eq!(t.total_bytes(), 256);
+        assert_eq!(t.read_bytes(DataClass::AdjacencyMatrix), 64);
+        assert_eq!(t.write_bytes(DataClass::AdjacencyMatrix), 0);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = TrafficStats::new();
+        a.record_read(DataClass::Other, 10);
+        a.atomics = 2;
+        let mut b = TrafficStats::new();
+        b.record_write(DataClass::Other, 20);
+        b.invalidations = 5;
+        a.merge(&b);
+        assert_eq!(a.class_bytes(DataClass::Other), 30);
+        assert_eq!(a.invalidations, 5);
+        assert_eq!(a.atomics, 2);
+    }
+
+    #[test]
+    fn normalized_breakdown() {
+        let mut t = TrafficStats::new();
+        t.record_read(DataClass::Updates, 50);
+        let b = t.breakdown_normalized(100);
+        assert!((b[DataClass::Updates.index()] - 0.5).abs() < 1e-12);
+        assert_eq!(t.breakdown_normalized(0), [0.0; 6]);
+    }
+
+    #[test]
+    fn display_lists_nonzero_classes() {
+        let mut t = TrafficStats::new();
+        t.record_read(DataClass::Frontier, 64);
+        let s = t.to_string();
+        assert!(s.contains("Frontier: 64"));
+        assert!(!s.contains("Updates"));
+    }
+}

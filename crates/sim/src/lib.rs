@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+//! Multicore simulation engine.
+//!
+//! Ties the substrates together into the Table II system: 16 cores, each
+//! with a private SpZip fetcher and compressor, over the shared memory
+//! hierarchy of `spzip-mem`. Applications are *execution-generated,
+//! replay-timed*: they run functionally (producing exact results) while
+//! emitting per-core [`event::Event`] streams and per-engine firing
+//! traces, which the [`machine::Machine`] replays cycle-approximately —
+//! cores with a bounded outstanding-miss window, engines firing one
+//! operator per cycle, DRAM channels queueing by bandwidth.
+//!
+//! Dynamic load balance matches the paper's runtime ("threads enqueue
+//! traversals to fetchers chunk by chunk, and perform work-stealing of
+//! chunks"): the machine pulls the next chunk of work for whichever core
+//! drains its event queue first.
+
+pub mod event;
+pub mod machine;
+pub mod report;
+
+pub use event::Event;
+pub use machine::{CoreWork, Machine, MachineConfig, WorkSource};
+pub use report::RunReport;

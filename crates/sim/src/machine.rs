@@ -1,0 +1,536 @@
+//! The machine: cores + per-core engines + memory system, advanced in
+//! small cycle quanta.
+//!
+//! Each core is an in-order event consumer with a bounded window of
+//! outstanding misses (standing in for the OOO window's memory-level
+//! parallelism). Engines fire one operator per cycle. The main loop
+//! advances everything in `quantum`-cycle steps, pulling new work for a
+//! core from the [`WorkSource`] whenever its event queue drains — the
+//! dynamic chunk scheduling of the paper's runtime.
+
+use crate::event::Event;
+use crate::report::RunReport;
+use spzip_core::dcl::Pipeline;
+use spzip_core::engine::{EngineConfig, EngineModel};
+use spzip_core::func::Firing;
+use spzip_mem::hierarchy::{MemConfig, MemorySystem};
+use spzip_mem::Port;
+use std::collections::VecDeque;
+
+/// Machine-level configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineConfig {
+    /// Memory-hierarchy parameters.
+    pub mem: MemConfig,
+    /// Outstanding misses a core can have in flight (the MLP window).
+    pub core_mlp: usize,
+    /// Cycles per enqueue/dequeue instruction when it does not block.
+    pub queue_op_cycles: u32,
+    /// Simulation quantum in cycles.
+    pub quantum: u64,
+    /// Fetcher engine parameters.
+    pub fetcher: EngineConfig,
+    /// Compressor engine parameters.
+    pub compressor: EngineConfig,
+    /// Abort if no component makes progress for this many cycles.
+    pub deadlock_cycles: u64,
+}
+
+impl MachineConfig {
+    /// The scaled Table II system.
+    pub fn paper_scaled() -> Self {
+        MachineConfig {
+            mem: MemConfig::paper_scaled(),
+            core_mlp: 10,
+            queue_op_cycles: 1,
+            quantum: 8,
+            fetcher: EngineConfig::fetcher(),
+            compressor: EngineConfig::compressor(),
+            deadlock_cycles: 4_000_000,
+        }
+    }
+}
+
+/// One batch of work handed to a core: its event stream plus any firing
+/// traces for that core's engines.
+#[derive(Debug, Default)]
+pub struct CoreWork {
+    /// Events the core replays, in order.
+    pub events: Vec<Event>,
+    /// Firings to append to the core's fetcher (per operator).
+    pub fetcher_trace: Option<Vec<Vec<Firing>>>,
+    /// Firings to append to the core's compressor (per operator).
+    pub compressor_trace: Option<Vec<Vec<Firing>>>,
+}
+
+/// Supplies chunks of work on demand (dynamic load balancing).
+pub trait WorkSource {
+    /// Next batch for `core`, or `None` if no work remains this phase.
+    fn next(&mut self, core: usize) -> Option<CoreWork>;
+}
+
+impl<F: FnMut(usize) -> Option<CoreWork>> WorkSource for F {
+    fn next(&mut self, core: usize) -> Option<CoreWork> {
+        self(core)
+    }
+}
+
+#[derive(Debug, Default)]
+struct CoreState {
+    events: VecDeque<Event>,
+    /// Completion cycles of outstanding misses.
+    window: Vec<u64>,
+    /// Core-local time (>= global now; core idles until it).
+    t: u64,
+    /// Whether the source reported no more work.
+    exhausted: bool,
+    retired_events: u64,
+    stall_cycles: u64,
+}
+
+/// The simulated machine. See the module docs.
+pub struct Machine {
+    cfg: MachineConfig,
+    mem: MemorySystem,
+    cores: Vec<CoreState>,
+    fetchers: Vec<EngineModel>,
+    compressors: Vec<EngineModel>,
+    now: u64,
+}
+
+impl Machine {
+    /// Creates an idle machine.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let n = cfg.mem.cores;
+        Machine {
+            mem: MemorySystem::new(cfg.mem),
+            cores: (0..n).map(|_| CoreState::default()).collect(),
+            fetchers: (0..n).map(|i| EngineModel::new(cfg.fetcher, i)).collect(),
+            compressors: (0..n).map(|i| EngineModel::new(cfg.compressor, i)).collect(),
+            now: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The memory system (for oracles and direct inspection).
+    pub fn mem(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Enables the compressed-memory-hierarchy baseline (Fig. 22) with a
+    /// static per-line BDI profile.
+    pub fn enable_cmh(&mut self, profile: std::collections::HashMap<u64, u32>) {
+        self.mem
+            .enable_cmh(spzip_mem::hierarchy::BdiProfile::from_lines(profile), 6);
+    }
+
+    /// Loads a DCL program into every core's fetcher.
+    pub fn load_fetcher_program(&mut self, pipeline: &Pipeline) {
+        for f in &mut self.fetchers {
+            f.load_program(pipeline, self.now);
+        }
+    }
+
+    /// Loads a DCL program into every core's compressor.
+    pub fn load_compressor_program(&mut self, pipeline: &Pipeline) {
+        for c in &mut self.compressors {
+            c.load_program(pipeline, self.now);
+        }
+    }
+
+    /// Loads a DCL program into one core's fetcher only.
+    pub fn load_fetcher_program_for(&mut self, core: usize, pipeline: &Pipeline) {
+        self.fetchers[core].load_program(pipeline, self.now);
+    }
+
+    /// Loads a DCL program into one core's compressor only.
+    pub fn load_compressor_program_for(&mut self, core: usize, pipeline: &Pipeline) {
+        self.compressors[core].load_program(pipeline, self.now);
+    }
+
+    /// Overrides the fetcher scratchpad size on every core (the Fig. 21
+    /// sensitivity sweep). Takes effect at the next program load.
+    pub fn set_fetcher_scratchpad(&mut self, bytes: u32) {
+        self.cfg.fetcher.scratchpad_bytes = bytes;
+        for (i, f) in self.fetchers.iter_mut().enumerate() {
+            let mut cfg = self.cfg.fetcher;
+            cfg.scratchpad_bytes = bytes;
+            *f = EngineModel::new(cfg, i);
+        }
+    }
+
+    /// Runs one phase: pulls work from `source` per core until everything
+    /// is drained, then returns the cycles this phase took.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a stall diagnosis if no component makes progress for
+    /// `deadlock_cycles` (a protocol bug in the instrumented application).
+    pub fn run_phase(&mut self, source: &mut dyn WorkSource) -> u64 {
+        let start = self.now;
+        for c in &mut self.cores {
+            c.exhausted = false;
+            c.t = self.now;
+        }
+        let mut last_progress = self.now;
+        loop {
+            // Refill drained cores.
+            for i in 0..self.cores.len() {
+                if self.cores[i].events.is_empty() && !self.cores[i].exhausted {
+                    match source.next(i) {
+                        Some(work) => {
+                            self.cores[i].events.extend(work.events);
+                            if let Some(t) = work.fetcher_trace {
+                                self.fetchers[i].append_trace(t);
+                            }
+                            if let Some(t) = work.compressor_trace {
+                                self.compressors[i].append_trace(t);
+                            }
+                        }
+                        None => self.cores[i].exhausted = true,
+                    }
+                }
+            }
+            if self.quiescent() {
+                break;
+            }
+            // Advance one quantum.
+            let quantum = self.cfg.quantum;
+            let mut progressed = false;
+            for i in 0..self.cores.len() {
+                progressed |= advance_core(
+                    &self.cfg,
+                    i,
+                    &mut self.cores[i],
+                    &mut self.fetchers[i],
+                    &mut self.compressors[i],
+                    &mut self.mem,
+                    self.now,
+                    quantum,
+                );
+            }
+            for i in 0..self.cores.len() {
+                progressed |= self.fetchers[i].tick(self.now, quantum, &mut self.mem) > 0;
+                progressed |= self.compressors[i].tick(self.now, quantum, &mut self.mem) > 0;
+            }
+            self.now += quantum;
+            if progressed {
+                last_progress = self.now;
+            } else if self.now - last_progress > self.cfg.deadlock_cycles {
+                let at = self.now;
+                let report = self.stall_report();
+                panic!("machine deadlock at cycle {at}: {report}");
+            }
+        }
+        self.now - start
+    }
+
+    fn quiescent(&self) -> bool {
+        // Cores may run their local clocks ahead of the global one within
+        // a quantum; the phase ends only once global time catches up.
+        self.cores
+            .iter()
+            .all(|c| c.exhausted && c.events.is_empty() && c.t <= self.now)
+            && self.fetchers.iter().all(|f| f.idle())
+            && self.compressors.iter().all(|c| c.idle())
+    }
+
+    fn stall_report(&mut self) -> String {
+        let mut s = String::new();
+        for i in 0..self.cores.len() {
+            if let Some(ev) = self.cores[i].events.front() {
+                s.push_str(&format!("core {i} blocked on {ev:?}; "));
+            }
+            if !self.fetchers[i].idle() {
+                s.push_str(&format!(
+                    "fetcher {i}: {:?}; ",
+                    self.fetchers[i].stall_reason(self.now)
+                ));
+            }
+            if !self.compressors[i].idle() {
+                s.push_str(&format!(
+                    "compressor {i}: {:?}; ",
+                    self.compressors[i].stall_reason(self.now)
+                ));
+            }
+        }
+        s
+    }
+
+    /// Flushes dirty cached data to DRAM and produces the run report.
+    pub fn finish(mut self) -> RunReport {
+        self.mem.flush_dirty();
+        let fetcher_fired: u64 = self.fetchers.iter().map(|f| f.fired).sum();
+        let compressor_fired: u64 = self.compressors.iter().map(|c| c.fired).sum();
+        RunReport {
+            cycles: self.now,
+            traffic: self.mem.stats().clone(),
+            llc: *self.mem.llc_stats(),
+            dram_utilization: self.mem.dram().utilization(self.now.max(1)),
+            fetcher_fired,
+            compressor_fired,
+            core_stall_cycles: self.cores.iter().map(|c| c.stall_cycles).sum(),
+            retired_events: self.cores.iter().map(|c| c.retired_events).sum(),
+        }
+    }
+}
+
+/// Advances one core through `[now, now+quantum)`. Returns whether it made
+/// progress.
+#[allow(clippy::too_many_arguments)]
+fn advance_core(
+    cfg: &MachineConfig,
+    core_id: usize,
+    core: &mut CoreState,
+    fetcher: &mut EngineModel,
+    compressor: &mut EngineModel,
+    mem: &mut MemorySystem,
+    now: u64,
+    quantum: u64,
+) -> bool {
+    let deadline = now + quantum;
+    if core.t < now {
+        core.t = now;
+    }
+    let mut progressed = false;
+    while core.t < deadline {
+        let Some(&ev) = core.events.front() else { break };
+        match ev {
+            Event::Compute(n) => {
+                core.t += n as u64;
+                core.events.pop_front();
+                core.retired_events += 1;
+                progressed = true;
+            }
+            Event::Mem(acc) => {
+                // Need a free slot in the outstanding-miss window.
+                core.window.retain(|&c| c > core.t);
+                if core.window.len() >= cfg.core_mlp {
+                    let earliest = core.window.iter().copied().min().unwrap();
+                    core.stall_cycles += earliest.saturating_sub(core.t);
+                    core.t = earliest;
+                    if core.t >= deadline {
+                        break;
+                    }
+                    core.window.retain(|&c| c > core.t);
+                }
+                let done = mem.issue(core_id, Port::Core, &acc, core.t);
+                if acc.op == spzip_mem::MemOp::Atomic {
+                    // Locked read-modify-writes serialize the core (store
+                    // buffer drain): no overlap with younger accesses.
+                    // This is what makes software Push core-bound rather
+                    // than bandwidth-bound (Sec. V-A).
+                    core.stall_cycles += done.saturating_sub(core.t);
+                    core.t = done;
+                } else if done - core.t <= cfg.mem.l2_latency + cfg.mem.l1_latency {
+                    // Fast accesses retire inline.
+                    core.t = done;
+                } else {
+                    // Misses occupy the window while the core runs ahead
+                    // (OOO-style MLP).
+                    core.window.push(done);
+                    core.t += 1;
+                }
+                core.events.pop_front();
+                core.retired_events += 1;
+                progressed = true;
+            }
+            Event::FetcherEnqueue { q, quarters } => {
+                if fetcher.can_enqueue(q, quarters) {
+                    fetcher.enqueue(q, quarters);
+                    core.t += cfg.queue_op_cycles as u64;
+                    core.events.pop_front();
+                    core.retired_events += 1;
+                    progressed = true;
+                } else {
+                    core.stall_cycles += deadline - core.t;
+                    core.t = deadline;
+                }
+            }
+            Event::FetcherDequeue { q, quarters } => {
+                if fetcher.can_dequeue(q, quarters) {
+                    fetcher.dequeue(q, quarters);
+                    core.t += cfg.queue_op_cycles as u64;
+                    core.events.pop_front();
+                    core.retired_events += 1;
+                    progressed = true;
+                } else {
+                    core.stall_cycles += deadline - core.t;
+                    core.t = deadline;
+                }
+            }
+            Event::CompressorEnqueue { q, quarters } => {
+                if compressor.can_enqueue(q, quarters) {
+                    compressor.enqueue(q, quarters);
+                    core.t += cfg.queue_op_cycles as u64;
+                    core.events.pop_front();
+                    core.retired_events += 1;
+                    progressed = true;
+                } else {
+                    core.stall_cycles += deadline - core.t;
+                    core.t = deadline;
+                }
+            }
+            Event::CompressorDrain => {
+                if compressor.idle() {
+                    core.events.pop_front();
+                    core.retired_events += 1;
+                    progressed = true;
+                } else {
+                    core.stall_cycles += deadline - core.t;
+                    core.t = deadline;
+                }
+            }
+            Event::FetcherDrain => {
+                if fetcher.idle() {
+                    core.events.pop_front();
+                    core.retired_events += 1;
+                    progressed = true;
+                } else {
+                    core.stall_cycles += deadline - core.t;
+                    core.t = deadline;
+                }
+            }
+        }
+    }
+    progressed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spzip_mem::DataClass;
+
+    fn tiny_config() -> MachineConfig {
+        let mut cfg = MachineConfig::paper_scaled();
+        cfg.mem.cores = 2;
+        cfg
+    }
+
+    /// A source handing each core a fixed list of batches.
+    struct ListSource {
+        batches: Vec<VecDeque<CoreWork>>,
+    }
+
+    impl WorkSource for ListSource {
+        fn next(&mut self, core: usize) -> Option<CoreWork> {
+            self.batches[core].pop_front()
+        }
+    }
+
+    #[test]
+    fn compute_only_run_takes_expected_cycles() {
+        let mut m = Machine::new(tiny_config());
+        let mut src = ListSource {
+            batches: vec![
+                VecDeque::from([CoreWork {
+                    events: vec![Event::Compute(1000)],
+                    ..Default::default()
+                }]),
+                VecDeque::new(),
+            ],
+        };
+        let cycles = m.run_phase(&mut src);
+        assert!((1000..1200).contains(&cycles), "{cycles}");
+        let report = m.finish();
+        assert_eq!(report.retired_events, 1);
+    }
+
+    #[test]
+    fn parallel_cores_overlap() {
+        // Two cores doing 1000 cycles each should take ~1000, not ~2000.
+        let mut m = Machine::new(tiny_config());
+        let work = || CoreWork { events: vec![Event::Compute(1000)], ..Default::default() };
+        let mut src = ListSource {
+            batches: vec![VecDeque::from([work()]), VecDeque::from([work()])],
+        };
+        let cycles = m.run_phase(&mut src);
+        assert!(cycles < 1500, "{cycles}");
+    }
+
+    #[test]
+    fn memory_bound_core_is_limited_by_mlp_and_bandwidth() {
+        let mut m = Machine::new(tiny_config());
+        // 1000 scattered misses.
+        let events: Vec<Event> = (0..1000)
+            .map(|i| Event::load(0x10000 + i * 8 * 997, 8, DataClass::DestinationVertex))
+            .collect();
+        let mut src = ListSource {
+            batches: vec![
+                VecDeque::from([CoreWork { events, ..Default::default() }]),
+                VecDeque::new(),
+            ],
+        };
+        let cycles = m.run_phase(&mut src);
+        // Far slower than 1 access/cycle, far faster than serialized
+        // (1000 x ~150-cycle DRAM latency) thanks to the MLP window.
+        assert!(cycles > 2_000, "{cycles}");
+        assert!(cycles < 120_000, "{cycles}");
+    }
+
+    #[test]
+    fn sequential_accesses_hit_after_first_line() {
+        let mut m = Machine::new(tiny_config());
+        let events: Vec<Event> = (0..64u64)
+            .map(|i| Event::load(0x40000 + i * 4, 4, DataClass::AdjacencyMatrix))
+            .collect();
+        let mut src = ListSource {
+            batches: vec![
+                VecDeque::from([CoreWork { events, ..Default::default() }]),
+                VecDeque::new(),
+            ],
+        };
+        m.run_phase(&mut src);
+        let report = m.finish();
+        // 64 x 4B touches 4 lines = 256 B.
+        assert_eq!(report.traffic.read_bytes(DataClass::AdjacencyMatrix), 256);
+    }
+
+    #[test]
+    fn multiple_phases_accumulate_time() {
+        let mut m = Machine::new(tiny_config());
+        let mk = || {
+            let mut src_batches = vec![VecDeque::new(), VecDeque::new()];
+            src_batches[0].push_back(CoreWork {
+                events: vec![Event::Compute(500)],
+                ..Default::default()
+            });
+            ListSource { batches: src_batches }
+        };
+        let c1 = m.run_phase(&mut mk());
+        let c2 = m.run_phase(&mut mk());
+        assert!(c1 >= 500 && c2 >= 500);
+        assert!(m.now() >= 1000);
+    }
+
+    #[test]
+    fn work_stealing_balances_load() {
+        // A shared pool of 20 batches: with 2 cores, wall time should be
+        // about half the serial time.
+        struct Pool {
+            left: usize,
+        }
+        impl WorkSource for Pool {
+            fn next(&mut self, _core: usize) -> Option<CoreWork> {
+                if self.left == 0 {
+                    return None;
+                }
+                self.left -= 1;
+                Some(CoreWork { events: vec![Event::Compute(1000)], ..Default::default() })
+            }
+        }
+        let mut m = Machine::new(tiny_config());
+        let cycles = m.run_phase(&mut Pool { left: 20 });
+        assert!((10_000..13_000).contains(&cycles), "{cycles}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Run reports: the quantities the paper's figures plot.
+
+use spzip_mem::cache::CacheStats;
+use spzip_mem::stats::TrafficStats;
+use spzip_mem::DataClass;
+use std::fmt;
+
+/// Results of one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// DRAM-boundary traffic by data class.
+    pub traffic: TrafficStats,
+    /// LLC hit/miss counters.
+    pub llc: CacheStats,
+    /// Fraction of DRAM channel-cycles busy.
+    pub dram_utilization: f64,
+    /// Total fetcher firings across cores.
+    pub fetcher_fired: u64,
+    /// Total compressor firings across cores.
+    pub compressor_fired: u64,
+    /// Cycles cores spent blocked (queue waits + window-full waits).
+    pub core_stall_cycles: u64,
+    /// Events retired across cores.
+    pub retired_events: u64,
+}
+
+impl RunReport {
+    /// Speedup of this run over `baseline` (ratio of cycle counts).
+    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+        baseline.cycles as f64 / self.cycles.max(1) as f64
+    }
+
+    /// This run's traffic as a fraction of `baseline`'s.
+    pub fn traffic_vs(&self, baseline: &RunReport) -> f64 {
+        self.traffic.total_bytes() as f64 / baseline.traffic.total_bytes().max(1) as f64
+    }
+
+    /// Per-class traffic normalized to `denominator` bytes.
+    pub fn breakdown(&self, denominator: u64) -> [f64; 6] {
+        self.traffic.breakdown_normalized(denominator)
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cycles {}  traffic {} B  dram-util {:.0}%  llc miss {:.1}%",
+            self.cycles,
+            self.traffic.total_bytes(),
+            self.dram_utilization * 100.0,
+            self.llc.miss_ratio() * 100.0,
+        )?;
+        for c in DataClass::all() {
+            let b = self.traffic.class_bytes(c);
+            if b > 0 {
+                writeln!(f, "  {c:<18} {b:>12} B")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64, bytes: u64) -> RunReport {
+        let mut traffic = TrafficStats::new();
+        traffic.record_read(DataClass::Updates, bytes);
+        RunReport {
+            cycles,
+            traffic,
+            llc: CacheStats::default(),
+            dram_utilization: 0.5,
+            fetcher_fired: 0,
+            compressor_fired: 0,
+            core_stall_cycles: 0,
+            retired_events: 0,
+        }
+    }
+
+    #[test]
+    fn speedup_and_traffic_ratios() {
+        let base = report(1000, 4000);
+        let fast = report(250, 2000);
+        assert_eq!(fast.speedup_over(&base), 4.0);
+        assert_eq!(fast.traffic_vs(&base), 0.5);
+    }
+
+    #[test]
+    fn display_contains_cycles_and_classes() {
+        let r = report(123, 64);
+        let s = r.to_string();
+        assert!(s.contains("cycles 123"));
+        assert!(s.contains("Updates"));
+    }
+}

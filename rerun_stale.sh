@@ -1,0 +1,15 @@
+#!/bin/bash
+set -u
+cd "$(dirname "$0")"
+R=results
+run() {
+  local name="$1"; shift
+  echo "=== rerunning $name ($(date +%H:%M:%S)) ==="
+  ./target/release/"$@" > "$R/$name.txt" 2>"$R/$name.log" \
+    && echo "    ok" || echo "    FAILED"
+}
+run fig19a fig19_factor_analysis
+run fig19b fig19_factor_analysis --preprocess
+run fig22a fig22_cmh
+run fig22b fig22_cmh --preprocess
+echo "STALE RERUN DONE"

@@ -1,0 +1,47 @@
+//! The simulator must be fully deterministic: same inputs, same cycles,
+//! same traffic, same results — across runs and independent of host state.
+
+use spzip_apps::{run_app, AppName, Scheme};
+use spzip_graph::gen::{community, CommunityParams};
+use spzip_mem::cache::{CacheConfig, Replacement};
+use spzip_sim::MachineConfig;
+
+fn machine() -> MachineConfig {
+    let mut cfg = MachineConfig::paper_scaled();
+    cfg.mem.cores = 4;
+    cfg.mem.llc = CacheConfig::new(32 * 1024, 16, Replacement::Drrip);
+    cfg
+}
+
+#[test]
+fn identical_runs_produce_identical_reports() {
+    let g = community(&CommunityParams::web_crawl(1 << 10, 8), 77);
+    for scheme in [Scheme::Push, Scheme::UbSpzip, Scheme::PhiSpzip] {
+        let a = run_app(AppName::Cc, &g, &scheme.config(), machine());
+        let b = run_app(AppName::Cc, &g, &scheme.config(), machine());
+        assert_eq!(a.report.cycles, b.report.cycles, "{scheme} cycles");
+        assert_eq!(
+            a.report.traffic.total_bytes(),
+            b.report.traffic.total_bytes(),
+            "{scheme} traffic"
+        );
+        assert_eq!(a.stats.edges, b.stats.edges, "{scheme} edges");
+    }
+}
+
+#[test]
+fn graph_generation_is_seed_stable() {
+    // A golden fingerprint: if generator behaviour drifts, benchmark
+    // numbers silently stop being comparable across revisions.
+    let g = community(&CommunityParams::web_crawl(1 << 10, 8), 77);
+    let fingerprint: u64 = g
+        .neighbors_flat()
+        .iter()
+        .fold(0u64, |acc, &d| acc.wrapping_mul(31).wrapping_add(d as u64));
+    let g2 = community(&CommunityParams::web_crawl(1 << 10, 8), 77);
+    let fingerprint2: u64 = g2
+        .neighbors_flat()
+        .iter()
+        .fold(0u64, |acc, &d| acc.wrapping_mul(31).wrapping_add(d as u64));
+    assert_eq!(fingerprint, fingerprint2);
+}

@@ -1,0 +1,147 @@
+//! Flow-conservation invariants across the functional engine and the
+//! timing model: every quarter-word produced into a queue is eventually
+//! consumed, for every pipeline shape the applications use.
+
+use spzip_apps::layout::Workload;
+use spzip_apps::pipelines::{self, TraversalOpts};
+use spzip_apps::scheme::Scheme;
+use spzip_core::engine::{EngineConfig, EngineModel};
+use spzip_core::func::FuncEngine;
+use spzip_graph::gen::{community, CommunityParams};
+use spzip_mem::hierarchy::{MemConfig, MemorySystem};
+
+/// Runs a traversal pipeline functionally and checks per-queue balance:
+/// produced quarters == consumed quarters + residual core-facing output.
+#[test]
+fn traversal_pipelines_conserve_queue_flow() {
+    let g = community(&CommunityParams::web_crawl(1 << 9, 6), 3);
+    for scheme in [Scheme::PushSpzip, Scheme::UbSpzip] {
+        for all_active in [true, false] {
+            let w = Workload::build(g.clone(), &scheme.config(), 4, 32 * 1024, all_active);
+            let trav = pipelines::traversal(
+                &w,
+                &scheme.config(),
+                TraversalOpts {
+                    all_active,
+                    prefetch_dst: true,
+                    frontier_compressed: false,
+                    read_source: true,
+                },
+            );
+            let mut img_w = w;
+            if !all_active {
+                // Frontier = vertices 0..64.
+                for i in 0..64u64 {
+                    img_w.img.write_u32(img_w.frontier_addr + i * 4, i as u32);
+                }
+            }
+            let mut eng = FuncEngine::new(trav.pipeline.clone());
+            if all_active {
+                if let Some(cadj) = &img_w.cadj {
+                    eng.enqueue_value(trav.in_q, 0, 8);
+                    eng.enqueue_value(trav.in_q, 64 / cadj.group_rows as u64 + 1, 8);
+                } else {
+                    eng.enqueue_value(trav.in_q, 0, 8);
+                    eng.enqueue_value(trav.in_q, 65, 8);
+                }
+                if let Some(sq) = trav.src_in_q {
+                    eng.enqueue_value(sq, 0, 8);
+                    eng.enqueue_value(sq, 64, 8);
+                }
+            } else {
+                eng.enqueue_value(trav.in_q, 0, 8);
+                eng.enqueue_value(trav.in_q, 64, 8);
+            }
+            eng.run(&mut img_w.img);
+
+            // Flow balance per queue.
+            let nq = trav.pipeline.queues().len();
+            let mut produced = vec![0u64; nq];
+            let mut consumed = vec![0u64; nq];
+            for &(q, quarters) in eng.enqueue_log() {
+                produced[q as usize] += quarters as u64;
+            }
+            let firings = eng.take_firings();
+            for (op_idx, op) in trav.pipeline.operators().iter().enumerate() {
+                for f in &firings[op_idx] {
+                    consumed[op.input as usize] += f.consumed_q as u64;
+                    for &out in &op.outputs {
+                        produced[out as usize] += f.produced_q as u64;
+                    }
+                }
+            }
+            for q in 0..nq as u8 {
+                let residual: u64 = eng
+                    .drain_output_costed(q)
+                    .iter()
+                    .map(|&(_, c)| c as u64)
+                    .sum();
+                assert_eq!(
+                    produced[q as usize],
+                    consumed[q as usize] + residual,
+                    "{scheme}/all_active={all_active}: queue {q} unbalanced"
+                );
+            }
+        }
+    }
+}
+
+/// The timing model must drain any balanced trace to idle — no wedging —
+/// for every scratchpad size of the Fig. 21 sweep.
+#[test]
+fn timing_replay_drains_for_all_scratchpad_sizes() {
+    let g = community(&CommunityParams::web_crawl(1 << 9, 6), 5);
+    let scheme = Scheme::PushSpzip;
+    let w = Workload::build(g, &scheme.config(), 4, 32 * 1024, true);
+    let trav = pipelines::traversal(
+        &w,
+        &scheme.config(),
+        TraversalOpts {
+            all_active: true,
+            prefetch_dst: false,
+            frontier_compressed: false,
+            read_source: true,
+        },
+    );
+    let mut img_w = w;
+    let mut eng = FuncEngine::new(trav.pipeline.clone());
+    let cadj_groups = img_w.cadj.as_ref().unwrap().group_rows as u64;
+    eng.enqueue_value(trav.in_q, 0, 8);
+    eng.enqueue_value(trav.in_q, 128 / cadj_groups + 1, 8);
+    if let Some(sq) = trav.src_in_q {
+        eng.enqueue_value(sq, 0, 8);
+        eng.enqueue_value(sq, 128, 8);
+    }
+    eng.run(&mut img_w.img);
+    let enqueues: Vec<_> = eng.enqueue_log().to_vec();
+    let firings = eng.take_firings();
+    let out_queues: Vec<u8> = trav.pipeline.core_output_queues();
+
+    for scratch in [256u32, 512, 1024, 4096] {
+        let mut cfg = EngineConfig::fetcher();
+        cfg.scratchpad_bytes = scratch;
+        let mut model = EngineModel::new(cfg, 0);
+        model.load_program(&trav.pipeline, 0);
+        model.append_trace(firings.clone());
+        for &(q, quarters) in &enqueues {
+            assert!(model.can_enqueue(q, quarters), "input queue too small");
+            model.enqueue(q, quarters);
+        }
+        let mut mem = MemorySystem::new(MemConfig::paper_scaled());
+        let mut now = 0u64;
+        while !model.idle() && now < 10_000_000 {
+            model.tick(now, 32, &mut mem);
+            for &q in &out_queues {
+                while model.can_dequeue(q, 1) {
+                    model.dequeue(q, 1);
+                }
+            }
+            now += 32;
+        }
+        assert!(
+            model.idle(),
+            "scratchpad {scratch}: wedged with {:?}",
+            model.stall_reason(now)
+        );
+    }
+}

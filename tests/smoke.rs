@@ -1,0 +1,10 @@
+//! Workspace smoke test: the crates link together and the public API's
+//! most basic path works end to end.
+
+#[test]
+fn smoke() {
+    let g = spzip_graph::Csr::from_edges(3, &[(0, 1), (1, 2)]);
+    assert_eq!(g.num_edges(), 2);
+    let area = spzip_core::area::fetcher_area();
+    assert!(area.total_um2() > 0.0);
+}
