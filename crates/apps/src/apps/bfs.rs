@@ -78,6 +78,8 @@ impl Algorithm for Bfs {
     }
 
     fn result(&self, w: &Workload) -> Vec<u32> {
-        (0..w.n() as u64).map(|v| w.img.read_u32(w.dst_addr + v * 4)).collect()
+        (0..w.n() as u64)
+            .map(|v| w.img.read_u32(w.dst_addr + v * 4))
+            .collect()
     }
 }

@@ -23,7 +23,9 @@ impl PageRank {
     /// PageRank simulated for `iterations` iterations (the paper uses
     /// iteration sampling; a few iterations capture steady state).
     pub fn new(iterations: usize) -> Self {
-        PageRank { iterations: iterations.max(1) }
+        PageRank {
+            iterations: iterations.max(1),
+        }
     }
 }
 
@@ -88,7 +90,9 @@ impl Algorithm for PageRank {
     }
 
     fn result(&self, w: &Workload) -> Vec<u32> {
-        (0..w.n() as u64).map(|v| w.img.read_u32(w.aux_addr + v * 4)).collect()
+        (0..w.n() as u64)
+            .map(|v| w.img.read_u32(w.aux_addr + v * 4))
+            .collect()
     }
 
     fn tolerance(&self) -> f32 {

@@ -21,7 +21,9 @@ pub struct PageRankDelta {
 impl PageRankDelta {
     /// PRD capped at `iterations` iterations.
     pub fn new(iterations: usize) -> Self {
-        PageRankDelta { iterations: iterations.max(1) }
+        PageRankDelta {
+            iterations: iterations.max(1),
+        }
     }
 }
 
@@ -92,7 +94,9 @@ impl Algorithm for PageRankDelta {
     }
 
     fn result(&self, w: &Workload) -> Vec<u32> {
-        (0..w.n() as u64).map(|v| w.img.read_u32(w.aux_addr + v * 4)).collect()
+        (0..w.n() as u64)
+            .map(|v| w.img.read_u32(w.aux_addr + v * 4))
+            .collect()
     }
 
     fn tolerance(&self) -> f32 {

@@ -65,7 +65,9 @@ impl Algorithm for SpMv {
     }
 
     fn result(&self, w: &Workload) -> Vec<u32> {
-        (0..w.n() as u64).map(|v| w.img.read_u32(w.dst_addr + v * 4)).collect()
+        (0..w.n() as u64)
+            .map(|v| w.img.read_u32(w.dst_addr + v * 4))
+            .collect()
     }
 
     fn tolerance(&self) -> f32 {

@@ -11,6 +11,7 @@ use spzip_compress::CodecKind;
 use spzip_core::memory::MemoryImage;
 use spzip_graph::{Csr, VertexId};
 use spzip_mem::DataClass;
+use std::sync::Arc;
 
 /// Rows per compressed-adjacency group for all-active traversals
 /// ("for programs that access long chunks, we could compress several rows
@@ -76,8 +77,7 @@ impl BinLayout {
 
     /// Base address of `(core, bin)`'s MQU1 staging chunk.
     pub fn mqu1_addr(&self, core: usize, bin: u32) -> u64 {
-        self.mqu1_base
-            + (core as u64 * self.num_bins as u64 + bin as u64) * self.mqu1_stride
+        self.mqu1_base + (core as u64 * self.num_bins as u64 + bin as u64) * self.mqu1_stride
     }
 
     /// Address of `(core, bin)`'s tail pointer.
@@ -121,8 +121,9 @@ impl CompressedSlices {
 pub struct Workload {
     /// The synthetic address space with real contents.
     pub img: MemoryImage,
-    /// The graph / matrix.
-    pub g: Csr,
+    /// The graph / matrix (shared: one generated input feeds many
+    /// concurrent runs without per-run deep clones).
+    pub g: Arc<Csr>,
     /// Raw offsets array (u64 per vertex + 1).
     pub offsets_addr: u64,
     /// Raw neighbors array (u32 per edge).
@@ -171,7 +172,7 @@ impl Workload {
     /// Builds the image for `g` under `scheme` on a `cores`-core machine
     /// with `llc_bytes` of shared cache (bin slices are sized against it).
     pub fn build(
-        g: Csr,
+        g: Arc<Csr>,
         scheme: &SchemeConfig,
         cores: usize,
         llc_bytes: u64,
@@ -196,8 +197,7 @@ impl Workload {
         let dst_addr = img.alloc("dst_data", n as u64 * 4, DataClass::DestinationVertex);
         let aux_addr = img.alloc("aux_data", n as u64 * 4, DataClass::DestinationVertex);
         let frontier_addr = img.alloc("frontier", n as u64 * 4 + 64, DataClass::Frontier);
-        let next_frontier_addr =
-            img.alloc("next_frontier", n as u64 * 4 + 64, DataClass::Frontier);
+        let next_frontier_addr = img.alloc("next_frontier", n as u64 * 4 + 64, DataClass::Frontier);
         let cfrontier_addr = img.alloc("cfrontier", n as u64 * 5 + 4096, DataClass::Frontier);
 
         // Compressed adjacency (Fig. 3 layout): per-row for random access,
@@ -211,8 +211,8 @@ impl Workload {
         // comfortably in the LLC (the paper's "cache-fitting range").
         let bins = scheme.bins_updates().then(|| {
             let slice_bytes = (llc_bytes / 4).max(4096);
-            let slice_vertices = ((slice_bytes / 4).min(n as u64).max(1) as u32)
-                .next_multiple_of(DST_SUBCHUNK);
+            let slice_vertices =
+                ((slice_bytes / 4).min(n as u64).max(1) as u32).next_multiple_of(DST_SUBCHUNK);
             let num_bins = (n as u32).div_ceil(slice_vertices).max(1);
             // Worst-case updates per (core, bin): assume 4x the mean for
             // skew, plus headroom for compression framing.
@@ -220,11 +220,7 @@ impl Workload {
             let bin_stride = (mean * 6 + 4096).next_multiple_of(64);
             let mqu1_stride = 512u64; // 32 x 8 B chunk + slack
             let core_stride = bin_stride * num_bins as u64;
-            let bins_base = img.alloc(
-                "bins",
-                core_stride * cores as u64,
-                DataClass::Updates,
-            );
+            let bins_base = img.alloc("bins", core_stride * cores as u64, DataClass::Updates);
             let mqu1_base = img.alloc(
                 "mqu1_chunks",
                 mqu1_stride * num_bins as u64 * cores as u64,
@@ -248,11 +244,16 @@ impl Workload {
         });
 
         let cdst = (scheme.compress_vertex && scheme.bins_updates()).then(|| {
-            alloc_slices(&mut img, "cdst", n, DST_SUBCHUNK, DataClass::DestinationVertex)
+            alloc_slices(
+                &mut img,
+                "cdst",
+                n,
+                DST_SUBCHUNK,
+                DataClass::DestinationVertex,
+            )
         });
-        let csrc = (scheme.compress_vertex && scheme.bins_updates() && all_active).then(|| {
-            alloc_slices(&mut img, "csrc", n, VERTEX_CHUNK, DataClass::SourceVertex)
-        });
+        let csrc = (scheme.compress_vertex && scheme.bins_updates() && all_active)
+            .then(|| alloc_slices(&mut img, "csrc", n, VERTEX_CHUNK, DataClass::SourceVertex));
 
         let staging_bytes = bins
             .as_ref()
@@ -296,8 +297,9 @@ impl Workload {
         let chunk = cdst.chunk_elems as usize;
         let lo = i * chunk;
         let hi = ((i + 1) * chunk).min(self.n());
-        let values: Vec<u64> =
-            (lo..hi).map(|v| self.img.read_u32(self.dst_addr + v as u64 * 4) as u64).collect();
+        let values: Vec<u64> = (lo..hi)
+            .map(|v| self.img.read_u32(self.dst_addr + v as u64 * 4) as u64)
+            .collect();
         let mut bytes = Vec::new();
         codec.build().compress(&values, &mut bytes);
         let addr = cdst.chunk_addr(i);
@@ -317,12 +319,16 @@ impl Workload {
         let chunk = csrc.chunk_elems as usize;
         let lo = i * chunk;
         let hi = ((i + 1) * chunk).min(self.n());
-        let values: Vec<u64> =
-            (lo..hi).map(|v| self.img.read_u32(self.src_addr + v as u64 * 4) as u64).collect();
+        let values: Vec<u64> = (lo..hi)
+            .map(|v| self.img.read_u32(self.src_addr + v as u64 * 4) as u64)
+            .collect();
         let mut bytes = Vec::new();
         codec.build().compress(&values, &mut bytes);
         let addr = csrc.chunk_addr(i);
-        assert!((bytes.len() as u64) < csrc.stride, "compressed source chunk overflow");
+        assert!(
+            (bytes.len() as u64) < csrc.stride,
+            "compressed source chunk overflow"
+        );
         self.img.write_bytes(addr, &bytes);
         let len = bytes.len() as u32;
         self.csrc.as_mut().unwrap().lens[i] = len;
@@ -341,7 +347,12 @@ fn alloc_slices(
     // Worst case ~9 bytes/element for delta, plus framing.
     let stride = (chunk_elems as u64 * 10 + 64).next_multiple_of(64);
     let base = img.alloc(name, stride * chunks, class);
-    CompressedSlices { chunk_elems, base, stride, lens: vec![0; chunks as usize] }
+    CompressedSlices {
+        chunk_elems,
+        base,
+        stride,
+        lens: vec![0; chunks as usize],
+    }
 }
 
 fn build_compressed_adj(
@@ -389,7 +400,13 @@ mod tests {
 
     #[test]
     fn push_layout_has_no_bins_or_cadj() {
-        let w = Workload::build(graph(), &Scheme::Push.config(), 4, 64 * 1024, true);
+        let w = Workload::build(
+            Arc::new(graph()),
+            &Scheme::Push.config(),
+            4,
+            64 * 1024,
+            true,
+        );
         assert!(w.cadj.is_none());
         assert!(w.bins.is_none());
         assert!(w.cdst.is_none());
@@ -397,7 +414,13 @@ mod tests {
 
     #[test]
     fn push_spzip_compresses_adjacency_only() {
-        let w = Workload::build(graph(), &Scheme::PushSpzip.config(), 4, 64 * 1024, true);
+        let w = Workload::build(
+            Arc::new(graph()),
+            &Scheme::PushSpzip.config(),
+            4,
+            64 * 1024,
+            true,
+        );
         let cadj = w.cadj.as_ref().unwrap();
         assert!(cadj.ratio > 1.0, "ratio {}", cadj.ratio);
         assert_eq!(cadj.group_rows, ADJ_GROUP_ROWS);
@@ -406,13 +429,25 @@ mod tests {
 
     #[test]
     fn non_all_active_uses_per_row_groups() {
-        let w = Workload::build(graph(), &Scheme::PushSpzip.config(), 4, 64 * 1024, false);
+        let w = Workload::build(
+            Arc::new(graph()),
+            &Scheme::PushSpzip.config(),
+            4,
+            64 * 1024,
+            false,
+        );
         assert_eq!(w.cadj.as_ref().unwrap().group_rows, 1);
     }
 
     #[test]
     fn ub_spzip_has_everything() {
-        let w = Workload::build(graph(), &Scheme::UbSpzip.config(), 4, 64 * 1024, true);
+        let w = Workload::build(
+            Arc::new(graph()),
+            &Scheme::UbSpzip.config(),
+            4,
+            64 * 1024,
+            true,
+        );
         assert!(w.cadj.is_some());
         let bins = w.bins.as_ref().unwrap();
         assert!(bins.num_bins >= 1);
@@ -427,7 +462,13 @@ mod tests {
 
     #[test]
     fn bin_addresses_do_not_alias() {
-        let w = Workload::build(graph(), &Scheme::UbSpzip.config(), 4, 16 * 1024, true);
+        let w = Workload::build(
+            Arc::new(graph()),
+            &Scheme::UbSpzip.config(),
+            4,
+            16 * 1024,
+            true,
+        );
         let b = w.bins.as_ref().unwrap();
         let mut addrs: Vec<u64> = Vec::new();
         for core in 0..4 {
@@ -446,7 +487,13 @@ mod tests {
     #[test]
     fn compressed_adjacency_roundtrips() {
         let g = graph();
-        let w = Workload::build(g.clone(), &Scheme::PushSpzip.config(), 4, 64 * 1024, true);
+        let w = Workload::build(
+            Arc::new(g.clone()),
+            &Scheme::PushSpzip.config(),
+            4,
+            64 * 1024,
+            true,
+        );
         let cadj = w.cadj.as_ref().unwrap();
         let codec = Scheme::PushSpzip.config().adjacency_codec.build();
         // Decode group 0 and compare with the raw rows.
@@ -463,7 +510,13 @@ mod tests {
 
     #[test]
     fn recompress_dst_chunk_tracks_lengths() {
-        let mut w = Workload::build(graph(), &Scheme::UbSpzip.config(), 4, 16 * 1024, true);
+        let mut w = Workload::build(
+            Arc::new(graph()),
+            &Scheme::UbSpzip.config(),
+            4,
+            16 * 1024,
+            true,
+        );
         let codec = SchemeConfig::with_spzip(Strategy::Ub).vertex_codec;
         for v in 0..64 {
             w.img.write_u32(w.dst_addr + v * 4, (v % 7) as u32);

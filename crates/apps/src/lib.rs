@@ -23,6 +23,9 @@
 //! * [`run`] — the top-level entry: run one (app, dataset, scheme)
 //!   configuration, validate results against a reference execution, and
 //!   report cycles and traffic.
+//! * [`spec`] — keyed run specifications: a [`spec::RunSpec`] names one
+//!   experiment cell, fingerprints it for deduplication/memoization, and
+//!   serializes its [`RunOutcome`] as stable `key value` text.
 
 pub mod alg;
 pub mod apps;
@@ -32,6 +35,8 @@ pub mod pipelines;
 pub mod run;
 pub mod runtime;
 pub mod scheme;
+pub mod spec;
 
 pub use run::{run_app, run_app_full, run_app_with, AppName, RunOutcome};
 pub use scheme::{Scheme, SchemeConfig};
+pub use spec::{MachineSpec, RunSpec};

@@ -7,11 +7,9 @@
 
 use crate::layout::Workload;
 use crate::scheme::SchemeConfig;
-use spzip_core::dcl::{
-    MemQueueMode, OperatorKind, Pipeline, PipelineBuilder, RangeInput,
-};
-use spzip_core::QueueId;
 use spzip_compress::CodecKind;
+use spzip_core::dcl::{MemQueueMode, OperatorKind, Pipeline, PipelineBuilder, RangeInput};
+use spzip_core::QueueId;
 use spzip_mem::DataClass;
 
 /// The fetcher program for traversal phases (Push traversal, UB/PHI
@@ -72,7 +70,10 @@ pub fn traversal(w: &Workload, cfg: &SchemeConfig, opts: TraversalOpts) -> Trave
             vec![cf_bytes_q],
         );
         b.operator(
-            OperatorKind::Decompress { codec: cfg.vertex_codec, elem_bytes: 4 },
+            OperatorKind::Decompress {
+                codec: cfg.vertex_codec,
+                elem_bytes: 4,
+            },
             cf_bytes_q,
             vec![ids_q],
         );
@@ -115,7 +116,10 @@ pub fn traversal(w: &Workload, cfg: &SchemeConfig, opts: TraversalOpts) -> Trave
                 vec![cb_q],
             );
             b.operator(
-                OperatorKind::Decompress { codec: cfg.vertex_codec, elem_bytes: 4 },
+                OperatorKind::Decompress {
+                    codec: cfg.vertex_codec,
+                    elem_bytes: 4,
+                },
                 cb_q,
                 vec![contrib],
             );
@@ -227,7 +231,10 @@ pub fn traversal(w: &Workload, cfg: &SchemeConfig, opts: TraversalOpts) -> Trave
             );
         }
         b.operator(
-            OperatorKind::Decompress { codec: cfg.adjacency_codec, elem_bytes: 4 },
+            OperatorKind::Decompress {
+                codec: cfg.adjacency_codec,
+                elem_bytes: 4,
+            },
             bytes_q,
             neigh_outs,
         );
@@ -305,7 +312,13 @@ pub fn traversal(w: &Workload, cfg: &SchemeConfig, opts: TraversalOpts) -> Trave
     }
 
     let pipeline = b.build().expect("traversal pipeline must validate");
-    TraversalPipe { pipeline, in_q, src_in_q, neigh_q, contrib_q }
+    TraversalPipe {
+        pipeline,
+        in_q,
+        src_in_q,
+        neigh_q,
+        contrib_q,
+    }
 }
 
 /// The compressor program for UB/PHI binning (Fig. 14): MQU buffering →
@@ -340,9 +353,17 @@ pub fn binning_compressor(w: &Workload, cfg: &SchemeConfig, core: usize) -> Binn
         bin_q,
         vec![chunk_q],
     );
-    let codec = if cfg.compress_updates { cfg.update_codec } else { CodecKind::None };
+    let codec = if cfg.compress_updates {
+        cfg.update_codec
+    } else {
+        CodecKind::None
+    };
     b.operator(
-        OperatorKind::Compress { codec, elem_bytes: 8, sort_chunks: cfg.sort_chunks },
+        OperatorKind::Compress {
+            codec,
+            elem_bytes: 8,
+            sort_chunks: cfg.sort_chunks,
+        },
         chunk_q,
         vec![cbytes_q],
     );
@@ -360,7 +381,10 @@ pub fn binning_compressor(w: &Workload, cfg: &SchemeConfig, core: usize) -> Binn
         cbytes_q,
         vec![],
     );
-    BinningCompPipe { pipeline: b.build().expect("binning pipeline must validate"), bin_q }
+    BinningCompPipe {
+        pipeline: b.build().expect("binning pipeline must validate"),
+        bin_q,
+    }
 }
 
 /// The fetcher program for UB/PHI accumulation: compressed-bin byte ranges
@@ -398,9 +422,16 @@ pub fn accum_fetcher(w: &Workload, cfg: &SchemeConfig) -> AccumFetchPipe {
         bin_in_q,
         vec![bytes_q],
     );
-    let codec = if cfg.compress_updates { cfg.update_codec } else { CodecKind::None };
+    let codec = if cfg.compress_updates {
+        cfg.update_codec
+    } else {
+        CodecKind::None
+    };
     b.operator(
-        OperatorKind::Decompress { codec, elem_bytes: 8 },
+        OperatorKind::Decompress {
+            codec,
+            elem_bytes: 8,
+        },
         bytes_q,
         vec![upd_q],
     );
@@ -421,7 +452,10 @@ pub fn accum_fetcher(w: &Workload, cfg: &SchemeConfig) -> AccumFetchPipe {
             vec![s_bytes],
         );
         b.operator(
-            OperatorKind::Decompress { codec: cfg.vertex_codec, elem_bytes: 4 },
+            OperatorKind::Decompress {
+                codec: cfg.vertex_codec,
+                elem_bytes: 4,
+            },
             s_bytes,
             vec![s_val],
         );
@@ -474,12 +508,26 @@ pub fn slice_compressor(
         vec![vals_q],
     );
     b.operator(
-        OperatorKind::Compress { codec, elem_bytes: 4, sort_chunks: false },
+        OperatorKind::Compress {
+            codec,
+            elem_bytes: 4,
+            sort_chunks: false,
+        },
         vals_q,
         vec![bytes_q],
     );
-    b.operator(OperatorKind::StreamWrite { base: out_base, class }, bytes_q, vec![]);
-    SliceCompPipe { pipeline: b.build().expect("slice compressor must validate"), in_q }
+    b.operator(
+        OperatorKind::StreamWrite {
+            base: out_base,
+            class,
+        },
+        bytes_q,
+        vec![],
+    );
+    SliceCompPipe {
+        pipeline: b.build().expect("slice compressor must validate"),
+        in_q,
+    }
 }
 
 /// A compressor program for values the core enqueues directly (Fig. 13):
@@ -503,12 +551,26 @@ pub fn value_compressor(
     let val_q = b.queue(64);
     let bytes_q = b.queue(48);
     b.operator(
-        OperatorKind::Compress { codec, elem_bytes: 4, sort_chunks },
+        OperatorKind::Compress {
+            codec,
+            elem_bytes: 4,
+            sort_chunks,
+        },
         val_q,
         vec![bytes_q],
     );
-    b.operator(OperatorKind::StreamWrite { base: out_base, class }, bytes_q, vec![]);
-    ValueCompPipe { pipeline: b.build().expect("value compressor must validate"), val_q }
+    b.operator(
+        OperatorKind::StreamWrite {
+            base: out_base,
+            class,
+        },
+        bytes_q,
+        vec![],
+    );
+    ValueCompPipe {
+        pipeline: b.build().expect("value compressor must validate"),
+        val_q,
+    }
 }
 
 #[cfg(test)]
@@ -519,7 +581,13 @@ mod tests {
 
     fn workload(scheme: Scheme, all_active: bool) -> Workload {
         let g = community(&CommunityParams::web_crawl(1 << 9, 6), 3);
-        Workload::build(g, &scheme.config(), 4, 32 * 1024, all_active)
+        Workload::build(
+            std::sync::Arc::new(g),
+            &scheme.config(),
+            4,
+            32 * 1024,
+            all_active,
+        )
     }
 
     #[test]
@@ -535,8 +603,7 @@ mod tests {
                             TraversalOpts {
                                 all_active,
                                 prefetch_dst: prefetch,
-                                frontier_compressed: !all_active
-                                    && scheme.config().compress_vertex,
+                                frontier_compressed: !all_active && scheme.config().compress_vertex,
                                 read_source,
                             },
                         );
@@ -571,7 +638,12 @@ mod tests {
 
     #[test]
     fn stream_compressors_validate() {
-        let sc = slice_compressor(0x1000, 0x2000, CodecKind::Bpc32, DataClass::DestinationVertex);
+        let sc = slice_compressor(
+            0x1000,
+            0x2000,
+            CodecKind::Bpc32,
+            DataClass::DestinationVertex,
+        );
         assert_eq!(sc.pipeline.operators().len(), 3);
         let vc = value_compressor(0x3000, CodecKind::Delta, true, DataClass::Frontier);
         assert_eq!(vc.pipeline.operators().len(), 2);

@@ -3,14 +3,17 @@
 //! execution, and report cycles and traffic.
 
 use crate::alg::{results_match, Algorithm};
-use crate::apps::{bfs::Bfs, cc::ConnectedComponents, dc::DegreeCounting, pr::PageRank,
-    prd::PageRankDelta, re::RadiiEstimation, spmv::SpMv};
+use crate::apps::{
+    bfs::Bfs, cc::ConnectedComponents, dc::DegreeCounting, pr::PageRank, prd::PageRankDelta,
+    re::RadiiEstimation, spmv::SpMv,
+};
 use crate::layout::Workload;
 use crate::runtime::{self, AlgoRunStats};
 use crate::scheme::{SchemeConfig, Strategy};
 use spzip_graph::{Csr, VertexId};
 use spzip_sim::{Machine, MachineConfig, RunReport};
 use std::fmt;
+use std::sync::Arc;
 
 /// The seven applications by paper abbreviation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -34,12 +37,27 @@ pub enum AppName {
 impl AppName {
     /// All applications, in the paper's figure order.
     pub fn all() -> [AppName; 7] {
-        [AppName::Pr, AppName::Prd, AppName::Cc, AppName::Re, AppName::Dc, AppName::Bfs, AppName::Sp]
+        [
+            AppName::Pr,
+            AppName::Prd,
+            AppName::Cc,
+            AppName::Re,
+            AppName::Dc,
+            AppName::Bfs,
+            AppName::Sp,
+        ]
     }
 
     /// The six graph applications (SpMV runs on the matrix input).
     pub fn graph_apps() -> [AppName; 6] {
-        [AppName::Pr, AppName::Prd, AppName::Cc, AppName::Re, AppName::Dc, AppName::Bfs]
+        [
+            AppName::Pr,
+            AppName::Prd,
+            AppName::Cc,
+            AppName::Re,
+            AppName::Dc,
+            AppName::Bfs,
+        ]
     }
 
     /// Whether this application consumes the matrix dataset.
@@ -95,14 +113,14 @@ pub struct RunOutcome {
 /// # Panics
 ///
 /// Panics if the simulated machine deadlocks (an instrumentation bug).
-pub fn run_app(app: AppName, g: &Csr, cfg: &SchemeConfig, mcfg: MachineConfig) -> RunOutcome {
+pub fn run_app(app: AppName, g: &Arc<Csr>, cfg: &SchemeConfig, mcfg: MachineConfig) -> RunOutcome {
     run_app_with(app, g, cfg, mcfg, None)
 }
 
 /// [`run_app`] with an optional fetcher scratchpad override (Fig. 21).
 pub fn run_app_with(
     app: AppName,
-    g: &Csr,
+    g: &Arc<Csr>,
     cfg: &SchemeConfig,
     mcfg: MachineConfig,
     fetcher_scratchpad: Option<u32>,
@@ -114,7 +132,7 @@ pub fn run_app_with(
 /// the compressed-memory-hierarchy baseline (Fig. 22).
 pub fn run_app_full(
     app: AppName,
-    g: &Csr,
+    g: &Arc<Csr>,
     cfg: &SchemeConfig,
     mcfg: MachineConfig,
     fetcher_scratchpad: Option<u32>,
@@ -166,7 +184,12 @@ pub fn run_app_full(
     let validated = results_match(alg.as_ref(), &result, &reference);
 
     let adjacency_ratio = w.cadj.as_ref().map(|c| c.ratio);
-    RunOutcome { report: machine.finish(), stats, validated, adjacency_ratio }
+    RunOutcome {
+        report: machine.finish(),
+        stats,
+        validated,
+        adjacency_ratio,
+    }
 }
 
 /// Pure functional execution in the same order the instrumented runtime
@@ -194,7 +217,9 @@ pub fn reference_run(alg: &mut dyn Algorithm, w: &mut Workload) -> Vec<u32> {
                 }
             }
         }
-        if alg.end_iteration(w, iteration) == crate::alg::EndIter::Done { break }
+        if alg.end_iteration(w, iteration) == crate::alg::EndIter::Done {
+            break;
+        }
         if alg.all_active() {
             continue;
         }
@@ -218,14 +243,14 @@ mod tests {
         cfg
     }
 
-    fn tiny_graph() -> Csr {
-        community(&CommunityParams::web_crawl(512, 6), 17)
+    fn tiny_graph() -> Arc<Csr> {
+        Arc::new(community(&CommunityParams::web_crawl(512, 6), 17))
     }
 
     #[test]
     fn every_app_validates_under_push() {
         let g = tiny_graph();
-        let m = grid3d(6, 1, 3);
+        let m = Arc::new(grid3d(6, 1, 3));
         for app in AppName::all() {
             let input = if app.is_matrix() { &m } else { &g };
             let out = run_app(app, input, &Scheme::Push.config(), tiny_machine());

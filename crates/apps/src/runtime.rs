@@ -135,8 +135,7 @@ pub fn run_algorithm(
     }
 
     let mut stats = AlgoRunStats::default();
-    let mut phi = (cfg.strategy == Strategy::Phi)
-        .then(|| PhiUnit::new(llc_bytes, 16, 4));
+    let mut phi = (cfg.strategy == Strategy::Phi).then(|| PhiUnit::new(llc_bytes, 16, 4));
 
     for iteration in 0..alg.max_iterations() {
         if frontier.is_empty() {
@@ -261,9 +260,15 @@ fn compress_frontier_host(
         let mut bytes = Vec::new();
         codec.compress(&values, &mut bytes);
         let pos = core as u64 * region_cap + cursors[core];
-        assert!(cursors[core] + bytes.len() as u64 <= region_cap, "cfrontier overflow");
+        assert!(
+            cursors[core] + bytes.len() as u64 <= region_cap,
+            "cfrontier overflow"
+        );
         w.img.write_bytes(w.cfrontier_addr + pos, &bytes);
-        let ids_lo = chunks.iter().map(|c: &CFrontierChunk| c.ids_hi - c.ids_lo).sum();
+        let ids_lo = chunks
+            .iter()
+            .map(|c: &CFrontierChunk| c.ids_hi - c.ids_lo)
+            .sum();
         chunks.push(CFrontierChunk {
             pos,
             len: bytes.len() as u32,
@@ -310,8 +315,10 @@ fn compress_frontier_phase(
     // Assign id chunks round-robin; generate events + functional runs.
     let mut chunks_meta = Vec::new();
     let mut works: Vec<Option<CoreWork>> = (0..cores).map(|_| None).collect();
-    let mut engines: Vec<FuncEngine> =
-        pipes.iter().map(|p| FuncEngine::new(p.pipeline.clone())).collect();
+    let mut engines: Vec<FuncEngine> = pipes
+        .iter()
+        .map(|p| FuncEngine::new(p.pipeline.clone()))
+        .collect();
     let mut cursors = vec![0u64; cores];
     let mut ids_done = 0usize;
     for (ci, chunk_ids) in ids.chunks(CHUNK_VERTICES as usize).enumerate() {
@@ -320,10 +327,16 @@ fn compress_frontier_phase(
         let val_q = pipes[core].val_q;
         for &v in chunk_ids {
             engines[core].enqueue_value(val_q, v as u64, 4);
-            work.events.push(Event::CompressorEnqueue { q: val_q, quarters: 4 });
+            work.events.push(Event::CompressorEnqueue {
+                q: val_q,
+                quarters: 4,
+            });
         }
         engines[core].enqueue_marker(val_q, 0);
-        work.events.push(Event::CompressorEnqueue { q: val_q, quarters: 4 });
+        work.events.push(Event::CompressorEnqueue {
+            q: val_q,
+            quarters: 4,
+        });
         engines[core].run(&mut w.img);
         let len = engines[core].stream_cursor(1) - cursors[core];
         chunks_meta.push(CFrontierChunk {
@@ -426,7 +439,9 @@ fn run_traversal_phase(
         for m in metas {
             w.img.write_u64(m, 0);
         }
-        (0..cores).map(|c| pipelines::binning_compressor(w, cfg, c)).collect()
+        (0..cores)
+            .map(|c| pipelines::binning_compressor(w, cfg, c))
+            .collect()
     } else {
         Vec::new()
     };
@@ -434,7 +449,11 @@ fn run_traversal_phase(
         machine.load_compressor_program_for(c, &p.pipeline);
     }
     let mut comp_engines: Vec<Option<FuncEngine>> = (0..cores)
-        .map(|c| bin_pipes.get(c).map(|p| FuncEngine::new(p.pipeline.clone())))
+        .map(|c| {
+            bin_pipes
+                .get(c)
+                .map(|p| FuncEngine::new(p.pipeline.clone()))
+        })
         .collect();
 
     let mut source = TraversalSource {
@@ -461,10 +480,8 @@ fn run_traversal_phase(
         all_active,
     };
     source.in_next = vec![false; source.w.n()];
-    source.bin_cursors = vec![
-        vec![0u64; source.w.bins.as_ref().map_or(0, |b| b.num_bins as usize)];
-        cores
-    ];
+    source.bin_cursors =
+        vec![vec![0u64; source.w.bins.as_ref().map_or(0, |b| b.num_bins as usize)]; cores];
     machine.run_phase(&mut source);
 }
 
@@ -572,7 +589,10 @@ impl TraversalSource<'_> {
                     Some(prev) => self.alg.combine(prev, payload),
                     None => payload,
                 });
-                if let PhiPush::Allocated { evicted: Some((victim, _)) } = outcome {
+                if let PhiPush::Allocated {
+                    evicted: Some((victim, _)),
+                } = outcome
+                {
                     let spilled = self.phi_payloads.remove(&victim).unwrap_or([None; 16]);
                     self.spill_line(core, ev, victim, &spilled);
                 }
@@ -586,7 +606,13 @@ impl TraversalSource<'_> {
     }
 
     /// Spills one PHI line's coalesced updates to bins.
-    fn spill_line(&mut self, core: usize, ev: &mut Vec<Event>, line: u64, slots: &[Option<u32>; 16]) {
+    fn spill_line(
+        &mut self,
+        core: usize,
+        ev: &mut Vec<Event>,
+        line: u64,
+        slots: &[Option<u32>; 16],
+    ) {
         let base_dst = (line * 64).saturating_sub(self.w.dst_addr) / 4;
         for (slot, payload) in slots.iter().enumerate() {
             let Some(p) = payload else { continue };
@@ -658,12 +684,19 @@ impl TraversalSource<'_> {
             self.run_comp_engine(core);
             ev.push(Event::CompressorDrain);
             let trace = self.comp_engines[core].as_mut().unwrap().take_firings();
-            return Some(CoreWork { events: ev, fetcher_trace: None, compressor_trace: Some(trace) });
+            return Some(CoreWork {
+                events: ev,
+                fetcher_trace: None,
+                compressor_trace: Some(trace),
+            });
         }
         if ev.is_empty() {
             None
         } else {
-            Some(CoreWork { events: ev, ..Default::default() })
+            Some(CoreWork {
+                events: ev,
+                ..Default::default()
+            })
         }
     }
 
@@ -708,14 +741,21 @@ impl TraversalSource<'_> {
                     DataClass::AdjacencyMatrix,
                 ));
                 if let Some(values_addr) = self.w.values_addr {
-                    ev.push(Event::load(values_addr + e as u64 * 4, 4, DataClass::AdjacencyMatrix));
+                    ev.push(Event::load(
+                        values_addr + e as u64 * 4,
+                        4,
+                        DataClass::AdjacencyMatrix,
+                    ));
                 }
                 ev.push(Event::Compute(self.cost.sw_per_edge));
                 let payload = self.alg.payload(self.w, src, e);
                 self.edge_action(core, &mut ev, src, dst, payload);
             }
         }
-        CoreWork { events: ev, ..Default::default() }
+        CoreWork {
+            events: ev,
+            ..Default::default()
+        }
     }
 
     /// Generates one SpZip-traversal chunk: functional pipeline run +
@@ -780,7 +820,9 @@ impl TraversalSource<'_> {
             if let Some(ci) = contrib_iter.as_mut() {
                 // Pop markers until the source's payload value arrives.
                 loop {
-                    let Some(&(item, cost)) = ci.peek() else { break };
+                    let Some(&(item, cost)) = ci.peek() else {
+                        break;
+                    };
                     ev.push(Event::FetcherDequeue {
                         q: trav.contrib_q.unwrap(),
                         quarters: cost as u16,
@@ -801,7 +843,10 @@ impl TraversalSource<'_> {
                     let (item, cost) = neigh_iter
                         .next()
                         .expect("neighbor stream ended early: pipeline bug");
-                    ev.push(Event::FetcherDequeue { q: trav.neigh_q, quarters: cost as u16 });
+                    ev.push(Event::FetcherDequeue {
+                        q: trav.neigh_q,
+                        quarters: cost as u16,
+                    });
                     match item {
                         QueueItem::Value(v) => break v as VertexId,
                         QueueItem::Marker(_) => continue,
@@ -815,7 +860,10 @@ impl TraversalSource<'_> {
         }
         // Trailing markers.
         for (_, cost) in neigh_iter {
-            ev.push(Event::FetcherDequeue { q: trav.neigh_q, quarters: cost as u16 });
+            ev.push(Event::FetcherDequeue {
+                q: trav.neigh_q,
+                quarters: cost as u16,
+            });
         }
         if let Some(ci) = contrib_iter.as_mut() {
             for (_, cost) in ci {
@@ -833,7 +881,11 @@ impl TraversalSource<'_> {
         } else {
             None
         };
-        CoreWork { events: ev, fetcher_trace, compressor_trace }
+        CoreWork {
+            events: ev,
+            fetcher_trace,
+            compressor_trace,
+        }
     }
 }
 
@@ -905,7 +957,9 @@ fn run_accumulation(
             pool.extend((sub_lo..sub_hi).map(Item::Slice));
         }
         pool.extend(
-            (0..cores).filter(|&c| !binned[c][bin as usize].is_empty()).map(Item::Seg),
+            (0..cores)
+                .filter(|&c| !binned[c][bin as usize].is_empty())
+                .map(Item::Seg),
         );
         pool.reverse(); // pop() hands slices out first
 
@@ -931,8 +985,8 @@ fn run_accumulation(
                             .map(|&(q, quarters)| Event::FetcherEnqueue { q, quarters }),
                     );
                     let sv = pipe.slice_val_q.unwrap();
-                    let stage_base =
-                        w.staging_addr + (sc - sub_lo) as u64 * crate::layout::DST_SUBCHUNK as u64 * 4;
+                    let stage_base = w.staging_addr
+                        + (sc - sub_lo) as u64 * crate::layout::DST_SUBCHUNK as u64 * 4;
                     emit_slice_dequeues(&mut ev, &mut eng, sv, stage_base);
                     fetcher_trace = Some(eng.take_firings());
                 }
@@ -980,7 +1034,11 @@ fn run_accumulation(
                     }
                 }
             }
-            Some(CoreWork { events: ev, fetcher_trace, compressor_trace: None })
+            Some(CoreWork {
+                events: ev,
+                fetcher_trace,
+                compressor_trace: None,
+            })
         });
 
         // Write the slice back compressed (vertex compression). The
@@ -1007,7 +1065,10 @@ fn run_accumulation(
                     ));
                     written += burst;
                 }
-                Some(CoreWork { events: ev, ..Default::default() })
+                Some(CoreWork {
+                    events: ev,
+                    ..Default::default()
+                })
             });
         } else if cfg.compress_vertex {
             // The raw array changed; refresh the compressed stream
@@ -1038,9 +1099,17 @@ fn apply_events(
         if use_slice {
             // The slice lives decompressed in the staging buffer.
             let off = (dst.saturating_sub(slice_lo) % bins.slice_vertices as u64) * 4;
-            ev.push(Event::store(w.staging_addr + off, 4, DataClass::DestinationVertex));
+            ev.push(Event::store(
+                w.staging_addr + off,
+                4,
+                DataClass::DestinationVertex,
+            ));
         } else {
-            ev.push(Event::store(w.dst_addr + dst * 4, 4, DataClass::DestinationVertex));
+            ev.push(Event::store(
+                w.dst_addr + dst * 4,
+                4,
+                DataClass::DestinationVertex,
+            ));
         }
     }
 }
@@ -1073,11 +1142,17 @@ fn emit_slice_dequeues(
     for (item, qcost) in eng.drain_output_costed(sv) {
         if item.is_marker() {
             if val_run > 0 {
-                ev.push(Event::FetcherDequeue { q: sv, quarters: val_run * 4 });
+                ev.push(Event::FetcherDequeue {
+                    q: sv,
+                    quarters: val_run * 4,
+                });
                 val_run = 0;
             }
             flush(ev, &mut pending_vals, &mut stored);
-            ev.push(Event::FetcherDequeue { q: sv, quarters: qcost as u16 });
+            ev.push(Event::FetcherDequeue {
+                q: sv,
+                quarters: qcost as u16,
+            });
         } else {
             val_run += 1;
             pending_vals += 1;
@@ -1091,7 +1166,10 @@ fn emit_slice_dequeues(
         }
     }
     if val_run > 0 {
-        ev.push(Event::FetcherDequeue { q: sv, quarters: val_run * 4 });
+        ev.push(Event::FetcherDequeue {
+            q: sv,
+            quarters: val_run * 4,
+        });
     }
     flush(ev, &mut pending_vals, &mut stored);
 }
@@ -1146,11 +1224,17 @@ fn run_vertex_phase(
             for (item, qcost) in eng.drain_output_costed(sv) {
                 if item.is_marker() {
                     if val_run > 0 {
-                        ev.push(Event::FetcherDequeue { q: sv, quarters: val_run * 4 });
+                        ev.push(Event::FetcherDequeue {
+                            q: sv,
+                            quarters: val_run * 4,
+                        });
                         ev.push(Event::Compute(cost.vertex_op));
                         val_run = 0;
                     }
-                    ev.push(Event::FetcherDequeue { q: sv, quarters: qcost as u16 });
+                    ev.push(Event::FetcherDequeue {
+                        q: sv,
+                        quarters: qcost as u16,
+                    });
                 } else {
                     val_run += 1;
                     if val_run == 2 {
@@ -1161,7 +1245,10 @@ fn run_vertex_phase(
                 }
             }
             if val_run > 0 {
-                ev.push(Event::FetcherDequeue { q: sv, quarters: val_run * 4 });
+                ev.push(Event::FetcherDequeue {
+                    q: sv,
+                    quarters: val_run * 4,
+                });
                 ev.push(Event::Compute(cost.vertex_op));
             }
             // Compressed contribution writes covering this sub-chunk.
@@ -1209,11 +1296,22 @@ fn run_vertex_phase(
             next += 1;
             let mut ev = Vec::new();
             for v in lo..hi {
-                ev.push(Event::load(w.dst_addr + v as u64 * 4, 4, DataClass::DestinationVertex));
+                ev.push(Event::load(
+                    w.dst_addr + v as u64 * 4,
+                    4,
+                    DataClass::DestinationVertex,
+                ));
                 ev.push(Event::Compute(cost.vertex_op));
-                ev.push(Event::store(w.src_addr + v as u64 * 4, 4, DataClass::SourceVertex));
+                ev.push(Event::store(
+                    w.src_addr + v as u64 * 4,
+                    4,
+                    DataClass::SourceVertex,
+                ));
             }
-            Some(CoreWork { events: ev, ..Default::default() })
+            Some(CoreWork {
+                events: ev,
+                ..Default::default()
+            })
         });
     }
 }

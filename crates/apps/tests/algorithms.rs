@@ -11,7 +11,13 @@ use spzip_apps::scheme::Scheme;
 use spzip_graph::Csr;
 
 fn workload_for(g: &Csr, all_active: bool) -> Workload {
-    Workload::build(g.clone(), &Scheme::Push.config(), 4, 32 * 1024, all_active)
+    Workload::build(
+        std::sync::Arc::new(g.clone()),
+        &Scheme::Push.config(),
+        4,
+        32 * 1024,
+        all_active,
+    )
 }
 
 /// A path graph 0 -> 1 -> 2 -> 3 plus a disconnected vertex 4.
@@ -102,12 +108,7 @@ fn re_masks_cover_reachable_sets() {
 
 #[test]
 fn spmv_matches_dense_computation() {
-    let entries = [
-        (0u32, 1u32, 2.0f64),
-        (1, 0, -1.0),
-        (1, 2, 0.5),
-        (2, 2, 3.0),
-    ];
+    let entries = [(0u32, 1u32, 2.0f64), (1, 0, -1.0), (1, 2, 0.5), (2, 2, 3.0)];
     // Drop the diagonal (2,2): CSR drops self-loops by design; build
     // without it to compare exactly.
     let m = Csr::from_entries(3, &entries[..3]);

@@ -15,7 +15,13 @@ fn corrupt_compressed_adjacency_panics_loudly() {
     // decompressor must detect it (panic with a clear message), not emit
     // garbage neighbors.
     let g = community(&CommunityParams::web_crawl(512, 6), 3);
-    let mut w = Workload::build(g, &Scheme::PushSpzip.config(), 4, 32 * 1024, true);
+    let mut w = Workload::build(
+        std::sync::Arc::new(g),
+        &Scheme::PushSpzip.config(),
+        4,
+        32 * 1024,
+        true,
+    );
     let trav = pipelines::traversal(
         &w,
         &Scheme::PushSpzip.config(),
@@ -53,7 +59,13 @@ fn out_of_range_traversal_panics() {
     // image's bounds check, not read garbage.
     let g = community(&CommunityParams::web_crawl(256, 4), 5);
     let n = g.num_vertices() as u64;
-    let w = Workload::build(g, &Scheme::Push.config(), 4, 32 * 1024, true);
+    let w = Workload::build(
+        std::sync::Arc::new(g),
+        &Scheme::Push.config(),
+        4,
+        32 * 1024,
+        true,
+    );
     let mut b = PipelineBuilder::new();
     let q0 = b.queue(8);
     let q1 = b.queue(32);
@@ -104,5 +116,8 @@ fn trace_operator_mismatch_is_rejected() {
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         model.append_trace(vec![Vec::new(), Vec::new(), Vec::new()]);
     }));
-    assert!(result.is_err(), "trace with wrong operator count must be rejected");
+    assert!(
+        result.is_err(),
+        "trace with wrong operator count must be rejected"
+    );
 }

@@ -11,11 +11,21 @@ use std::collections::HashMap;
 
 fn workload(scheme: Scheme, all_active: bool) -> Workload {
     let g = community(&CommunityParams::web_crawl(512, 6), 9);
-    Workload::build(g, &scheme.config(), 4, 32 * 1024, all_active)
+    Workload::build(
+        std::sync::Arc::new(g),
+        &scheme.config(),
+        4,
+        32 * 1024,
+        all_active,
+    )
 }
 
 fn opname(pipeline: &spzip_core::dcl::Pipeline) -> Vec<&'static str> {
-    pipeline.operators().iter().map(|op| op.kind.name()).collect()
+    pipeline
+        .operators()
+        .iter()
+        .map(|op| op.kind.name())
+        .collect()
 }
 
 #[test]
@@ -37,7 +47,11 @@ fn fig5_pagerank_pipeline_shape() {
     // Compressed adjacency adds the Fig. 11 decompressor.
     assert!(names.contains(&"decompress"), "{names:?}");
     assert!(names.contains(&"indirect"), "prefetch indirection present");
-    assert_eq!(names.iter().filter(|n| **n == "range").count(), 3, "{names:?}");
+    assert_eq!(
+        names.iter().filter(|n| **n == "range").count(),
+        3,
+        "{names:?}"
+    );
 }
 
 #[test]
@@ -66,7 +80,11 @@ fn fig6_bfs_pipeline_shape() {
         3,
         "offsets pair-fetch + source + prefetch: {names:?}"
     );
-    assert_eq!(names.iter().filter(|n| **n == "range").count(), 2, "{names:?}");
+    assert_eq!(
+        names.iter().filter(|n| **n == "range").count(),
+        2,
+        "{names:?}"
+    );
 }
 
 #[test]
@@ -74,7 +92,10 @@ fn fig14_binning_pipeline_shape() {
     // UB binning compressor (Fig. 14): MQU -> compress -> MQU.
     let w = workload(Scheme::UbSpzip, true);
     let bc = pipelines::binning_compressor(&w, &Scheme::UbSpzip.config(), 0);
-    assert_eq!(opname(&bc.pipeline), vec!["memqueue", "compress", "memqueue"]);
+    assert_eq!(
+        opname(&bc.pipeline),
+        vec!["memqueue", "compress", "memqueue"]
+    );
 }
 
 #[test]

@@ -42,7 +42,10 @@ fn codecs() -> Vec<(&'static str, Box<dyn Codec>)> {
         ("bpc32", Box::new(BpcCodec::new(ElemWidth::W32))),
         ("bpc64", Box::new(BpcCodec::new(ElemWidth::W64))),
         ("rle", Box::new(RleCodec::new())),
-        ("delta_sorted", Box::new(SortedChunks::new(DeltaCodec::new()))),
+        (
+            "delta_sorted",
+            Box::new(SortedChunks::new(DeltaCodec::new())),
+        ),
         ("identity", CodecKind::None.build() as Box<dyn Codec>),
     ]
 }
@@ -52,18 +55,14 @@ fn bench_compress(c: &mut Criterion) {
     for (data_name, data) in datasets() {
         group.throughput(Throughput::Bytes(data.len() as u64 * 8));
         for (codec_name, codec) in codecs() {
-            group.bench_with_input(
-                BenchmarkId::new(codec_name, data_name),
-                &data,
-                |b, data| {
-                    let mut out = Vec::with_capacity(data.len() * 9);
-                    b.iter(|| {
-                        out.clear();
-                        codec.compress(std::hint::black_box(data), &mut out);
-                        out.len()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(codec_name, data_name), &data, |b, data| {
+                let mut out = Vec::with_capacity(data.len() * 9);
+                b.iter(|| {
+                    out.clear();
+                    codec.compress(std::hint::black_box(data), &mut out);
+                    out.len()
+                })
+            });
         }
     }
     group.finish();

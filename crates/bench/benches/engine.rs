@@ -37,7 +37,9 @@ fn bench_memory_system(c: &mut Criterion) {
         let mut addr = 0x10000u64;
         let mut now = 0u64;
         b.iter(|| {
-            addr = addr.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+            addr = addr
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407)
                 % (1 << 24);
             now += 4;
             mem.access_line(

@@ -1,0 +1,58 @@
+//! Regenerates every table and figure in one process.
+//!
+//! Unions the cells of all requested outputs, deduplicates them, runs the
+//! unique ones once on the parallel cached driver, then renders each
+//! output to `results/<name>.txt`. A second invocation is all cache hits
+//! and re-renders without simulating anything.
+//!
+//! `--only fig15ab,fig07` restricts the outputs; `--jobs N`, `--fresh`,
+//! `--scale`, `--cache-dir`, and `--out-dir` behave as in every other
+//! binary (`--preprocess` is ignored: both variants are rendered).
+
+use spzip_bench::driver::Driver;
+use spzip_bench::{cli, figures};
+use std::fs;
+
+fn main() {
+    let args = cli::parse();
+    let outputs: Vec<_> = figures::all_outputs()
+        .into_iter()
+        .filter(|o| {
+            args.only
+                .as_ref()
+                .is_none_or(|f| f.iter().any(|x| x.eq_ignore_ascii_case(o.name)))
+        })
+        .collect();
+    if outputs.is_empty() {
+        eprintln!("no outputs match --only; known outputs:");
+        for o in figures::all_outputs() {
+            eprintln!("  {}", o.name);
+        }
+        std::process::exit(1);
+    }
+
+    let mut cells = Vec::new();
+    for o in &outputs {
+        cells.extend((o.cells)(&args.sweep_with(o.preprocess)));
+    }
+    let driver = Driver::new(args.driver_options());
+    let memo = driver.execute(&cells);
+
+    fs::create_dir_all(&args.out_dir)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", args.out_dir.display()));
+    for o in &outputs {
+        let text = (o.render)(&args.sweep_with(o.preprocess), &memo);
+        let path = args.out_dir.join(format!("{}.txt", o.name));
+        fs::write(&path, &text).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        println!("wrote {}", path.display());
+    }
+    let st = driver.stats();
+    println!(
+        "{} outputs; {} cells requested, {} unique, {} simulated, {} from cache",
+        outputs.len(),
+        st.requested,
+        st.unique,
+        st.simulated,
+        st.cache_hits
+    );
+}

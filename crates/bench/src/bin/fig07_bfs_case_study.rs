@@ -1,28 +1,14 @@
-//! Fig. 7: performance and memory-traffic breakdown of BFS on the uk-2005
-//! analog, without preprocessing, for all six schemes.
-//!
-//! Expected shape (paper): Push+SpZip ~1.7x over Push with barely-reduced
-//! traffic (scatter updates dominate and neighbor ids are scattered); UB
-//! cuts traffic ~2.7x and runs ~2.5x; UB+SpZip compresses the now-
-//! sequential updates (~6x over Push); PHI+SpZip is fastest (~7.4x).
+//! Fig. 7: the BFS case study without preprocessing (see
+//! `spzip_bench::figures::fig07`). Thin wrapper: declare cells, run
+//! them through the cached driver, render.
 
-use spzip_apps::{AppName, Scheme};
-use spzip_bench::{print_scheme_table, run_cell, Cell, InputCache};
-use spzip_graph::reorder::Preprocessing;
+use spzip_bench::driver::Driver;
+use spzip_bench::{cli, figures};
 
 fn main() {
-    let (scale, _) = spzip_bench::parse_args();
-    let mut cache = InputCache::new(scale);
-    let outcomes: Vec<_> = Scheme::all()
-        .into_iter()
-        .map(|scheme| {
-            let out = run_cell(
-                &mut cache,
-                Cell { app: AppName::Bfs, input: "ukl", scheme, prep: Preprocessing::None },
-            );
-            eprintln!("  {scheme}: done ({} cycles)", out.report.cycles);
-            (scheme, out)
-        })
-        .collect();
-    print_scheme_table("Fig. 7: BFS on ukl (no preprocessing), normalized to Push", &outcomes);
+    let args = cli::parse();
+    let opts = args.sweep();
+    let driver = Driver::new(args.driver_options());
+    let memo = driver.execute(&figures::fig07::cells(&opts));
+    print!("{}", figures::fig07::render(&opts, &memo));
 }

@@ -1,31 +1,13 @@
-//! Fig. 8: the Fig. 7 BFS case study with DFS preprocessing.
-//!
-//! Expected shape (paper): preprocessing slashes Push's destination-vertex
-//! traffic; UB becomes *worse* than Push (it streams all updates to memory
-//! regardless of locality, ~3.1x Push's traffic); the adjacency matrix now
-//! dominates and compresses ~2.3x, so every +SpZip variant gains ~1.5x;
-//! PHI+SpZip stays fastest (~6.3x over Push).
+//! Fig. 8: the BFS case study with DFS preprocessing (see
+//! `spzip_bench::figures::fig08`).
 
-use spzip_apps::{AppName, Scheme};
-use spzip_bench::{print_scheme_table, run_cell, Cell, InputCache};
-use spzip_graph::reorder::Preprocessing;
+use spzip_bench::driver::Driver;
+use spzip_bench::{cli, figures};
 
 fn main() {
-    let (scale, _) = spzip_bench::parse_args();
-    let mut cache = InputCache::new(scale);
-    let outcomes: Vec<_> = Scheme::all()
-        .into_iter()
-        .map(|scheme| {
-            let out = run_cell(
-                &mut cache,
-                Cell { app: AppName::Bfs, input: "ukl", scheme, prep: Preprocessing::Dfs },
-            );
-            eprintln!("  {scheme}: done ({} cycles)", out.report.cycles);
-            (scheme, out)
-        })
-        .collect();
-    print_scheme_table(
-        "Fig. 8: BFS on ukl (DFS preprocessing), normalized to Push",
-        &outcomes,
-    );
+    let args = cli::parse();
+    let opts = args.sweep();
+    let driver = Driver::new(args.driver_options());
+    let memo = driver.execute(&figures::fig08::cells(&opts));
+    print!("{}", figures::fig08::render(&opts, &memo));
 }

@@ -1,132 +1,14 @@
-//! Fig. 15: per-application speedups and traffic breakdowns for all six
-//! schemes, averaged across inputs — the paper's main results.
-//!
-//! `--preprocess` switches to the DFS-preprocessed variants (Fig. 15c/d);
-//! without it, inputs are randomized (Fig. 15a/b). `--apps PR,BFS` limits
-//! the sweep; `--inputs arb,ukl` likewise.
-//!
-//! Expected shape (paper, no preprocessing): PHI+SpZip fastest everywhere,
-//! gmean ~6x over Push; SpZip accelerates Push/UB/PHI by ~1.6x/3.0x/1.5x;
-//! traffic reductions of ~1.9x (UB+SpZip) to ~3.3x (PHI+SpZip) over Push.
-//! With DFS preprocessing: UB falls behind Push (~41% slower, ~3x traffic);
-//! Push+SpZip cuts adjacency traffic ~2.3x.
+//! Fig. 15: the main results sweep (see `spzip_bench::figures::fig15`).
+//! `--preprocess` renders Fig. 15c/d; `--apps`/`--inputs` restrict the
+//! sweep.
 
-use spzip_apps::{AppName, Scheme};
-use spzip_bench::{class_bytes, run_cell, Cell, InputCache};
-use spzip_compress::stats::{arithmetic_mean, geometric_mean};
-use spzip_graph::reorder::Preprocessing;
+use spzip_bench::driver::Driver;
+use spzip_bench::{cli, figures};
 
 fn main() {
-    let (scale, preprocess) = spzip_bench::parse_args();
-    let prep = if preprocess { Preprocessing::Dfs } else { Preprocessing::None };
-    let args: Vec<String> = std::env::args().collect();
-    let filter = |flag: &str| -> Option<Vec<String>> {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1))
-            .map(|s| s.split(',').map(|x| x.to_string()).collect())
-    };
-    let app_filter = filter("--apps");
-    let input_filter = filter("--inputs");
-
-    let graph_inputs = ["arb", "ukl", "twi", "it", "web"];
-    let mut cache = InputCache::new(scale);
-
-    println!(
-        "=== Fig. 15{}: speedups over Push and traffic breakdown (prep = {prep}) ===",
-        if preprocess { "c/d" } else { "a/b" }
-    );
-    let mut gmeans: Vec<(Scheme, Vec<f64>)> =
-        Scheme::all().iter().map(|&s| (s, Vec::new())).collect();
-    let mut traffic_means: Vec<(Scheme, Vec<f64>)> =
-        Scheme::all().iter().map(|&s| (s, Vec::new())).collect();
-
-    for app in AppName::all() {
-        if let Some(f) = &app_filter {
-            if !f.iter().any(|x| x.eq_ignore_ascii_case(&app.to_string())) {
-                continue;
-            }
-        }
-        let inputs: Vec<&str> =
-            if app.is_matrix() { vec!["nlp"] } else { graph_inputs.to_vec() };
-        // Per scheme, averaged across inputs; per-input rows double as the
-        // Fig. 16/17 data (same cells, pre-averaging).
-        let mut speedups = vec![Vec::new(); 6];
-        let mut traffics = vec![Vec::new(); 6];
-        let mut breakdowns = vec![[0.0f64; 6]; 6];
-        let mut per_input_rows: Vec<String> = Vec::new();
-        for input in inputs {
-            if let Some(f) = &input_filter {
-                if !f.iter().any(|x| x == input) {
-                    continue;
-                }
-            }
-            let mut base_cycles = 0u64;
-            let mut base_traffic = 0u64;
-            let mut row = format!("    {input:<5}");
-            for (si, scheme) in Scheme::all().into_iter().enumerate() {
-                let out = run_cell(&mut cache, Cell { app, input, scheme, prep });
-                assert!(out.validated, "{app}/{input}/{scheme} failed validation");
-                if si == 0 {
-                    base_cycles = out.report.cycles;
-                    base_traffic = out.report.traffic.total_bytes();
-                }
-                let sp = base_cycles as f64 / out.report.cycles.max(1) as f64;
-                let tr = out.report.traffic.total_bytes() as f64 / base_traffic.max(1) as f64;
-                speedups[si].push(sp);
-                traffics[si].push(tr);
-                let cb = class_bytes(&out);
-                for k in 0..6 {
-                    breakdowns[si][k] += cb[k] as f64 / base_traffic.max(1) as f64;
-                }
-                row.push_str(&format!(" {}:{:>5.2}x/{:<5.2}", scheme.code(), sp, tr));
-                eprintln!("  {app}/{input}/{scheme}: {} cycles", out.report.cycles);
-            }
-            per_input_rows.push(row);
-        }
-        if speedups[0].is_empty() {
-            continue;
-        }
-        println!("\n{app}:");
-        println!(
-            "  {:<12} {:>8} {:>8} | {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
-            "scheme", "speedup", "traffic", "Adj", "Src", "Dst", "Upd", "Fro", "Oth"
-        );
-        let n_inputs = speedups[0].len() as f64;
-        for (si, scheme) in Scheme::all().into_iter().enumerate() {
-            let sp = geometric_mean(&speedups[si]);
-            let tr = arithmetic_mean(&traffics[si]);
-            println!(
-                "  {:<12} {:>7.2}x {:>7.2}x | {:>6.3} {:>6.3} {:>6.3} {:>6.3} {:>6.3} {:>6.3}",
-                scheme.to_string(),
-                sp,
-                tr,
-                breakdowns[si][0] / n_inputs,
-                breakdowns[si][1] / n_inputs,
-                breakdowns[si][2] / n_inputs,
-                breakdowns[si][3] / n_inputs,
-                breakdowns[si][4] / n_inputs,
-                breakdowns[si][5] / n_inputs,
-            );
-            gmeans[si].1.push(sp);
-            traffic_means[si].1.push(tr);
-        }
-        println!("  per input (Fig. 16/17 series, speedup/traffic vs Push):");
-        for row in per_input_rows {
-            println!("{row}");
-        }
-    }
-
-    println!("\nGmean across applications (the paper's last bar group):");
-    for (s, v) in &gmeans {
-        if !v.is_empty() {
-            println!("  {:<12} speedup {:>6.2}x", s.to_string(), geometric_mean(v));
-        }
-    }
-    println!("Mean traffic across applications (normalized to Push):");
-    for (s, v) in &traffic_means {
-        if !v.is_empty() {
-            println!("  {:<12} traffic {:>6.2}x", s.to_string(), arithmetic_mean(v));
-        }
-    }
+    let args = cli::parse();
+    let opts = args.sweep();
+    let driver = Driver::new(args.driver_options());
+    let memo = driver.execute(&figures::fig15::cells(&opts));
+    print!("{}", figures::fig15::render(&opts, &memo));
 }

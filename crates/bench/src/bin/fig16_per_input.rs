@@ -1,52 +1,13 @@
-//! Figs. 16 and 17: per-input memory traffic and speedups for the six
-//! graph applications across all five graph inputs.
-//!
-//! Without `--preprocess` this is Fig. 16 (randomized ids); with it,
-//! Fig. 17 (DFS). Expected shape: trends of Fig. 15 hold per input;
-//! PHI+SpZip fastest everywhere; on `twi` (little community structure)
-//! preprocessing and compression help least.
+//! Figs. 16 and 17: per-input traffic and speedups (see
+//! `spzip_bench::figures::fig16`). `--preprocess` renders Fig. 17.
 
-use spzip_apps::{AppName, Scheme};
-use spzip_bench::{run_cell, Cell, InputCache};
-use spzip_graph::reorder::Preprocessing;
+use spzip_bench::driver::Driver;
+use spzip_bench::{cli, figures};
 
 fn main() {
-    let (scale, preprocess) = spzip_bench::parse_args();
-    let prep = if preprocess { Preprocessing::Dfs } else { Preprocessing::None };
-    let mut cache = InputCache::new(scale);
-    let inputs = ["arb", "ukl", "twi", "it", "web"];
-    println!(
-        "=== Fig. {}: per-input speedup and traffic vs Push (prep = {prep}) ===",
-        if preprocess { 17 } else { 16 }
-    );
-    for app in AppName::graph_apps() {
-        println!("\n{app}:");
-        println!(
-            "  {:<6} {}",
-            "input",
-            Scheme::all()
-                .map(|s| format!("{:>7}/{:<6}", format!("{}x", s.code()), "traf"))
-                .join(" ")
-        );
-        for input in inputs {
-            let mut row = format!("  {input:<6} ");
-            let mut base_cycles = 0u64;
-            let mut base_traffic = 0u64;
-            for (si, scheme) in Scheme::all().into_iter().enumerate() {
-                let out = run_cell(&mut cache, Cell { app, input, scheme, prep });
-                assert!(out.validated, "{app}/{input}/{scheme}");
-                if si == 0 {
-                    base_cycles = out.report.cycles;
-                    base_traffic = out.report.traffic.total_bytes();
-                }
-                row.push_str(&format!(
-                    "{:>6.2}x/{:<6.2} ",
-                    base_cycles as f64 / out.report.cycles.max(1) as f64,
-                    out.report.traffic.total_bytes() as f64 / base_traffic.max(1) as f64,
-                ));
-                eprintln!("  {app}/{input}/{scheme} done");
-            }
-            println!("{row}");
-        }
-    }
+    let args = cli::parse();
+    let opts = args.sweep();
+    let driver = Driver::new(args.driver_options());
+    let memo = driver.execute(&figures::fig16::cells(&opts));
+    print!("{}", figures::fig16::render(&opts, &memo));
 }

@@ -1,78 +1,13 @@
-//! Fig. 18: memory-traffic breakdown of the uk-2005 analog under the five
-//! preprocessing algorithms, for PHI (H) and PHI+SpZip (Z), averaged over
-//! the six graph applications.
-//!
-//! Expected shape (paper): without compression the techniques reach
-//! similar traffic; with compression, topological orders (BFS/DFS) and
-//! GOrder pull ahead of degree sorting because they improve the adjacency
-//! matrix's value locality (2.3-2.4x ratio vs 1.4x for DegreeSort).
+//! Fig. 18: preprocessing comparison on ukl (see
+//! `spzip_bench::figures::fig18`).
 
-use spzip_apps::{AppName, Scheme};
-use spzip_bench::{class_bytes, run_cell, Cell, InputCache};
-use spzip_graph::reorder::Preprocessing;
+use spzip_bench::driver::Driver;
+use spzip_bench::{cli, figures};
 
 fn main() {
-    let (scale, _) = spzip_bench::parse_args();
-    let mut cache = InputCache::new(scale);
-    println!("=== Fig. 18: PHI (H) / PHI+SpZip (Z) traffic on ukl by preprocessing ===");
-    println!("(normalized to PHI without preprocessing, averaged over graph apps)");
-    println!(
-        "{:<12} {:>10} {:>10} {:>12} {:>14}",
-        "prep", "H traffic", "Z traffic", "Z adj ratio", "Z/H reduction"
-    );
-    // Baseline: PHI, no preprocessing, per app.
-    let mut base: Vec<u64> = Vec::new();
-    for app in AppName::graph_apps() {
-        let out = run_cell(
-            &mut cache,
-            Cell { app, input: "ukl", scheme: Scheme::Phi, prep: Preprocessing::None },
-        );
-        base.push(out.report.traffic.total_bytes());
-        eprintln!("  base {app} done");
-    }
-    for prep in Preprocessing::all() {
-        let mut h_sum = 0.0;
-        let mut z_sum = 0.0;
-        let mut ratio_sum = 0.0;
-        let mut h_break = [0.0f64; 6];
-        let mut z_break = [0.0f64; 6];
-        for (ai, app) in AppName::graph_apps().into_iter().enumerate() {
-            let h = run_cell(&mut cache, Cell { app, input: "ukl", scheme: Scheme::Phi, prep });
-            let z =
-                run_cell(&mut cache, Cell { app, input: "ukl", scheme: Scheme::PhiSpzip, prep });
-            assert!(h.validated && z.validated, "{app}/{prep}");
-            let b = base[ai].max(1) as f64;
-            h_sum += h.report.traffic.total_bytes() as f64 / b;
-            z_sum += z.report.traffic.total_bytes() as f64 / b;
-            ratio_sum += z.adjacency_ratio.unwrap_or(1.0);
-            for k in 0..6 {
-                h_break[k] += class_bytes(&h)[k] as f64 / b;
-                z_break[k] += class_bytes(&z)[k] as f64 / b;
-            }
-            eprintln!("  {prep}/{app} done");
-        }
-        let n = AppName::graph_apps().len() as f64;
-        println!(
-            "{:<12} {:>9.3}x {:>9.3}x {:>11.2}x {:>13.2}x",
-            prep.to_string(),
-            h_sum / n,
-            z_sum / n,
-            ratio_sum / n,
-            h_sum / z_sum.max(1e-9),
-        );
-        println!(
-            "             H breakdown: Adj {:.3} Src {:.3} Dst {:.3} Upd {:.3}",
-            h_break[0] / n,
-            h_break[1] / n,
-            h_break[2] / n,
-            h_break[3] / n
-        );
-        println!(
-            "             Z breakdown: Adj {:.3} Src {:.3} Dst {:.3} Upd {:.3}",
-            z_break[0] / n,
-            z_break[1] / n,
-            z_break[2] / n,
-            z_break[3] / n
-        );
-    }
+    let args = cli::parse();
+    let opts = args.sweep();
+    let driver = Driver::new(args.driver_options());
+    let memo = driver.execute(&figures::fig18::cells(&opts));
+    print!("{}", figures::fig18::render(&opts, &memo));
 }

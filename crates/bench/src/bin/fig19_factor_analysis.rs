@@ -1,72 +1,13 @@
-//! Fig. 19: compression factor analysis over PHI — enabling compression of
-//! the adjacency matrix, then update bins, then vertex data, one at a time.
-//!
-//! Expected shape (paper): every structure helps; without preprocessing
-//! the bins matter most (they dominate traffic); with preprocessing the
-//! adjacency matrix matters most (preprocessing makes it compressible).
+//! Fig. 19: compression factor analysis (see
+//! `spzip_bench::figures::fig19`). `--preprocess` renders Fig. 19b.
 
-use spzip_apps::scheme::{SchemeConfig, Strategy};
-use spzip_apps::{run_app, AppName};
-use spzip_bench::{machine_config, InputCache};
-use spzip_compress::stats::geometric_mean;
-use spzip_graph::reorder::Preprocessing;
+use spzip_bench::driver::Driver;
+use spzip_bench::{cli, figures};
 
 fn main() {
-    let (scale, preprocess) = spzip_bench::parse_args();
-    let prep = if preprocess { Preprocessing::Dfs } else { Preprocessing::None };
-    let mut cache = InputCache::new(scale);
-
-    // The four bars: PHI, +Adjacency, +Bin, +Vertex (= PHI+SpZip).
-    let variants: [(&str, SchemeConfig); 4] = [
-        ("PHI", SchemeConfig::software(Strategy::Phi)),
-        ("+AdjacencyMatrix", {
-            let mut c = SchemeConfig::decoupled_only(Strategy::Phi);
-            c.compress_adjacency = true;
-            c
-        }),
-        ("+Bin", {
-            let mut c = SchemeConfig::decoupled_only(Strategy::Phi);
-            c.compress_adjacency = true;
-            c.compress_updates = true;
-            c.sort_chunks = true;
-            c
-        }),
-        ("+Vertex (=PHI+SpZip)", SchemeConfig::with_spzip(Strategy::Phi)),
-    ];
-
-    println!("=== Fig. 19{}: speedup over PHI as structures are compressed (prep = {prep}) ===",
-        if preprocess { "b" } else { "a" });
-    println!(
-        "{:<8} {:>8} {:>18} {:>8} {:>22}",
-        "app", "PHI", "+AdjacencyMatrix", "+Bin", "+Vertex (=PHI+SpZip)"
-    );
-    let mut per_variant: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    for app in AppName::graph_apps() {
-        let g = cache.get("ukl", prep).clone();
-        let mut cells = Vec::new();
-        for (name, cfg) in &variants {
-            let out = run_app(app, &g, cfg, machine_config());
-            assert!(out.validated, "{app}/{name}");
-            cells.push(out.report.cycles);
-            eprintln!("  {app}/{name} done");
-        }
-        let base = cells[0] as f64;
-        print!("{:<8}", app.to_string());
-        for (i, c) in cells.iter().enumerate() {
-            let sp = base / *c as f64;
-            per_variant[i].push(sp);
-            print!(" {:>7.2}x", sp);
-            if i == 1 {
-                print!("{:>10}", "");
-            }
-            if i == 2 {
-                print!("{:>14}", "");
-            }
-        }
-        println!();
-    }
-    println!("\nGmean:");
-    for (i, (name, _)) in variants.iter().enumerate() {
-        println!("  {:<22} {:>6.2}x", name, geometric_mean(&per_variant[i]));
-    }
+    let args = cli::parse();
+    let opts = args.sweep();
+    let driver = Driver::new(args.driver_options());
+    let memo = driver.execute(&figures::fig19::cells(&opts));
+    print!("{}", figures::fig19::render(&opts, &memo));
 }

@@ -1,48 +1,13 @@
-//! Fig. 20: decoupled fetching vs compression, over PHI.
-//!
-//! Expected shape (paper): decoupling alone buys a modest ~9-14% (the
-//! system is already bandwidth-bound); compression provides the rest of
-//! PHI+SpZip's 1.5-1.8x gain.
+//! Fig. 20: decoupling vs compression ablation (see
+//! `spzip_bench::figures::fig20`). `--preprocess` renders Fig. 20b.
 
-use spzip_apps::scheme::{SchemeConfig, Strategy};
-use spzip_apps::{run_app, AppName};
-use spzip_bench::{machine_config, InputCache};
-use spzip_compress::stats::geometric_mean;
-use spzip_graph::reorder::Preprocessing;
+use spzip_bench::driver::Driver;
+use spzip_bench::{cli, figures};
 
 fn main() {
-    let (scale, preprocess) = spzip_bench::parse_args();
-    let prep = if preprocess { Preprocessing::Dfs } else { Preprocessing::None };
-    let mut cache = InputCache::new(scale);
-    let variants: [(&str, SchemeConfig); 3] = [
-        ("PHI", SchemeConfig::software(Strategy::Phi)),
-        ("+Decoupled Fetching", SchemeConfig::decoupled_only(Strategy::Phi)),
-        ("+Compression (=PHI+SpZip)", SchemeConfig::with_spzip(Strategy::Phi)),
-    ];
-    // Two contrasting inputs keep the sweep tractable on one host:
-    // a web crawl (community structure) and the Twitter analog (none).
-    let inputs = ["ukl", "twi"];
-    let mut per_variant: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    for app in AppName::graph_apps() {
-        for input in inputs {
-            let g = cache.get(input, prep).clone();
-            let mut cycles = Vec::new();
-            for (name, cfg) in &variants {
-                let out = run_app(app, &g, cfg, machine_config());
-                assert!(out.validated, "{app}/{input}/{name}");
-                cycles.push(out.report.cycles);
-            }
-            for (i, c) in cycles.iter().enumerate() {
-                per_variant[i].push(cycles[0] as f64 / *c as f64);
-            }
-            eprintln!("  {app}/{input} done");
-        }
-    }
-    println!(
-        "=== Fig. 20{}: decoupling vs compression over PHI (prep = {prep}) ===",
-        if preprocess { "b" } else { "a" }
-    );
-    for (i, (name, _)) in variants.iter().enumerate() {
-        println!("  {:<26} {:>6.2}x", name, geometric_mean(&per_variant[i]));
-    }
+    let args = cli::parse();
+    let opts = args.sweep();
+    let driver = Driver::new(args.driver_options());
+    let memo = driver.execute(&figures::fig20::cells(&opts));
+    print!("{}", figures::fig20::render(&opts, &memo));
 }

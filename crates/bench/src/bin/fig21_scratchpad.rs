@@ -1,44 +1,13 @@
-//! Fig. 21: sensitivity of PHI+SpZip to the fetcher scratchpad size, on
-//! CC over the uk-2005 analog (queue depths bound decoupling distance).
-//!
-//! The paper sweeps 1/2/4 KB on the full-size system; this reproduction's
-//! caches are scaled 4x smaller, so the equivalent sweep is 256 B / 512 B
-//! / 1 KB (the middle point is the default).
-//!
-//! Expected shape (paper): going from half to the default scratchpad gains
-//! a few percent (2.6% without, 10% with preprocessing); doubling beyond
-//! the default gains nearly nothing.
+//! Fig. 21: fetcher scratchpad sensitivity (see
+//! `spzip_bench::figures::fig21`).
 
-use spzip_apps::{run_app_with, AppName, Scheme};
-use spzip_bench::{machine_config, InputCache};
-use spzip_graph::reorder::Preprocessing;
+use spzip_bench::driver::Driver;
+use spzip_bench::{cli, figures};
 
 fn main() {
-    let (scale, _) = spzip_bench::parse_args();
-    let mut cache = InputCache::new(scale);
-    println!("=== Fig. 21: CC on ukl, PHI+SpZip, fetcher scratchpad sweep ===");
-    println!("{:<14} {:>14} {:>14}", "scratchpad", "no-preprocess", "DFS");
-    let sizes = [(256u32, "256B (~1KB)"), (512, "512B (~2KB)"), (1024, "1KB (~4KB)")];
-    let mut baselines = [0u64; 2];
-    for (bytes, label) in sizes {
-        let mut cols = Vec::new();
-        for (pi, prep) in [Preprocessing::None, Preprocessing::Dfs].into_iter().enumerate() {
-            let g = cache.get("ukl", prep).clone();
-            let out = run_app_with(
-                AppName::Cc,
-                &g,
-                &Scheme::PhiSpzip.config(),
-                machine_config(),
-                Some(bytes),
-            );
-            assert!(out.validated, "CC/{prep}/{label}");
-            if bytes == 512 {
-                baselines[pi] = out.report.cycles;
-            }
-            cols.push(out.report.cycles);
-            eprintln!("  {label}/{prep} done");
-        }
-        println!("{:<14} {:>13} {:>13}", label, cols[0], cols[1]);
-    }
-    println!("(cycles; lower is better — the default is the middle row)");
+    let args = cli::parse();
+    let opts = args.sweep();
+    let driver = Driver::new(args.driver_options());
+    let memo = driver.execute(&figures::fig21::cells(&opts));
+    print!("{}", figures::fig21::render(&opts, &memo));
 }

@@ -1,60 +1,13 @@
-//! Fig. 22: the compressed-memory-hierarchy baseline — Push and UB on a
-//! system with a VSC (BDI) compressed LLC and LCP-compressed main memory.
-//!
-//! Expected shape (paper): CMH yields roughly no speedup on Push and ~11%
-//! on UB without preprocessing, and only 3%/28% with preprocessing —
-//! far below SpZip's gains — because line-granularity, semantics-unaware
-//! compression gets poor ratios on irregular data and pays latency on the
-//! critical path.
+//! Fig. 22: the compressed-memory-hierarchy baseline (see
+//! `spzip_bench::figures::fig22`). `--preprocess` renders Fig. 22b.
 
-use spzip_apps::{run_app, run_app_full, AppName, Scheme};
-use spzip_bench::{machine_config, InputCache};
-use spzip_compress::stats::geometric_mean;
-use spzip_graph::reorder::Preprocessing;
+use spzip_bench::driver::Driver;
+use spzip_bench::{cli, figures};
 
 fn main() {
-    let (scale, preprocess) = spzip_bench::parse_args();
-    let prep = if preprocess { Preprocessing::Dfs } else { Preprocessing::None };
-    let mut cache = InputCache::new(scale);
-    println!(
-        "=== Fig. 22{}: compressed memory hierarchy vs Push (prep = {prep}) ===",
-        if preprocess { "b" } else { "a" }
-    );
-    println!(
-        "{:<6} {:>9} {:>10} {:>8} {:>9} {:>9} {:>9}",
-        "app", "Push+CMH", "Push traf", "UB", "UB traf", "UB+CMH", "CMH traf"
-    );
-    let mut sp_push_cmh = Vec::new();
-    let mut sp_ub_cmh = Vec::new();
-    for app in AppName::all() {
-        let input = if app.is_matrix() { "nlp" } else { "ukl" };
-        let g = cache.get(input, prep).clone();
-        let push = run_app(app, &g, &Scheme::Push.config(), machine_config());
-        let push_cmh =
-            run_app_full(app, &g, &Scheme::Push.config(), machine_config(), None, true);
-        let ub = run_app(app, &g, &Scheme::Ub.config(), machine_config());
-        let ub_cmh = run_app_full(app, &g, &Scheme::Ub.config(), machine_config(), None, true);
-        assert!(push.validated && push_cmh.validated && ub.validated && ub_cmh.validated);
-        let base_c = push.report.cycles as f64;
-        let base_t = push.report.traffic.total_bytes() as f64;
-        println!(
-            "{:<6} {:>8.2}x {:>9.2}x {:>7.2}x {:>8.2}x {:>8.2}x {:>8.2}x",
-            app.to_string(),
-            base_c / push_cmh.report.cycles as f64,
-            push_cmh.report.traffic.total_bytes() as f64 / base_t,
-            base_c / ub.report.cycles as f64,
-            ub.report.traffic.total_bytes() as f64 / base_t,
-            base_c / ub_cmh.report.cycles as f64,
-            ub_cmh.report.traffic.total_bytes() as f64 / base_t,
-        );
-        sp_push_cmh.push(base_c / push_cmh.report.cycles as f64);
-        sp_ub_cmh
-            .push(ub.report.cycles as f64 / ub_cmh.report.cycles as f64);
-        eprintln!("  {app} done");
-    }
-    println!(
-        "\nGmean: Push+CMH over Push {:.2}x; UB+CMH over UB {:.2}x",
-        geometric_mean(&sp_push_cmh),
-        geometric_mean(&sp_ub_cmh)
-    );
+    let args = cli::parse();
+    let opts = args.sweep();
+    let driver = Driver::new(args.driver_options());
+    let memo = driver.execute(&figures::fig22::cells(&opts));
+    print!("{}", figures::fig22::render(&opts, &memo));
 }

@@ -1,42 +1,13 @@
-//! Sec. V-C (text): sorting order-insensitive chunks before compression.
-//!
-//! The paper reports that sorting binned updates lifts UB's bin
-//! compression ratio from 1.26x to 1.55x on Connected Components,
-//! averaged across inputs; this harness reproduces that measurement.
+//! Sec. V-C: chunk sorting vs bin compression ratio (see
+//! `spzip_bench::figures::sorted`).
 
-use spzip_apps::scheme::{Scheme, SchemeConfig};
-use spzip_apps::{run_app, AppName};
-use spzip_bench::{machine_config, InputCache};
-use spzip_graph::reorder::Preprocessing;
+use spzip_bench::driver::Driver;
+use spzip_bench::{cli, figures};
 
 fn main() {
-    let (scale, _) = spzip_bench::parse_args();
-    let mut cache = InputCache::new(scale);
-    let inputs = ["arb", "ukl", "twi", "it", "web"];
-    println!("=== Sec. V-C: bin compression ratio with/without chunk sorting (CC on UB+SpZip) ===");
-    println!("{:<6} {:>10} {:>10}", "input", "unsorted", "sorted");
-    let mut totals = [0.0f64; 2];
-    for input in inputs {
-        let g = cache.get(input, Preprocessing::None).clone();
-        let mut ratios = Vec::new();
-        for sorted in [false, true] {
-            let mut cfg: SchemeConfig = Scheme::UbSpzip.config();
-            cfg.sort_chunks = sorted;
-            let out = run_app(AppName::Cc, &g, &cfg, machine_config());
-            assert!(out.validated, "CC/{input}/sorted={sorted}");
-            let ratio =
-                out.stats.bin_raw_bytes as f64 / out.stats.bin_stored_bytes.max(1) as f64;
-            ratios.push(ratio);
-            eprintln!("  {input}/sorted={sorted} done");
-        }
-        println!("{:<6} {:>9.2}x {:>9.2}x", input, ratios[0], ratios[1]);
-        totals[0] += ratios[0];
-        totals[1] += ratios[1];
-    }
-    println!(
-        "{:<6} {:>9.2}x {:>9.2}x   (paper: 1.26x -> 1.55x)",
-        "mean",
-        totals[0] / inputs.len() as f64,
-        totals[1] / inputs.len() as f64
-    );
+    let args = cli::parse();
+    let opts = args.sweep();
+    let driver = Driver::new(args.driver_options());
+    let memo = driver.execute(&figures::sorted::cells(&opts));
+    print!("{}", figures::sorted::render(&opts, &memo));
 }

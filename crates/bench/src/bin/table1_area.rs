@@ -1,14 +1,12 @@
-//! Table I: area breakdown of the SpZip fetcher and compressor.
+//! Table I: SpZip area breakdown (see `spzip_bench::figures::tables`).
 
-use spzip_core::area;
+use spzip_bench::driver::Memo;
+use spzip_bench::{cli, figures};
 
 fn main() {
-    println!("=== Table I: SpZip area breakdown (45 nm) ===");
-    for engine in [area::fetcher_area(), area::compressor_area()] {
-        println!("{engine}");
-        println!(
-            "  -> {:.2}% of a Haswell-class core\n",
-            area::engine_core_fraction(&engine) * 100.0
-        );
-    }
+    let args = cli::parse();
+    print!(
+        "{}",
+        figures::tables::render_table1(&args.sweep(), &Memo::default())
+    );
 }

@@ -1,82 +1,12 @@
-//! Table II: the simulated system configuration — the paper's parameters
-//! and this reproduction's scaled values side by side.
+//! Table II: the simulated system configuration (see `spzip_bench::figures::tables`).
 
-use spzip_mem::hierarchy::MemConfig;
-use spzip_sim::MachineConfig;
+use spzip_bench::driver::Memo;
+use spzip_bench::{cli, figures};
 
 fn main() {
-    let scaled = MachineConfig::paper_scaled();
-    let full = MemConfig::paper_full();
-    println!("=== Table II: simulated system configuration ===");
-    println!("{:<22} {:<34} this reproduction (scaled)", "component", "paper");
-    println!(
-        "{:<22} {:<34} {}",
-        "Cores",
-        "16 x86-64 OOO @ 3.5 GHz",
-        format!("{} event cores, MLP window {}", scaled.mem.cores, scaled.core_mlp)
-    );
-    println!(
-        "{:<22} {:<34} {}",
-        "L1 caches",
-        format!("{} KB, {}-way, {} cyc", full.l1.size_bytes / 1024, full.l1.ways, full.l1_latency),
-        format!(
-            "{} B, {}-way, {} cyc",
-            scaled.mem.l1.size_bytes, scaled.mem.l1.ways, scaled.mem.l1_latency
-        )
-    );
-    println!(
-        "{:<22} {:<34} {}",
-        "L2 cache",
-        format!("{} KB, {}-way, {} cyc", full.l2.size_bytes / 1024, full.l2.ways, full.l2_latency),
-        format!(
-            "{} KB, {}-way, {} cyc",
-            scaled.mem.l2.size_bytes / 1024,
-            scaled.mem.l2.ways,
-            scaled.mem.l2_latency
-        )
-    );
-    println!(
-        "{:<22} {:<34} {}",
-        "L3 cache",
-        format!(
-            "{} MB, 16 banks, {}-way DRRIP, {} cyc",
-            full.llc.size_bytes / (1024 * 1024),
-            full.llc.ways,
-            full.llc_latency
-        ),
-        format!(
-            "{} KB, 16 banks, {}-way DRRIP, {} cyc",
-            scaled.mem.llc.size_bytes / 1024,
-            scaled.mem.llc.ways,
-            scaled.mem.llc_latency
-        )
-    );
-    println!(
-        "{:<22} {:<34} 4x4 mesh, X-Y routing, 2 cyc/hop",
-        "NoC",
-        "4x4 mesh, X-Y routing, 1-cyc hops"
-    );
-    println!(
-        "{:<22} {:<34} MESI-style directory, 64 B lines",
-        "Coherence",
-        "MESI, 64 B lines, in-cache dir"
-    );
-    println!(
-        "{:<22} {:<34} {}",
-        "Memory",
-        "4x DDR3-1600 (12.8 GB/s each)",
-        format!(
-            "{} channels, {:.2} B/cyc each, {} cyc latency",
-            scaled.mem.dram.channels, scaled.mem.dram.bytes_per_cycle, scaled.mem.dram.latency
-        )
-    );
-    println!(
-        "{:<22} {:<34} {}",
-        "SpZip engines",
-        "2 KB scratchpad, 8 outstanding",
-        format!(
-            "{} B scratchpad (scaled with caches), {} outstanding",
-            scaled.fetcher.scratchpad_bytes, scaled.fetcher.au_outstanding
-        )
+    let args = cli::parse();
+    print!(
+        "{}",
+        figures::tables::render_table2(&args.sweep(), &Memo::default())
     );
 }

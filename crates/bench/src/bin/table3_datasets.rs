@@ -1,31 +1,12 @@
-//! Table III: the input datasets — synthetic analogs of the paper's
-//! graphs, generated at the benchmark scale.
+//! Table III: the input datasets (see `spzip_bench::figures::tables`).
 
-use spzip_graph::datasets::{graph_datasets, matrix_dataset, Scale};
-use spzip_graph::gen::degree_stats;
+use spzip_bench::driver::Memo;
+use spzip_bench::{cli, figures};
 
 fn main() {
-    let (scale, _) = spzip_bench::parse_args();
-    let _ = scale;
-    println!("=== Table III: input datasets (synthetic analogs, Bench scale) ===");
-    println!(
-        "{:<6} {:>12} {:>12} {:>8} {:>8} {:>9}  stands in for",
-        "name", "vertices", "edges", "mean-d", "max-d", "top1%-e"
+    let args = cli::parse();
+    print!(
+        "{}",
+        figures::tables::render_table3(&args.sweep(), &Memo::default())
     );
-    for spec in graph_datasets().into_iter().chain([matrix_dataset()]) {
-        let g = spec.generate(Scale::Bench);
-        let stats = degree_stats(&g);
-        println!(
-            "{:<6} {:>12} {:>12} {:>8.1} {:>8} {:>8.1}%  {}",
-            spec.name(),
-            g.num_vertices(),
-            g.num_edges(),
-            stats.mean,
-            stats.max,
-            stats.top1pct_edge_share * 100.0,
-            spec.paper_source(),
-        );
-    }
-    println!("\n(paper inputs: 22-118 M vertices, 640-1468 M edges; scaled ~600x");
-    println!(" together with the caches to preserve footprint/LLC ratios)");
 }

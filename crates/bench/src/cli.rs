@@ -1,0 +1,171 @@
+//! The one flag parser every benchmark binary shares.
+//!
+//! Flags (all optional, unknown flags are ignored for compatibility):
+//!
+//! * `--scale tiny|bench|large` — input generation scale (default bench).
+//! * `--preprocess` — run the DFS-preprocessed variant of the figure.
+//! * `--apps PR,BFS` / `--inputs arb,ukl` — restrict sweep figures.
+//! * `--jobs N` — worker threads for cache misses (default: all cores).
+//! * `--fresh` — ignore memoized outcomes and re-simulate everything.
+//! * `--cache-dir DIR` — memoization directory (default `results/cache`).
+//! * `--out-dir DIR` — where `bench_all` writes figure text (default
+//!   `results`).
+//! * `--only fig15ab,fig07` — restrict `bench_all` to named outputs.
+
+use crate::driver::DriverOptions;
+use crate::figures::SweepOpts;
+use spzip_graph::datasets::Scale;
+use std::path::PathBuf;
+
+/// Parsed common flags.
+#[derive(Debug, Clone)]
+pub struct CommonArgs {
+    /// Input generation scale.
+    pub scale: Scale,
+    /// Render/run the preprocessed (`--preprocess`) variant.
+    pub preprocess: bool,
+    /// Application filter (`--apps`), by paper abbreviation.
+    pub apps: Option<Vec<String>>,
+    /// Input filter (`--inputs`), by dataset short name.
+    pub inputs: Option<Vec<String>>,
+    /// Output filter for `bench_all` (`--only`).
+    pub only: Option<Vec<String>>,
+    /// Worker threads (`--jobs`).
+    pub jobs: usize,
+    /// Ignore the outcome cache (`--fresh`).
+    pub fresh: bool,
+    /// Memoization directory (`--cache-dir`).
+    pub cache_dir: PathBuf,
+    /// `bench_all` output directory (`--out-dir`).
+    pub out_dir: PathBuf,
+}
+
+/// Parses the process arguments.
+pub fn parse() -> CommonArgs {
+    parse_from(&std::env::args().skip(1).collect::<Vec<_>>())
+}
+
+/// Parses an explicit argument list (tests).
+pub fn parse_from(args: &[String]) -> CommonArgs {
+    let mut parsed = CommonArgs {
+        scale: Scale::Bench,
+        preprocess: false,
+        apps: None,
+        inputs: None,
+        only: None,
+        jobs: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        fresh: false,
+        cache_dir: PathBuf::from("results/cache"),
+        out_dir: PathBuf::from("results"),
+    };
+    let value = |i: usize| args.get(i + 1).map(|s| s.as_str());
+    let list = |i: usize| value(i).map(|s| s.split(',').map(|x| x.to_string()).collect());
+    for (i, a) in args.iter().enumerate() {
+        match a.as_str() {
+            "--scale" => {
+                parsed.scale = match value(i) {
+                    Some("tiny") => Scale::Tiny,
+                    Some("large") => Scale::Large,
+                    _ => Scale::Bench,
+                }
+            }
+            "--preprocess" => parsed.preprocess = true,
+            "--apps" => parsed.apps = list(i),
+            "--inputs" => parsed.inputs = list(i),
+            "--only" => parsed.only = list(i),
+            "--jobs" => {
+                if let Some(n) = value(i).and_then(|s| s.parse::<usize>().ok()) {
+                    parsed.jobs = n.max(1);
+                }
+            }
+            "--fresh" => parsed.fresh = true,
+            "--cache-dir" => {
+                if let Some(d) = value(i) {
+                    parsed.cache_dir = PathBuf::from(d);
+                }
+            }
+            "--out-dir" => {
+                if let Some(d) = value(i) {
+                    parsed.out_dir = PathBuf::from(d);
+                }
+            }
+            _ => {}
+        }
+    }
+    parsed
+}
+
+impl CommonArgs {
+    /// The sweep options these flags select.
+    pub fn sweep(&self) -> SweepOpts {
+        self.sweep_with(self.preprocess)
+    }
+
+    /// Sweep options with an explicit preprocessed/randomized choice
+    /// (`bench_all` renders both variants regardless of `--preprocess`).
+    pub fn sweep_with(&self, preprocess: bool) -> SweepOpts {
+        SweepOpts {
+            scale: self.scale,
+            preprocess,
+            apps: self.apps.clone(),
+            inputs: self.inputs.clone(),
+        }
+    }
+
+    /// The driver options these flags select.
+    pub fn driver_options(&self) -> DriverOptions {
+        DriverOptions {
+            jobs: self.jobs,
+            fresh: self.fresh,
+            cache_dir: Some(self.cache_dir.clone()),
+            quiet: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse_from(&[]);
+        assert_eq!(a.scale, Scale::Bench);
+        assert!(!a.preprocess);
+        assert!(!a.fresh);
+        assert!(a.jobs >= 1);
+        assert_eq!(a.cache_dir, PathBuf::from("results/cache"));
+    }
+
+    #[test]
+    fn parses_every_flag() {
+        let a = parse_from(&argv(
+            "--scale tiny --preprocess --apps PR,BFS --inputs arb --only fig07 \
+             --jobs 3 --fresh --cache-dir /tmp/c --out-dir /tmp/o",
+        ));
+        assert_eq!(a.scale, Scale::Tiny);
+        assert!(a.preprocess);
+        assert_eq!(
+            a.apps.as_deref(),
+            Some(&["PR".to_string(), "BFS".to_string()][..])
+        );
+        assert_eq!(a.inputs.as_deref(), Some(&["arb".to_string()][..]));
+        assert_eq!(a.only.as_deref(), Some(&["fig07".to_string()][..]));
+        assert_eq!(a.jobs, 3);
+        assert!(a.fresh);
+        assert_eq!(a.cache_dir, PathBuf::from("/tmp/c"));
+        assert_eq!(a.out_dir, PathBuf::from("/tmp/o"));
+    }
+
+    #[test]
+    fn ignores_unknown_flags() {
+        let a = parse_from(&argv("--frobnicate --scale large"));
+        assert_eq!(a.scale, Scale::Large);
+    }
+}

@@ -1,0 +1,43 @@
+//! Fig. 7: performance and memory-traffic breakdown of BFS on the uk-2005
+//! analog, without preprocessing, for all six schemes.
+//!
+//! Expected shape (paper): Push+SpZip ~1.7x over Push with barely-reduced
+//! traffic (scatter updates dominate and neighbor ids are scattered); UB
+//! cuts traffic ~2.7x and runs ~2.5x; UB+SpZip compresses the now-
+//! sequential updates (~6x over Push); PHI+SpZip is fastest (~7.4x).
+
+use super::SweepOpts;
+use crate::driver::Memo;
+use crate::render_scheme_table;
+use spzip_apps::{AppName, RunOutcome, RunSpec, Scheme};
+use spzip_graph::reorder::Preprocessing;
+
+/// BFS on `ukl`, randomized ids, all six schemes.
+pub fn cells(opts: &SweepOpts) -> Vec<RunSpec> {
+    Scheme::all()
+        .into_iter()
+        .map(|s| {
+            RunSpec::new(
+                AppName::Bfs,
+                "ukl",
+                s.config(),
+                Preprocessing::None,
+                opts.scale,
+            )
+        })
+        .collect()
+}
+
+/// The Fig. 7 scheme table.
+pub fn render(opts: &SweepOpts, memo: &Memo) -> String {
+    let specs = cells(opts);
+    let outcomes: Vec<(Scheme, &RunOutcome)> = Scheme::all()
+        .into_iter()
+        .zip(&specs)
+        .map(|(s, spec)| (s, memo.get(spec)))
+        .collect();
+    render_scheme_table(
+        "Fig. 7: BFS on ukl (no preprocessing), normalized to Push",
+        &outcomes,
+    )
+}

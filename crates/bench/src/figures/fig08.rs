@@ -1,0 +1,43 @@
+//! Fig. 8: the Fig. 7 BFS case study with DFS preprocessing.
+//!
+//! Expected shape (paper): preprocessing slashes Push's destination-vertex
+//! traffic; UB becomes *worse* than Push (it streams all updates to memory
+//! regardless of locality, ~3.1x Push's traffic); the adjacency matrix now
+//! dominates and compresses ~2.3x, so every +SpZip variant gains ~1.5x;
+//! PHI+SpZip stays fastest (~6.3x over Push).
+
+use super::SweepOpts;
+use crate::driver::Memo;
+use crate::render_scheme_table;
+use spzip_apps::{AppName, RunOutcome, RunSpec, Scheme};
+use spzip_graph::reorder::Preprocessing;
+
+/// BFS on `ukl`, DFS-preprocessed, all six schemes.
+pub fn cells(opts: &SweepOpts) -> Vec<RunSpec> {
+    Scheme::all()
+        .into_iter()
+        .map(|s| {
+            RunSpec::new(
+                AppName::Bfs,
+                "ukl",
+                s.config(),
+                Preprocessing::Dfs,
+                opts.scale,
+            )
+        })
+        .collect()
+}
+
+/// The Fig. 8 scheme table.
+pub fn render(opts: &SweepOpts, memo: &Memo) -> String {
+    let specs = cells(opts);
+    let outcomes: Vec<(Scheme, &RunOutcome)> = Scheme::all()
+        .into_iter()
+        .zip(&specs)
+        .map(|(s, spec)| (s, memo.get(spec)))
+        .collect();
+    render_scheme_table(
+        "Fig. 8: BFS on ukl (DFS preprocessing), normalized to Push",
+        &outcomes,
+    )
+}

@@ -1,0 +1,79 @@
+//! Fig. 21: sensitivity of PHI+SpZip to the fetcher scratchpad size, on
+//! CC over the uk-2005 analog (queue depths bound decoupling distance).
+//!
+//! The paper sweeps 1/2/4 KB on the full-size system; this reproduction's
+//! caches are scaled 4x smaller, so the equivalent sweep is 256 B / 512 B
+//! / 1 KB (the middle point is the default).
+//!
+//! Expected shape (paper): going from half to the default scratchpad gains
+//! a few percent (2.6% without, 10% with preprocessing); doubling beyond
+//! the default gains nearly nothing.
+
+use super::SweepOpts;
+use crate::driver::Memo;
+use spzip_apps::{AppName, RunSpec, Scheme};
+use spzip_graph::reorder::Preprocessing;
+use std::fmt::Write as _;
+
+const SIZES: [(u32, &str); 3] = [
+    (256, "256B (~1KB)"),
+    (512, "512B (~2KB)"),
+    (1024, "1KB (~4KB)"),
+];
+const PREPS: [Preprocessing; 2] = [Preprocessing::None, Preprocessing::Dfs];
+
+fn spec(bytes: u32, prep: Preprocessing, opts: &SweepOpts) -> RunSpec {
+    let mut s = RunSpec::new(
+        AppName::Cc,
+        "ukl",
+        Scheme::PhiSpzip.config(),
+        prep,
+        opts.scale,
+    );
+    // The default-size point normalizes to "no override", so it is the
+    // same cell (and cached run) as the Fig. 15/16 CC/ukl sweeps.
+    s.machine = s.machine.with_fetcher_scratchpad(bytes);
+    s
+}
+
+/// CC on `ukl`, PHI+SpZip, three scratchpad sizes x two preprocessings.
+pub fn cells(opts: &SweepOpts) -> Vec<RunSpec> {
+    let mut out = Vec::new();
+    for (bytes, _) in SIZES {
+        for prep in PREPS {
+            out.push(spec(bytes, prep, opts));
+        }
+    }
+    out
+}
+
+/// The Fig. 21 sweep table.
+pub fn render(opts: &SweepOpts, memo: &Memo) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "=== Fig. 21: CC on ukl, PHI+SpZip, fetcher scratchpad sweep ==="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<14} {:>14} {:>14}",
+        "scratchpad", "no-preprocess", "DFS"
+    )
+    .unwrap();
+    for (bytes, label) in SIZES {
+        let mut cols = Vec::new();
+        for prep in PREPS {
+            let o = memo.get(&spec(bytes, prep, opts));
+            assert!(o.validated, "CC/{prep}/{label}");
+            cols.push(o.report.cycles);
+        }
+        writeln!(out, "{:<14} {:>13} {:>13}", label, cols[0], cols[1]).unwrap();
+    }
+    writeln!(
+        out,
+        "(cycles; lower is better — the default is the middle row)"
+    )
+    .unwrap();
+    out
+}

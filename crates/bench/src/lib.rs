@@ -1,73 +1,32 @@
 //! Benchmark harness: regenerates every table and figure of the paper's
 //! evaluation (see DESIGN.md Sec. 3 for the experiment index).
 //!
-//! Each figure has a binary in `src/bin/`; this library holds the shared
-//! sweep and table-printing machinery. All harnesses print the same
-//! rows/series the paper reports, normalized the same way (speedups over
-//! Push as geometric means, traffic as arithmetic means).
+//! The harness is layered as one *run plan*:
+//!
+//! * [`figures`] — each figure/table declares its experiment cells as
+//!   [`spzip_apps::RunSpec`] values and renders its text output from the
+//!   memoized outcomes; it never runs simulations itself.
+//! * [`driver`] — unions cells across figures, deduplicates them by
+//!   fingerprint, executes the unique ones on a worker pool over shared
+//!   inputs, and memoizes serialized outcomes under `results/cache/`.
+//! * [`cli`] — the shared flag parser every binary uses.
+//!
+//! Each figure still has a standalone binary in `src/bin/`; `bench_all`
+//! regenerates everything in one process so overlapping cells (e.g. the
+//! Fig. 15/16/17 sweeps) are simulated exactly once.
 
-use spzip_apps::{run_app, AppName, RunOutcome, Scheme};
-use spzip_graph::datasets::{self, Scale};
-use spzip_graph::reorder::Preprocessing;
-use spzip_graph::Csr;
+pub mod cli;
+pub mod driver;
+pub mod figures;
+
+use spzip_apps::{RunOutcome, Scheme};
 use spzip_mem::DataClass;
 use spzip_sim::MachineConfig;
-use std::collections::HashMap;
+use std::fmt::Write as _;
 
 /// Seed used to randomize vertex ids for the non-preprocessed variants
 /// ("we randomize the vertex ids of the input graph").
 pub const RANDOMIZE_SEED: u64 = 0x5EED;
-
-/// One experiment cell: application x input x scheme x preprocessing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct Cell {
-    /// Application.
-    pub app: AppName,
-    /// Dataset short name.
-    pub input: &'static str,
-    /// Scheme.
-    pub scheme: Scheme,
-    /// Preprocessing applied.
-    pub prep: Preprocessing,
-}
-
-/// Cached, preprocessed inputs so sweeps do not regenerate graphs.
-#[derive(Default)]
-pub struct InputCache {
-    graphs: HashMap<(String, Preprocessing), Csr>,
-    scale: Option<Scale>,
-}
-
-impl InputCache {
-    /// Creates a cache generating inputs at `scale`.
-    pub fn new(scale: Scale) -> Self {
-        InputCache { graphs: HashMap::new(), scale: Some(scale) }
-    }
-
-    /// The input for `name` under `prep` (generated and cached on demand).
-    pub fn get(&mut self, name: &str, prep: Preprocessing) -> &Csr {
-        let scale = self.scale.unwrap_or_default();
-        self.graphs.entry((name.to_string(), prep)).or_insert_with(|| {
-            let spec = datasets::by_name(name).unwrap_or_else(|| panic!("unknown dataset {name}"));
-            let g = spec.generate(scale);
-            match prep {
-                // The published inputs arrive preprocessed; `None` means
-                // randomized ids (the paper's convention).
-                Preprocessing::None => spzip_graph::reorder::randomize(&g, RANDOMIZE_SEED),
-                other => {
-                    let randomized = spzip_graph::reorder::randomize(&g, RANDOMIZE_SEED);
-                    other.apply(&randomized, 0)
-                }
-            }
-        })
-    }
-}
-
-/// Runs one cell and returns its outcome.
-pub fn run_cell(cache: &mut InputCache, cell: Cell) -> RunOutcome {
-    let g = cache.get(cell.input, cell.prep).clone();
-    run_app(cell.app, &g, &cell.scheme.config(), machine_config())
-}
 
 /// The standard scaled Table II machine.
 pub fn machine_config() -> MachineConfig {
@@ -75,7 +34,7 @@ pub fn machine_config() -> MachineConfig {
 }
 
 /// Speedup table row: per-scheme cycles normalized to the first scheme.
-pub fn speedups_over_first(outcomes: &[(Scheme, RunOutcome)]) -> Vec<(Scheme, f64)> {
+pub fn speedups_over_first(outcomes: &[(Scheme, &RunOutcome)]) -> Vec<(Scheme, f64)> {
     let base = outcomes[0].1.report.cycles.max(1) as f64;
     outcomes
         .iter()
@@ -84,7 +43,7 @@ pub fn speedups_over_first(outcomes: &[(Scheme, RunOutcome)]) -> Vec<(Scheme, f6
 }
 
 /// Traffic normalized to the first scheme, broken down by data class.
-pub fn traffic_breakdown(outcomes: &[(Scheme, RunOutcome)]) -> Vec<(Scheme, [f64; 6])> {
+pub fn traffic_breakdown(outcomes: &[(Scheme, &RunOutcome)]) -> Vec<(Scheme, [f64; 6])> {
     let base = outcomes[0].1.report.traffic.total_bytes().max(1);
     outcomes
         .iter()
@@ -92,18 +51,22 @@ pub fn traffic_breakdown(outcomes: &[(Scheme, RunOutcome)]) -> Vec<(Scheme, [f64
         .collect()
 }
 
-/// Prints a speedup + traffic table in the paper's layout.
-pub fn print_scheme_table(title: &str, outcomes: &[(Scheme, RunOutcome)]) {
-    println!("\n=== {title} ===");
-    println!(
+/// Renders a speedup + traffic table in the paper's layout.
+pub fn render_scheme_table(title: &str, outcomes: &[(Scheme, &RunOutcome)]) -> String {
+    let mut out = String::new();
+    writeln!(out, "\n=== {title} ===").unwrap();
+    writeln!(
+        out,
         "{:<12} {:>9} {:>9} {:>8} | {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
         "scheme", "cycles", "speedup", "traffic", "Adj", "Src", "Dst", "Upd", "Fro", "Oth"
-    );
+    )
+    .unwrap();
     let base_cycles = outcomes[0].1.report.cycles.max(1) as f64;
     let base_traffic = outcomes[0].1.report.traffic.total_bytes().max(1);
     for (s, o) in outcomes {
         let b = o.report.breakdown(base_traffic);
-        println!(
+        writeln!(
+            out,
             "{:<12} {:>9} {:>8.2}x {:>7.2}x | {:>6.3} {:>6.3} {:>6.3} {:>6.3} {:>6.3} {:>6.3}{}",
             s.to_string(),
             o.report.cycles,
@@ -115,12 +78,18 @@ pub fn print_scheme_table(title: &str, outcomes: &[(Scheme, RunOutcome)]) {
             b[3],
             b[4],
             b[5],
-            if o.validated { "" } else { "  !! VALIDATION FAILED" }
-        );
+            if o.validated {
+                ""
+            } else {
+                "  !! VALIDATION FAILED"
+            }
+        )
+        .unwrap();
     }
     if std::env::var("SPZIP_DIAG").is_ok() {
         for (s, o) in outcomes {
-            println!(
+            writeln!(
+                out,
                 "  [diag] {:<12} total {:>12} B  dram-util {:>5.1}%  stalls {:>12}  f-fired {:>10}  c-fired {:>10}",
                 s.to_string(),
                 o.report.traffic.total_bytes(),
@@ -128,9 +97,11 @@ pub fn print_scheme_table(title: &str, outcomes: &[(Scheme, RunOutcome)]) {
                 o.report.core_stall_cycles,
                 o.report.fetcher_fired,
                 o.report.compressor_fired,
-            );
+            )
+            .unwrap();
         }
     }
+    out
 }
 
 /// Per-class byte totals, for breakdowns across runs.
@@ -142,76 +113,46 @@ pub fn class_bytes(o: &RunOutcome) -> [u64; 6] {
     out
 }
 
-/// Parses the common `--scale tiny|bench|large` and `--preprocess` flags.
-pub fn parse_args() -> (Scale, bool) {
-    let args: Vec<String> = std::env::args().collect();
-    let mut scale = Scale::Bench;
-    let mut preprocess = false;
-    for (i, a) in args.iter().enumerate() {
-        match a.as_str() {
-            "--scale" => {
-                scale = match args.get(i + 1).map(|s| s.as_str()) {
-                    Some("tiny") => Scale::Tiny,
-                    Some("large") => Scale::Large,
-                    _ => Scale::Bench,
-                }
-            }
-            "--preprocess" => preprocess = true,
-            _ => {}
-        }
-    }
-    (scale, preprocess)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use driver::{Driver, DriverOptions, InputCache};
+    use spzip_apps::{AppName, RunSpec};
+    use spzip_graph::datasets::Scale;
+    use spzip_graph::reorder::Preprocessing;
 
     #[test]
     fn input_cache_caches() {
-        let mut cache = InputCache::new(Scale::Tiny);
-        let a = cache.get("ukl", Preprocessing::None).clone();
-        let b = cache.get("ukl", Preprocessing::None).clone();
-        assert_eq!(a, b);
-        let c = cache.get("ukl", Preprocessing::Dfs).clone();
-        assert_ne!(a, c);
-    }
-
-    #[test]
-    fn run_cell_produces_validated_outcome() {
-        let mut cache = InputCache::new(Scale::Tiny);
-        let out = run_cell(
-            &mut cache,
-            Cell {
-                app: AppName::Dc,
-                input: "arb",
-                scheme: Scheme::Push,
-                prep: Preprocessing::None,
-            },
-        );
-        assert!(out.validated);
+        let cache = InputCache::new();
+        let a = cache.get("ukl", Preprocessing::None, Scale::Tiny);
+        let b = cache.get("ukl", Preprocessing::None, Scale::Tiny);
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        let c = cache.get("ukl", Preprocessing::Dfs, Scale::Tiny);
+        assert_ne!(*a, *c);
     }
 
     #[test]
     fn speedup_helpers() {
-        let mut cache = InputCache::new(Scale::Tiny);
-        let outcomes: Vec<(Scheme, RunOutcome)> = [Scheme::Push, Scheme::PushSpzip]
+        let driver = Driver::new(DriverOptions::in_memory());
+        let specs: Vec<RunSpec> = [Scheme::Push, Scheme::PushSpzip]
             .iter()
             .map(|&s| {
-                (
-                    s,
-                    run_cell(
-                        &mut cache,
-                        Cell {
-                            app: AppName::Dc,
-                            input: "arb",
-                            scheme: s,
-                            prep: Preprocessing::None,
-                        },
-                    ),
+                RunSpec::new(
+                    AppName::Dc,
+                    "arb",
+                    s.config(),
+                    Preprocessing::None,
+                    Scale::Tiny,
                 )
             })
             .collect();
+        let memo = driver.execute(&specs);
+        let outcomes: Vec<(Scheme, &RunOutcome)> = [Scheme::Push, Scheme::PushSpzip]
+            .iter()
+            .zip(&specs)
+            .map(|(&s, spec)| (s, memo.get(spec)))
+            .collect();
+        assert!(outcomes.iter().all(|(_, o)| o.validated));
         let sp = speedups_over_first(&outcomes);
         assert_eq!(sp[0].1, 1.0);
         let tb = traffic_breakdown(&outcomes);

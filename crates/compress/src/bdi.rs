@@ -40,7 +40,10 @@ impl BdiEncoding {
         match self {
             BdiEncoding::Zeros => 1,
             BdiEncoding::Repeated => 1 + 8,
-            BdiEncoding::BaseDelta { base_bytes, delta_bytes } => {
+            BdiEncoding::BaseDelta {
+                base_bytes,
+                delta_bytes,
+            } => {
                 let words = LINE_BYTES / base_bytes as usize;
                 // base + bitmap of which words use the zero base + deltas
                 1 + base_bytes as usize + 2 + words * delta_bytes as usize
@@ -103,7 +106,10 @@ pub fn best_encoding(line: &[u8; LINE_BYTES]) -> BdiEncoding {
             fits_signed(sw, delta_bytes) || fits_signed(sw.wrapping_sub(base as i64), delta_bytes)
         });
         if ok {
-            let cand = BdiEncoding::BaseDelta { base_bytes, delta_bytes };
+            let cand = BdiEncoding::BaseDelta {
+                base_bytes,
+                delta_bytes,
+            };
             if cand.compressed_bytes() < best.compressed_bytes() {
                 best = cand;
             }
@@ -135,10 +141,16 @@ pub fn compress_line(line: &[u8; LINE_BYTES]) -> Vec<u8> {
             out.push(1);
             out.extend_from_slice(&line[..8]);
         }
-        BdiEncoding::BaseDelta { base_bytes, delta_bytes } => {
+        BdiEncoding::BaseDelta {
+            base_bytes,
+            delta_bytes,
+        } => {
             // Sizes are powers of two; the tag stores their log2 in 2-bit
             // fields (base in bits 3:2, delta in bits 1:0).
-            out.push(0x10 | (base_bytes.trailing_zeros() << 2) as u8 | delta_bytes.trailing_zeros() as u8);
+            out.push(
+                0x10 | (base_bytes.trailing_zeros() << 2) as u8
+                    | delta_bytes.trailing_zeros() as u8,
+            );
             let words = words_of(line, base_bytes);
             let base = words
                 .iter()
@@ -252,9 +264,8 @@ mod tests {
     #[test]
     fn near_base_values_compress() {
         let line = line_from_u32s(&[
-            1_000_000, 1_000_003, 1_000_001, 1_000_090, 1_000_007, 1_000_002, 1_000_013,
-            1_000_040, 1_000_000, 1_000_003, 1_000_001, 1_000_090, 1_000_007, 1_000_002,
-            1_000_013, 1_000_040,
+            1_000_000, 1_000_003, 1_000_001, 1_000_090, 1_000_007, 1_000_002, 1_000_013, 1_000_040,
+            1_000_000, 1_000_003, 1_000_001, 1_000_090, 1_000_007, 1_000_002, 1_000_013, 1_000_040,
         ]);
         let enc = best_encoding(&line);
         assert!(enc.compressed_bytes() < LINE_BYTES, "{enc:?}");
@@ -265,8 +276,22 @@ mod tests {
     fn mixed_small_and_large_uses_immediate() {
         // Pointers interleaved with small counters: the dual-base trick.
         let line = line_from_u32s(&[
-            5, 0x4000_0000, 7, 0x4000_0005, 2, 0x4000_0009, 0, 0x4000_0002, 5, 0x4000_0000, 7,
-            0x4000_0005, 2, 0x4000_0009, 0, 0x4000_0002,
+            5,
+            0x4000_0000,
+            7,
+            0x4000_0005,
+            2,
+            0x4000_0009,
+            0,
+            0x4000_0002,
+            5,
+            0x4000_0000,
+            7,
+            0x4000_0005,
+            2,
+            0x4000_0009,
+            0,
+            0x4000_0002,
         ]);
         let enc = best_encoding(&line);
         assert!(matches!(enc, BdiEncoding::BaseDelta { .. }), "{enc:?}");
@@ -288,8 +313,7 @@ mod tests {
     fn compressed_bytes_ordering() {
         assert!(BdiEncoding::Zeros.compressed_bytes() < BdiEncoding::Repeated.compressed_bytes());
         assert!(
-            BdiEncoding::Repeated.compressed_bytes()
-                < BdiEncoding::Uncompressed.compressed_bytes()
+            BdiEncoding::Repeated.compressed_bytes() < BdiEncoding::Uncompressed.compressed_bytes()
         );
     }
 }

@@ -78,9 +78,7 @@ impl BpcCodec {
             return Err(DecodeError::truncated("BPC base"));
         }
         let base = match self.width {
-            ElemWidth::W32 => {
-                u32::from_le_bytes(input[*pos..*pos + 4].try_into().unwrap()) as u64
-            }
+            ElemWidth::W32 => u32::from_le_bytes(input[*pos..*pos + 4].try_into().unwrap()) as u64,
             ElemWidth::W64 => u64::from_le_bytes(input[*pos..*pos + 8].try_into().unwrap()),
         };
         *pos += bytes;
@@ -92,7 +90,11 @@ impl BpcCodec {
         let nbits = self.planes();
         let ndeltas = chunk.len() - 1;
         // (width+1)-bit two's-complement deltas, kept in u128 for W64.
-        let modulus_mask: u128 = if nbits >= 128 { u128::MAX } else { (1u128 << nbits) - 1 };
+        let modulus_mask: u128 = if nbits >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << nbits) - 1
+        };
         let deltas: Vec<u128> = chunk
             .windows(2)
             .map(|w| ((w[1] as i128 - w[0] as i128) as u128) & modulus_mask)
@@ -115,7 +117,11 @@ impl BpcCodec {
     }
 
     fn encode_planes(planes: &[u32], out: &mut Vec<u8>, plane_bits: u32) {
-        let all_ones: u32 = if plane_bits >= 32 { u32::MAX } else { (1 << plane_bits) - 1 };
+        let all_ones: u32 = if plane_bits >= 32 {
+            u32::MAX
+        } else {
+            (1 << plane_bits) - 1
+        };
         let mut p = planes.len();
         // Encode from the top plane down: correlated data zeroes high planes.
         while p > 0 {
@@ -151,7 +157,11 @@ impl BpcCodec {
         nplanes: usize,
         plane_bits: u32,
     ) -> Result<Vec<u32>, DecodeError> {
-        let all_ones: u32 = if plane_bits >= 32 { u32::MAX } else { (1 << plane_bits) - 1 };
+        let all_ones: u32 = if plane_bits >= 32 {
+            u32::MAX
+        } else {
+            (1 << plane_bits) - 1
+        };
         let mut planes = vec![0u32; nplanes];
         let mut p = nplanes;
         while p > 0 {
@@ -188,7 +198,11 @@ impl BpcCodec {
                         return Err(DecodeError::new("BPC bit position out of range"));
                     }
                     p -= 1;
-                    planes[p] = if op == OP_SINGLE_ONE { 1 << bit } else { 0b11 << bit };
+                    planes[p] = if op == OP_SINGLE_ONE {
+                        1 << bit
+                    } else {
+                        0b11 << bit
+                    };
                 }
                 OP_RAW => {
                     if *pos + 4 > input.len() {
@@ -217,7 +231,12 @@ impl BpcCodec {
         Self::encode_planes(&dbx, out, (chunk.len() - 1) as u32);
     }
 
-    fn decompress_chunk(&self, input: &[u8], pos: &mut usize, out: &mut Vec<u64>) -> Result<(), DecodeError> {
+    fn decompress_chunk(
+        &self,
+        input: &[u8],
+        pos: &mut usize,
+        out: &mut Vec<u64>,
+    ) -> Result<(), DecodeError> {
         let n = *input
             .get(*pos)
             .ok_or_else(|| DecodeError::truncated("BPC chunk length"))? as usize;
@@ -325,7 +344,9 @@ mod tests {
 
     #[test]
     fn roundtrip_alternating() {
-        let data: Vec<u64> = (0..64).map(|i| if i % 2 == 0 { 5 } else { 4_000_000_000 }).collect();
+        let data: Vec<u64> = (0..64)
+            .map(|i| if i % 2 == 0 { 5 } else { 4_000_000_000 })
+            .collect();
         roundtrip(ElemWidth::W32, &data);
     }
 
@@ -380,7 +401,10 @@ mod tests {
         codec.compress(&data, &mut buf);
         for cut in 1..buf.len() {
             let mut out = Vec::new();
-            assert!(codec.decompress(&buf[..cut], &mut out).is_err(), "cut={cut}");
+            assert!(
+                codec.decompress(&buf[..cut], &mut out).is_err(),
+                "cut={cut}"
+            );
         }
     }
 

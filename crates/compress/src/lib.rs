@@ -69,7 +69,9 @@ pub struct DecodeError {
 impl DecodeError {
     /// Creates a decode error with the given detail message.
     pub fn new(detail: impl Into<String>) -> Self {
-        DecodeError { detail: detail.into() }
+        DecodeError {
+            detail: detail.into(),
+        }
     }
 
     /// Convenience constructor for truncated-input errors.
@@ -144,8 +146,12 @@ pub trait Codec: fmt::Debug {
     /// # Errors
     ///
     /// Returns [`DecodeError`] if the bytes at `*pos` are not a valid frame.
-    fn decode_frame(&self, input: &[u8], pos: &mut usize, out: &mut Vec<u64>)
-        -> Result<(), DecodeError>;
+    fn decode_frame(
+        &self,
+        input: &[u8],
+        pos: &mut usize,
+        out: &mut Vec<u64>,
+    ) -> Result<(), DecodeError>;
 
     /// Decompresses a single-frame `input`, appending decoded elements.
     ///

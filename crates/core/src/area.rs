@@ -48,10 +48,22 @@ pub fn fetcher_area() -> EngineArea {
     EngineArea {
         name: "Fetcher",
         components: vec![
-            Component { name: "AccU", area_um2: 10_100.0 },
-            Component { name: "DecompU", area_um2: 22_500.0 },
-            Component { name: "Scratchpad", area_um2: 6_800.0 },
-            Component { name: "Scheduler", area_um2: 7_900.0 },
+            Component {
+                name: "AccU",
+                area_um2: 10_100.0,
+            },
+            Component {
+                name: "DecompU",
+                area_um2: 22_500.0,
+            },
+            Component {
+                name: "Scratchpad",
+                area_um2: 6_800.0,
+            },
+            Component {
+                name: "Scheduler",
+                area_um2: 7_900.0,
+            },
         ],
     }
 }
@@ -61,10 +73,22 @@ pub fn compressor_area() -> EngineArea {
     EngineArea {
         name: "Compressor",
         components: vec![
-            Component { name: "MQU & SWU", area_um2: 5_800.0 },
-            Component { name: "CompU", area_um2: 25_000.0 },
-            Component { name: "Scratchpad", area_um2: 6_800.0 },
-            Component { name: "Scheduler", area_um2: 7_900.0 },
+            Component {
+                name: "MQU & SWU",
+                area_um2: 5_800.0,
+            },
+            Component {
+                name: "CompU",
+                area_um2: 25_000.0,
+            },
+            Component {
+                name: "Scratchpad",
+                area_um2: 6_800.0,
+            },
+            Component {
+                name: "Scheduler",
+                area_um2: 7_900.0,
+            },
         ],
     }
 }

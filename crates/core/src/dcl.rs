@@ -136,7 +136,10 @@ impl OperatorKind {
 
     /// Whether this operator touches memory when it fires.
     pub fn touches_memory(&self) -> bool {
-        !matches!(self, OperatorKind::Decompress { .. } | OperatorKind::Compress { .. })
+        !matches!(
+            self,
+            OperatorKind::Decompress { .. } | OperatorKind::Compress { .. }
+        )
     }
 }
 
@@ -167,7 +170,9 @@ pub struct ValidateError {
 
 impl ValidateError {
     fn new(detail: impl Into<String>) -> Self {
-        ValidateError { detail: detail.into() }
+        ValidateError {
+            detail: detail.into(),
+        }
     }
 }
 
@@ -285,8 +290,17 @@ impl PipelineBuilder {
     }
 
     /// Adds an operator reading `input` and fanning out to `outputs`.
-    pub fn operator(&mut self, kind: OperatorKind, input: QueueId, outputs: Vec<QueueId>) -> &mut Self {
-        self.operators.push(OperatorSpec { kind, input, outputs });
+    pub fn operator(
+        &mut self,
+        kind: OperatorKind,
+        input: QueueId,
+        outputs: Vec<QueueId>,
+    ) -> &mut Self {
+        self.operators.push(OperatorSpec {
+            kind,
+            input,
+            outputs,
+        });
         self
     }
 
@@ -321,7 +335,9 @@ impl PipelineBuilder {
             return Err(ValidateError::new("no queues declared"));
         }
         if nq > MAX_QUEUES {
-            return Err(ValidateError::new(format!("{nq} queues exceed the hardware limit of {MAX_QUEUES}")));
+            return Err(ValidateError::new(format!(
+                "{nq} queues exceed the hardware limit of {MAX_QUEUES}"
+            )));
         }
         if self.operators.is_empty() {
             return Err(ValidateError::new("no operators declared"));
@@ -336,19 +352,34 @@ impl PipelineBuilder {
         let mut producers = vec![0u32; nq];
         for (i, op) in self.operators.iter().enumerate() {
             if op.input as usize >= nq {
-                return Err(ValidateError::new(format!("operator {i} reads undeclared queue {}", op.input)));
+                return Err(ValidateError::new(format!(
+                    "operator {i} reads undeclared queue {}",
+                    op.input
+                )));
             }
             consumers[op.input as usize] += 1;
             for &o in &op.outputs {
                 if o as usize >= nq {
-                    return Err(ValidateError::new(format!("operator {i} writes undeclared queue {o}")));
+                    return Err(ValidateError::new(format!(
+                        "operator {i} writes undeclared queue {o}"
+                    )));
                 }
                 if o == op.input {
-                    return Err(ValidateError::new(format!("operator {i} writes its own input queue {o}")));
+                    return Err(ValidateError::new(format!(
+                        "operator {i} writes its own input queue {o}"
+                    )));
                 }
                 producers[o as usize] += 1;
             }
-            if let OperatorKind::MemQueue { num_queues, stride, chunk_elems, elem_bytes, mode, .. } = &op.kind {
+            if let OperatorKind::MemQueue {
+                num_queues,
+                stride,
+                chunk_elems,
+                elem_bytes,
+                mode,
+                ..
+            } = &op.kind
+            {
                 if *num_queues == 0 {
                     return Err(ValidateError::new("MemQueue with zero queues"));
                 }
@@ -361,16 +392,26 @@ impl PipelineBuilder {
         }
         for q in 0..nq {
             if producers[q] > 1 {
-                return Err(ValidateError::new(format!("queue {q} has {} producers", producers[q])));
+                return Err(ValidateError::new(format!(
+                    "queue {q} has {} producers",
+                    producers[q]
+                )));
             }
             if consumers[q] > 1 {
-                return Err(ValidateError::new(format!("queue {q} has {} consumers", consumers[q])));
+                return Err(ValidateError::new(format!(
+                    "queue {q} has {} consumers",
+                    consumers[q]
+                )));
             }
         }
         // Acyclicity: operators form a DAG through queues. Kahn's algorithm
         // over operator nodes.
         let producer_of: Vec<Option<usize>> = (0..nq)
-            .map(|q| self.operators.iter().position(|op| op.outputs.contains(&(q as QueueId))))
+            .map(|q| {
+                self.operators
+                    .iter()
+                    .position(|op| op.outputs.contains(&(q as QueueId)))
+            })
             .collect();
         let mut indeg: Vec<u32> = self
             .operators
@@ -398,7 +439,10 @@ impl PipelineBuilder {
         if seen != self.operators.len() {
             return Err(ValidateError::new("operator graph contains a cycle"));
         }
-        Ok(Pipeline { queues: self.queues, operators: self.operators })
+        Ok(Pipeline {
+            queues: self.queues,
+            operators: self.operators,
+        })
     }
 }
 
@@ -490,7 +534,12 @@ mod tests {
         let mut b = PipelineBuilder::new();
         let q0 = b.queue(8);
         b.operator(
-            OperatorKind::Indirect { base: 0, elem_bytes: 8, pair: false, class: DataClass::DestinationVertex },
+            OperatorKind::Indirect {
+                base: 0,
+                elem_bytes: 8,
+                pair: false,
+                class: DataClass::DestinationVertex,
+            },
             q0,
             vec![],
         );
@@ -537,7 +586,10 @@ mod tests {
     fn operator_names_and_memory_touch() {
         assert_eq!(range(0).name(), "range");
         assert!(range(0).touches_memory());
-        let d = OperatorKind::Decompress { codec: CodecKind::Delta, elem_bytes: 4 };
+        let d = OperatorKind::Decompress {
+            codec: CodecKind::Delta,
+            elem_bytes: 4,
+        };
         assert!(!d.touches_memory());
         assert_eq!(d.name(), "decompress");
     }

@@ -56,7 +56,10 @@ impl EngineConfig {
 
     /// The paper's compressor: same engine at the LLC port.
     pub fn compressor() -> Self {
-        EngineConfig { port: Port::EngineLlc, ..Self::fetcher() }
+        EngineConfig {
+            port: Port::EngineLlc,
+            ..Self::fetcher()
+        }
     }
 }
 
@@ -151,9 +154,15 @@ impl EngineModel {
                 reserved_q: 0,
             })
             .collect();
-        self.outputs = pipeline.operators().iter().map(|op| op.outputs.clone()).collect();
+        self.outputs = pipeline
+            .operators()
+            .iter()
+            .map(|op| op.outputs.clone())
+            .collect();
         self.inputs = pipeline.operators().iter().map(|op| op.input).collect();
-        self.traces = (0..pipeline.operators().len()).map(|_| VecDeque::new()).collect();
+        self.traces = (0..pipeline.operators().len())
+            .map(|_| VecDeque::new())
+            .collect();
         self.pending.clear();
         self.rr_next = 0;
         self.ready_at = now + self.cfg.config_cycles;
@@ -166,7 +175,11 @@ impl EngineModel {
     ///
     /// Panics if no program is loaded or the trace count mismatches.
     pub fn append_trace(&mut self, firings: Vec<Vec<Firing>>) {
-        assert_eq!(firings.len(), self.traces.len(), "trace/operator count mismatch");
+        assert_eq!(
+            firings.len(),
+            self.traces.len(),
+            "trace/operator count mismatch"
+        );
         for (t, f) in self.traces.iter_mut().zip(firings) {
             t.extend(f);
         }
@@ -252,7 +265,9 @@ impl EngineModel {
         let n_ops = self.traces.len();
         for scan in 0..n_ops {
             let op = (self.rr_next + scan) % n_ops;
-            let Some(f) = self.traces[op].front().copied() else { continue };
+            let Some(f) = self.traces[op].front().copied() else {
+                continue;
+            };
             // Input available?
             if self.queues[self.inputs[op] as usize].occupancy_q < f.consumed_q as u32 {
                 continue;
@@ -286,7 +301,12 @@ impl EngineModel {
                 Some(acc) => mem.issue(self.core, self.cfg.port, &acc, t),
                 None => t + self.cfg.transform_latency,
             };
-            self.pending.push(Pending { complete_at, op, produced_q: f.produced_q, uses_au });
+            self.pending.push(Pending {
+                complete_at,
+                op,
+                produced_q: f.produced_q,
+                uses_au,
+            });
             self.rr_next = (op + 1) % n_ops;
             return true;
         }
@@ -306,7 +326,9 @@ impl EngineModel {
         let mut saw_output_full = false;
         let mut saw_au = false;
         for op in 0..self.traces.len() {
-            let Some(f) = self.traces[op].front() else { continue };
+            let Some(f) = self.traces[op].front() else {
+                continue;
+            };
             if self.queues[self.inputs[op] as usize].occupancy_q < f.consumed_q as u32 {
                 continue;
             }
@@ -399,7 +421,11 @@ mod tests {
         enq += eng.enqueue_value(q0, 64, 8);
         eng.run(&mut img);
         let firings = eng.take_firings();
-        let out_q: u32 = eng.drain_output_costed(q2).iter().map(|&(_, c)| c as u32).sum();
+        let out_q: u32 = eng
+            .drain_output_costed(q2)
+            .iter()
+            .map(|&(_, c)| c as u32)
+            .sum();
         (p, img, firings, enq, out_q as u16)
     }
 
@@ -457,7 +483,11 @@ mod tests {
             model.tick(now, 8, &mut mem);
             now += 8;
         }
-        assert!(model.idle(), "wedged after drain: {:?}", model.stall_reason(now));
+        assert!(
+            model.idle(),
+            "wedged after drain: {:?}",
+            model.stall_reason(now)
+        );
         assert!(cap_before > 0);
     }
 
@@ -475,7 +505,10 @@ mod tests {
             model.tick(now, 8, &mut mem);
             now += 8;
         }
-        assert!(model.occupancy(2) > 0, "fetcher ran ahead and buffered output");
+        assert!(
+            model.occupancy(2) > 0,
+            "fetcher ran ahead and buffered output"
+        );
     }
 
     #[test]

@@ -108,9 +108,15 @@ impl FuncEngine {
     /// Creates an engine over `pipeline` with empty queues.
     pub fn new(pipeline: Pipeline) -> Self {
         FuncEngine {
-            queues: (0..pipeline.queues().len()).map(|_| VecDeque::new()).collect(),
-            firings: (0..pipeline.operators().len()).map(|_| Vec::new()).collect(),
-            states: (0..pipeline.operators().len()).map(|_| OpState::default()).collect(),
+            queues: (0..pipeline.queues().len())
+                .map(|_| VecDeque::new())
+                .collect(),
+            firings: (0..pipeline.operators().len())
+                .map(|_| Vec::new())
+                .collect(),
+            states: (0..pipeline.operators().len())
+                .map(|_| OpState::default())
+                .collect(),
             enqueues: Vec::new(),
             pipeline,
         }
@@ -139,7 +145,10 @@ impl FuncEngine {
 
     /// Drains a core-facing output queue, discarding cost annotations.
     pub fn drain_output(&mut self, q: QueueId) -> Vec<QueueItem> {
-        self.queues[q as usize].drain(..).map(|(item, _)| item).collect()
+        self.queues[q as usize]
+            .drain(..)
+            .map(|(item, _)| item)
+            .collect()
     }
 
     /// Drains a core-facing output queue with per-item quarter costs.
@@ -192,8 +201,11 @@ impl FuncEngine {
     /// available by enqueueing markers).
     pub fn flush(&mut self, img: &mut MemoryImage) {
         for idx in 0..self.pipeline.operators().len() {
-            if let OperatorKind::MemQueue { mode: MemQueueMode::Buffer, num_queues, .. } =
-                self.pipeline.operators()[idx].kind.clone()
+            if let OperatorKind::MemQueue {
+                mode: MemQueueMode::Buffer,
+                num_queues,
+                ..
+            } = self.pipeline.operators()[idx].kind.clone()
             {
                 for qid in 0..num_queues {
                     self.flush_bin(idx, qid, img);
@@ -213,7 +225,14 @@ impl FuncEngine {
         let input = self.pipeline.operators()[idx].input;
         let mut progress = false;
         match kind {
-            OperatorKind::RangeFetch { base, idx_bytes, elem_bytes, input: mode, marker, class } => {
+            OperatorKind::RangeFetch {
+                base,
+                idx_bytes,
+                elem_bytes,
+                input: mode,
+                marker,
+                class,
+            } => {
                 while let Some((item, cost)) = self.pop(input) {
                     progress = true;
                     match item {
@@ -223,26 +242,51 @@ impl FuncEngine {
                             match (mode, state.carry) {
                                 (RangeInput::Pairs, None) => {
                                     state.carry = Some(v);
-                                    self.record(idx, Firing { consumed_q: cost as u16, produced_q: 0, mem: None });
+                                    self.record(
+                                        idx,
+                                        Firing {
+                                            consumed_q: cost as u16,
+                                            produced_q: 0,
+                                            mem: None,
+                                        },
+                                    );
                                 }
                                 (RangeInput::Pairs, Some(start)) => {
                                     self.states[idx].carry = None;
-                                    self.emit_range(idx, base, start, v, idx_bytes, elem_bytes, marker, class, cost, img);
+                                    self.emit_range(
+                                        idx, base, start, v, idx_bytes, elem_bytes, marker, class,
+                                        cost, img,
+                                    );
                                 }
                                 (RangeInput::Consecutive, None) => {
                                     state.carry = Some(v);
-                                    self.record(idx, Firing { consumed_q: cost as u16, produced_q: 0, mem: None });
+                                    self.record(
+                                        idx,
+                                        Firing {
+                                            consumed_q: cost as u16,
+                                            produced_q: 0,
+                                            mem: None,
+                                        },
+                                    );
                                 }
                                 (RangeInput::Consecutive, Some(prev)) => {
                                     self.states[idx].carry = Some(v);
-                                    self.emit_range(idx, base, prev, v, idx_bytes, elem_bytes, marker, class, cost, img);
+                                    self.emit_range(
+                                        idx, base, prev, v, idx_bytes, elem_bytes, marker, class,
+                                        cost, img,
+                                    );
                                 }
                             }
                         }
                     }
                 }
             }
-            OperatorKind::Indirect { base, elem_bytes, pair, class } => {
+            OperatorKind::Indirect {
+                base,
+                elem_bytes,
+                pair,
+                class,
+            } => {
                 while let Some((item, cost)) = self.pop(input) {
                     progress = true;
                     match item {
@@ -314,7 +358,11 @@ impl FuncEngine {
                     }
                 }
             }
-            OperatorKind::Compress { codec, elem_bytes: _, sort_chunks } => {
+            OperatorKind::Compress {
+                codec,
+                elem_bytes: _,
+                sort_chunks,
+            } => {
                 while let Some((item, cost)) = self.pop(input) {
                     progress = true;
                     match item {
@@ -348,7 +396,14 @@ impl FuncEngine {
                             let prev: u64 = state.lengths.iter().sum();
                             let len = state.cursor - prev;
                             state.lengths.push(len);
-                            self.record(idx, Firing { consumed_q: cost as u16, produced_q: 0, mem: None });
+                            self.record(
+                                idx,
+                                Firing {
+                                    consumed_q: cost as u16,
+                                    produced_q: 0,
+                                    mem: None,
+                                },
+                            );
                         }
                         QueueItem::Value(v) => {
                             let bytes = cost; // quarters == payload bytes
@@ -360,7 +415,12 @@ impl FuncEngine {
                                 Firing {
                                     consumed_q: cost as u16,
                                     produced_q: 0,
-                                    mem: Some(Access::new(addr, bytes as u32, MemOp::StreamStore, class)),
+                                    mem: Some(Access::new(
+                                        addr,
+                                        bytes as u32,
+                                        MemOp::StreamStore,
+                                        class,
+                                    )),
                                 },
                             );
                         }
@@ -385,11 +445,20 @@ impl FuncEngine {
                         // Input alternates (qid value, payload value);
                         // Marker(qid) closes a bin.
                         loop {
-                            let Some(&(first, _)) = self.queues[input as usize].front() else { break };
+                            let Some(&(first, _)) = self.queues[input as usize].front() else {
+                                break;
+                            };
                             match first {
                                 QueueItem::Marker(qid) => {
                                     let (_, cost) = self.pop(input).unwrap();
-                                    self.record(idx, Firing { consumed_q: cost as u16, produced_q: 0, mem: None });
+                                    self.record(
+                                        idx,
+                                        Firing {
+                                            consumed_q: cost as u16,
+                                            produced_q: 0,
+                                            mem: None,
+                                        },
+                                    );
                                     self.flush_bin(idx, qid, img);
                                     progress = true;
                                 }
@@ -402,8 +471,9 @@ impl FuncEngine {
                                     let qid = qid as u32;
                                     assert!(qid < num_queues, "MemQueue id {qid} out of range");
                                     let count = self.states[idx].bin_counts[qid as usize];
-                                    let slot =
-                                        data_base + qid as u64 * stride + count as u64 * elem_bytes as u64;
+                                    let slot = data_base
+                                        + qid as u64 * stride
+                                        + count as u64 * elem_bytes as u64;
                                     img.write_bytes(
                                         slot,
                                         &payload.value().to_le_bytes()[..elem_bytes as usize],
@@ -439,11 +509,8 @@ impl FuncEngine {
                                     self.states[idx].chunk_in_q += cost as u32;
                                 }
                                 QueueItem::Marker(qid) => {
-                                    let bytes: Vec<u8> = self.states[idx]
-                                        .chunk
-                                        .drain(..)
-                                        .map(|v| v as u8)
-                                        .collect();
+                                    let bytes: Vec<u8> =
+                                        self.states[idx].chunk.drain(..).map(|v| v as u8).collect();
                                     let consumed = self.states[idx].chunk_in_q + cost as u32;
                                     self.states[idx].chunk_in_q = 0;
                                     let tail_addr = meta_addr + qid as u64 * 8;
@@ -490,7 +557,12 @@ impl FuncEngine {
                                         Firing {
                                             consumed_q: take(&mut rem),
                                             produced_q: 0,
-                                            mem: Some(Access::new(tail_addr, 8, MemOp::Store, class)),
+                                            mem: Some(Access::new(
+                                                tail_addr,
+                                                8,
+                                                MemOp::Store,
+                                                class,
+                                            )),
                                         },
                                     );
                                 }
@@ -505,8 +577,14 @@ impl FuncEngine {
 
     /// Streams a buffered bin's chunk downstream and resets it.
     fn flush_bin(&mut self, idx: usize, qid: u32, img: &mut MemoryImage) {
-        let OperatorKind::MemQueue { data_base, stride, chunk_elems: _, elem_bytes, class, .. } =
-            self.pipeline.operators()[idx].kind.clone()
+        let OperatorKind::MemQueue {
+            data_base,
+            stride,
+            chunk_elems: _,
+            elem_bytes,
+            class,
+            ..
+        } = self.pipeline.operators()[idx].kind.clone()
         else {
             unreachable!("flush_bin on non-MemQueue");
         };
@@ -538,7 +616,14 @@ impl FuncEngine {
         debug_assert_eq!(emitted, count as u64);
         // Chunk delimiter carries the bin id.
         self.push_all(idx, QueueItem::Marker(qid), 4);
-        self.record(idx, Firing { consumed_q: 0, produced_q: 4, mem: None });
+        self.record(
+            idx,
+            Firing {
+                consumed_q: 0,
+                produced_q: 4,
+                mem: None,
+            },
+        );
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -598,7 +683,14 @@ impl FuncEngine {
             );
         } else if total_bytes == 0 {
             // Zero-length range, no marker: still consume the input.
-            self.record(idx, Firing { consumed_q: end_cost as u16, produced_q: 0, mem: None });
+            self.record(
+                idx,
+                Firing {
+                    consumed_q: end_cost as u16,
+                    produced_q: 0,
+                    mem: None,
+                },
+            );
         }
     }
 
@@ -612,7 +704,8 @@ impl FuncEngine {
         consumed: u32,
         marker: Option<u32>,
     ) {
-        let total_out = values.len() as u64 * elem_bytes as u64 + if marker.is_some() { 4 } else { 0 };
+        let total_out =
+            values.len() as u64 * elem_bytes as u64 + if marker.is_some() { 4 } else { 0 };
         // The unit moves at most 32 B/cycle on BOTH sides: enough firings
         // to cover whichever direction is larger (compression can shrink
         // 256 B of input into a few output bytes, and vice versa).
@@ -645,7 +738,11 @@ impl FuncEngine {
             remainder = remainder.saturating_sub(1);
             self.record(
                 idx,
-                Firing { consumed_q: consumed_now as u16, produced_q: produced as u16, mem: None },
+                Firing {
+                    consumed_q: consumed_now as u16,
+                    produced_q: produced as u16,
+                    mem: None,
+                },
             );
         }
         debug_assert_eq!(vi, values.len(), "all values emitted");
@@ -671,7 +768,11 @@ impl FuncEngine {
         }
         self.record(
             idx,
-            Firing { consumed_q: cost as u16, produced_q: if has_out { 4 } else { 0 }, mem: None },
+            Firing {
+                consumed_q: cost as u16,
+                produced_q: if has_out { 4 } else { 0 },
+                mem: None,
+            },
         );
     }
 
@@ -723,7 +824,12 @@ mod tests {
         let mut b = PipelineBuilder::new();
         let q0 = b.queue(8);
         b.operator(
-            OperatorKind::Indirect { base: arr, elem_bytes: 8, pair: false, class: DataClass::DestinationVertex },
+            OperatorKind::Indirect {
+                base: arr,
+                elem_bytes: 8,
+                pair: false,
+                class: DataClass::DestinationVertex,
+            },
             q0,
             vec![],
         );
@@ -764,14 +870,25 @@ mod tests {
             q0,
             vec![q1],
         );
-        b.operator(OperatorKind::Decompress { codec: CodecKind::Delta, elem_bytes: 4 }, q1, vec![q2]);
+        b.operator(
+            OperatorKind::Decompress {
+                codec: CodecKind::Delta,
+                elem_bytes: 4,
+            },
+            q1,
+            vec![q2],
+        );
         let p = b.build().unwrap();
         let mut eng = FuncEngine::new(p.clone());
         eng.enqueue_value(q0, 0, 8);
         eng.enqueue_value(q0, bytes.len() as u64, 8);
         eng.run(&mut img);
         let out = eng.drain_output(q2);
-        let values: Vec<u64> = out.iter().filter(|i| !i.is_marker()).map(|i| i.value()).collect();
+        let values: Vec<u64> = out
+            .iter()
+            .filter(|i| !i.is_marker())
+            .map(|i| i.value())
+            .collect();
         assert_eq!(values, row);
         assert!(out.last().unwrap().is_marker());
     }
@@ -825,7 +942,11 @@ mod tests {
         assert_eq!(produced0, consumed1);
         // The core-facing queue holds exactly what operator 1 produced.
         let produced1: u32 = firings[1].iter().map(|f| f.produced_q as u32).sum();
-        let out: u32 = eng.drain_output_costed(q2).iter().map(|&(_, c)| c as u32).sum();
+        let out: u32 = eng
+            .drain_output_costed(q2)
+            .iter()
+            .map(|&(_, c)| c as u32)
+            .sum();
         assert_eq!(produced1, out);
     }
 

@@ -46,14 +46,16 @@ impl MemoryImage {
     /// Creates an empty image. Address 0 is left unmapped to catch stray
     /// null-ish accesses.
     pub fn new() -> Self {
-        MemoryImage { regions: Vec::new(), next_base: REGION_ALIGN }
+        MemoryImage {
+            regions: Vec::new(),
+            next_base: REGION_ALIGN,
+        }
     }
 
     /// Allocates a zeroed region of `bytes`, returning its base address.
     pub fn alloc(&mut self, name: &str, bytes: u64, class: DataClass) -> u64 {
         let base = self.next_base;
-        self.next_base = (base + bytes).div_ceil(REGION_ALIGN) * REGION_ALIGN
-            + REGION_ALIGN; // one guard page between regions
+        self.next_base = (base + bytes).div_ceil(REGION_ALIGN) * REGION_ALIGN + REGION_ALIGN; // one guard page between regions
         self.regions.push(Region {
             base,
             data: vec![0u8; bytes as usize],
@@ -230,9 +232,21 @@ impl MemoryImage {
 
 impl fmt::Display for MemoryImage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "MemoryImage ({} regions, {} bytes):", self.regions.len(), self.footprint_bytes())?;
+        writeln!(
+            f,
+            "MemoryImage ({} regions, {} bytes):",
+            self.regions.len(),
+            self.footprint_bytes()
+        )?;
         for r in &self.regions {
-            writeln!(f, "  {:#012x} {:>10} B {:<18} {}", r.base, r.data.len(), r.class.to_string(), r.name)?;
+            writeln!(
+                f,
+                "  {:#012x} {:>10} B {:<18} {}",
+                r.base,
+                r.data.len(),
+                r.class.to_string(),
+                r.name
+            )?;
         }
         Ok(())
     }
@@ -312,8 +326,14 @@ mod tests {
         let scattered = img.alloc_u64s(
             "ptrs",
             &[
-                0x123456789A, 0x3333AAAA5555, 0x77, 0x9999999999, 0xABCDEF0123, 0x1111111111,
-                0xFEDCBA9876, 0x1356246802,
+                0x123456789A,
+                0x3333AAAA5555,
+                0x77,
+                0x9999999999,
+                0xABCDEF0123,
+                0x1111111111,
+                0xFEDCBA9876,
+                0x1356246802,
             ],
             DataClass::Other,
         );

@@ -34,7 +34,10 @@ pub struct ParseError {
 
 impl ParseError {
     fn new(line: usize, detail: impl Into<String>) -> Self {
-        ParseError { line, detail: detail.into() }
+        ParseError {
+            line,
+            detail: detail.into(),
+        }
     }
 }
 
@@ -159,7 +162,9 @@ pub fn parse(text: &str, symbols: &HashMap<String, u64>) -> Result<Pipeline, Par
                 Some(v) => v
                     .parse::<u64>()
                     .map_err(|_| ParseError::new(lineno, format!("bad number for {key}"))),
-                None => default.ok_or_else(|| ParseError::new(lineno, format!("{head} needs {key}="))),
+                None => {
+                    default.ok_or_else(|| ParseError::new(lineno, format!("{head} needs {key}=")))
+                }
             }
         };
         let class = match kv.get("class").copied().unwrap_or("other") {
@@ -217,7 +222,10 @@ pub fn parse(text: &str, symbols: &HashMap<String, u64>) -> Result<Pipeline, Par
                 elem_bytes: num("elem", Some(4))? as u8,
                 sort_chunks: kv.get("sort").copied() == Some("true"),
             },
-            "streamwrite" => OperatorKind::StreamWrite { base: addr("base")?, class },
+            "streamwrite" => OperatorKind::StreamWrite {
+                base: addr("base")?,
+                class,
+            },
             "memqueue" => OperatorKind::MemQueue {
                 num_queues: num("queues", None)? as u32,
                 data_base: addr("base")?,
@@ -229,12 +237,20 @@ pub fn parse(text: &str, symbols: &HashMap<String, u64>) -> Result<Pipeline, Par
                     "buffer" => MemQueueMode::Buffer,
                     "append" => MemQueueMode::Append,
                     other => {
-                        return Err(ParseError::new(lineno, format!("unknown mq mode '{other}'")))
+                        return Err(ParseError::new(
+                            lineno,
+                            format!("unknown mq mode '{other}'"),
+                        ))
                     }
                 },
                 class,
             },
-            other => return Err(ParseError::new(lineno, format!("unknown operator '{other}'"))),
+            other => {
+                return Err(ParseError::new(
+                    lineno,
+                    format!("unknown operator '{other}'"),
+                ))
+            }
         };
         builder.operator(kind, input, outputs);
     }
@@ -332,7 +348,10 @@ pub fn to_dot(pipeline: &Pipeline) -> String {
         out.push_str(&format!("  out{q} [label=\"core q{q}\", shape=diamond];\n"));
     }
     let producer_of = |q: crate::QueueId| {
-        pipeline.operators().iter().position(|op| op.outputs.contains(&q))
+        pipeline
+            .operators()
+            .iter()
+            .position(|op| op.outputs.contains(&q))
     };
     for (i, op) in pipeline.operators().iter().enumerate() {
         match producer_of(op.input) {
@@ -466,7 +485,13 @@ mod tests {
         )
         .unwrap();
         match &p.operators()[0].kind {
-            OperatorKind::RangeFetch { idx_bytes, elem_bytes, input, marker, .. } => {
+            OperatorKind::RangeFetch {
+                idx_bytes,
+                elem_bytes,
+                input,
+                marker,
+                ..
+            } => {
                 assert_eq!(*idx_bytes, 8);
                 assert_eq!(*elem_bytes, 4);
                 assert_eq!(*input, RangeInput::Pairs);

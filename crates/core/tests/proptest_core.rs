@@ -3,12 +3,12 @@
 //! programs over random data.
 
 use proptest::prelude::*;
+use spzip_compress::CodecKind;
 use spzip_core::dcl::{OperatorKind, Pipeline, PipelineBuilder, RangeInput};
 use spzip_core::engine::{EngineConfig, EngineModel};
 use spzip_core::func::FuncEngine;
 use spzip_core::memory::MemoryImage;
 use spzip_core::parser;
-use spzip_compress::CodecKind;
 use spzip_mem::hierarchy::{MemConfig, MemorySystem};
 use spzip_mem::DataClass;
 use std::collections::HashMap;
@@ -36,8 +36,14 @@ fn arb_codec() -> impl Strategy<Value = CodecKind> {
 /// A random chain pipeline: range fetch, optionally through a compressor/
 /// decompressor pair, optionally ending in an indirection.
 fn arb_chain() -> impl Strategy<Value = (Pipeline, bool)> {
-    (arb_class(), arb_codec(), any::<bool>(), any::<bool>(), 1u16..64).prop_map(
-        |(class, codec, transform, indirect, cap)| {
+    (
+        arb_class(),
+        arb_codec(),
+        any::<bool>(),
+        any::<bool>(),
+        1u16..64,
+    )
+        .prop_map(|(class, codec, transform, indirect, cap)| {
             let mut b = PipelineBuilder::new();
             let q0 = b.queue(8);
             let q1 = b.queue(cap.max(8));
@@ -58,11 +64,22 @@ fn arb_chain() -> impl Strategy<Value = (Pipeline, bool)> {
                 let q2 = b.queue(cap.max(8));
                 let q3 = b.queue(cap.max(8));
                 b.operator(
-                    OperatorKind::Compress { codec, elem_bytes: 4, sort_chunks: false },
+                    OperatorKind::Compress {
+                        codec,
+                        elem_bytes: 4,
+                        sort_chunks: false,
+                    },
                     last,
                     vec![q2],
                 );
-                b.operator(OperatorKind::Decompress { codec, elem_bytes: 4 }, q2, vec![q3]);
+                b.operator(
+                    OperatorKind::Decompress {
+                        codec,
+                        elem_bytes: 4,
+                    },
+                    q2,
+                    vec![q3],
+                );
                 last = q3;
             }
             if indirect {
@@ -79,8 +96,7 @@ fn arb_chain() -> impl Strategy<Value = (Pipeline, bool)> {
                 );
             }
             (b.build().expect("chain validates"), transform)
-        },
-    )
+        })
 }
 
 proptest! {

@@ -82,7 +82,14 @@ impl CompressedCsr {
             offsets.push(bytes.len() as u64);
             row = hi;
         }
-        CompressedCsr { num_vertices: n, grouping, offsets, bytes, row_lens, stats }
+        CompressedCsr {
+            num_vertices: n,
+            grouping,
+            offsets,
+            bytes,
+            row_lens,
+            stats,
+        }
     }
 
     /// Number of vertices (rows).
@@ -143,11 +150,18 @@ impl CompressedCsr {
     /// # Panics
     ///
     /// Panics if `v` is out of range.
-    pub fn decompress_row(&self, codec: &dyn Codec, v: VertexId) -> Result<Vec<VertexId>, DecodeError> {
+    pub fn decompress_row(
+        &self,
+        codec: &dyn Codec,
+        v: VertexId,
+    ) -> Result<Vec<VertexId>, DecodeError> {
         assert!((v as usize) < self.num_vertices, "vertex {v} out of range");
         let group = v as usize / self.rows_per_group();
         let first_row = group * self.rows_per_group();
-        let (lo, hi) = (self.offsets[group] as usize, self.offsets[group + 1] as usize);
+        let (lo, hi) = (
+            self.offsets[group] as usize,
+            self.offsets[group + 1] as usize,
+        );
         let mut stream = Vec::new();
         codec.decompress(&self.bytes[lo..hi], &mut stream)?;
         // Skip earlier rows within the group.
@@ -156,7 +170,10 @@ impl CompressedCsr {
             .map(|&l| l as usize)
             .sum();
         let len = self.row_lens[v as usize] as usize;
-        Ok(stream[skip..skip + len].iter().map(|&x| x as VertexId).collect())
+        Ok(stream[skip..skip + len]
+            .iter()
+            .map(|&x| x as VertexId)
+            .collect())
     }
 }
 
@@ -247,7 +264,10 @@ mod tests {
         let g = Csr::from_edges(5, &[(0, 4)]);
         let codec = DeltaCodec::new();
         let cg = CompressedCsr::build(&g, &codec, RowGrouping::PerRow);
-        assert_eq!(cg.decompress_row(&codec, 2).unwrap(), Vec::<VertexId>::new());
+        assert_eq!(
+            cg.decompress_row(&codec, 2).unwrap(),
+            Vec::<VertexId>::new()
+        );
         assert_eq!(cg.decompress_row(&codec, 0).unwrap(), vec![4]);
     }
 }

@@ -79,7 +79,12 @@ impl Csr {
         }
         let neighbors = entries.iter().map(|&(_, d, _)| d).collect();
         let values = keep_values.then(|| entries.iter().map(|&(_, _, v)| v).collect());
-        Csr { num_vertices, offsets, neighbors, values }
+        Csr {
+            num_vertices,
+            offsets,
+            neighbors,
+            values,
+        }
     }
 
     /// Builds a CSR directly from prevalidated arrays (used by reorderers).
@@ -94,12 +99,21 @@ impl Csr {
         values: Option<Vec<f64>>,
     ) -> Self {
         assert_eq!(offsets.len(), num_vertices + 1, "offsets length");
-        assert_eq!(*offsets.last().unwrap() as usize, neighbors.len(), "last offset");
+        assert_eq!(
+            *offsets.last().unwrap() as usize,
+            neighbors.len(),
+            "last offset"
+        );
         assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets monotone");
         if let Some(v) = &values {
             assert_eq!(v.len(), neighbors.len(), "values length");
         }
-        Csr { num_vertices, offsets, neighbors, values }
+        Csr {
+            num_vertices,
+            offsets,
+            neighbors,
+            values,
+        }
     }
 
     /// Number of rows / vertices.
@@ -158,10 +172,8 @@ impl Csr {
 
     /// The transpose (reversed edges); values follow their nonzeros.
     pub fn transpose(&self) -> Csr {
-        let entries: Vec<(VertexId, VertexId, f64)> = self
-            .iter_edges()
-            .map(|(s, d, v)| (d, s, v))
-            .collect();
+        let entries: Vec<(VertexId, VertexId, f64)> =
+            self.iter_edges().map(|(s, d, v)| (d, s, v)).collect();
         Self::build(self.num_vertices, entries, self.values.is_some())
     }
 
@@ -245,8 +257,7 @@ mod tests {
     #[test]
     fn iter_edges_covers_all() {
         let g = paper_graph();
-        let edges: Vec<(VertexId, VertexId)> =
-            g.iter_edges().map(|(s, d, _)| (s, d)).collect();
+        let edges: Vec<(VertexId, VertexId)> = g.iter_edges().map(|(s, d, _)| (s, d)).collect();
         assert_eq!(edges.len(), 7);
         assert!(edges.contains(&(3, 2)));
     }
@@ -260,12 +271,7 @@ mod tests {
     #[test]
     fn from_parts_validates() {
         let g = paper_graph();
-        let rebuilt = Csr::from_parts(
-            4,
-            g.offsets().to_vec(),
-            g.neighbors_flat().to_vec(),
-            None,
-        );
+        let rebuilt = Csr::from_parts(4, g.offsets().to_vec(), g.neighbors_flat().to_vec(), None);
         assert_eq!(rebuilt, g);
     }
 

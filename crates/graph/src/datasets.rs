@@ -67,7 +67,11 @@ impl DatasetSpec {
             Source::Community(p) => {
                 let mut p = p;
                 let shift = -scale.scale_delta();
-                p.n = if shift >= 0 { (p.n >> shift).max(64) } else { p.n << -shift };
+                p.n = if shift >= 0 {
+                    (p.n >> shift).max(64)
+                } else {
+                    p.n << -shift
+                };
                 p.max_community = (p.n / 16).max(64);
                 gen::community(&p, self.seed)
             }
@@ -174,7 +178,10 @@ pub fn matrix_dataset() -> DatasetSpec {
     DatasetSpec {
         name: "nlp",
         paper_source: "nlpkkt240",
-        source: Source::Grid { side: 36, radius: 1 },
+        source: Source::Grid {
+            side: 36,
+            radius: 1,
+        },
         seed: 0xF6,
     }
 }
@@ -204,7 +211,12 @@ mod tests {
     fn tiny_scale_generates_quickly_and_small() {
         for spec in graph_datasets() {
             let g = spec.generate(Scale::Tiny);
-            assert!(g.num_vertices() <= 1 << 12, "{}: {}", spec.name(), g.num_vertices());
+            assert!(
+                g.num_vertices() <= 1 << 12,
+                "{}: {}",
+                spec.name(),
+                g.num_vertices()
+            );
             assert!(g.num_edges() > g.num_vertices(), "{}", spec.name());
         }
     }
@@ -220,9 +232,8 @@ mod tests {
         let benefit = |name: &str| {
             let g = by_name(name).unwrap().generate(Scale::Bench);
             let natural = crate::reorder::adjacency_delta_bytes_per_edge(&g);
-            let random = crate::reorder::adjacency_delta_bytes_per_edge(
-                &crate::reorder::randomize(&g, 9),
-            );
+            let random =
+                crate::reorder::adjacency_delta_bytes_per_edge(&crate::reorder::randomize(&g, 9));
             random / natural
         };
         let twi = benefit("twi");

@@ -42,19 +42,28 @@ impl Frontier {
 
     /// Creates a frontier holding a single root vertex.
     pub fn single(root: VertexId) -> Self {
-        Frontier { vertices: vec![root], finished: true }
+        Frontier {
+            vertices: vec![root],
+            finished: true,
+        }
     }
 
     /// Creates a frontier of all vertices `0..n` (all-active start).
     pub fn all(n: usize) -> Self {
-        Frontier { vertices: (0..n as VertexId).collect(), finished: true }
+        Frontier {
+            vertices: (0..n as VertexId).collect(),
+            finished: true,
+        }
     }
 
     /// Creates a frontier from an arbitrary id list (deduplicated, sorted).
     pub fn from_vec(mut vertices: Vec<VertexId>) -> Self {
         vertices.sort_unstable();
         vertices.dedup();
-        Frontier { vertices, finished: true }
+        Frontier {
+            vertices,
+            finished: true,
+        }
     }
 
     /// Appends an id; duplicates are removed by [`Frontier::finish`].

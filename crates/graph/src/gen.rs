@@ -36,12 +36,24 @@ pub struct RmatParams {
 impl RmatParams {
     /// Classic Graph500-style skew, a good web-graph analog.
     pub fn web(scale: u32, edge_factor: usize) -> Self {
-        RmatParams { a: 0.57, b: 0.19, c: 0.19, scale, edge_factor }
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            scale,
+            edge_factor,
+        }
     }
 
     /// Low-skew, low-community-structure analog of a social graph.
     pub fn social(scale: u32, edge_factor: usize) -> Self {
-        RmatParams { a: 0.45, b: 0.22, c: 0.22, scale, edge_factor }
+        RmatParams {
+            a: 0.45,
+            b: 0.22,
+            c: 0.22,
+            scale,
+            edge_factor,
+        }
     }
 
     /// Probability of the bottom-right quadrant.
@@ -233,8 +245,7 @@ pub fn grid3d(side: usize, radius: usize, seed: u64) -> Csr {
                             if dx == 0 && dy == 0 && dz == 0 {
                                 continue;
                             }
-                            let (nx, ny, nz) =
-                                (x as isize + dx, y as isize + dy, z as isize + dz);
+                            let (nx, ny, nz) = (x as isize + dx, y as isize + dy, z as isize + dz);
                             if nx < 0
                                 || ny < 0
                                 || nz < 0
@@ -279,7 +290,11 @@ pub fn degree_stats(g: &Csr) -> DegreeStats {
     DegreeStats {
         max: degs.first().copied().unwrap_or(0),
         mean: total as f64 / degs.len().max(1) as f64,
-        top1pct_edge_share: if total == 0 { 0.0 } else { top_sum as f64 / total as f64 },
+        top1pct_edge_share: if total == 0 {
+            0.0
+        } else {
+            top_sum as f64 / total as f64
+        },
     }
 }
 

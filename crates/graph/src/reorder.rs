@@ -92,8 +92,7 @@ pub fn apply_permutation(g: &Csr, perm: &[VertexId]) -> Csr {
     if g.values_flat().is_some() {
         Csr::from_entries(n, &entries)
     } else {
-        let edges: Vec<(VertexId, VertexId)> =
-            entries.iter().map(|&(s, d, _)| (s, d)).collect();
+        let edges: Vec<(VertexId, VertexId)> = entries.iter().map(|&(s, d, _)| (s, d)).collect();
         Csr::from_edges(n, &edges)
     }
 }
@@ -154,7 +153,11 @@ fn traversal_order(g: &Csr, depth_first: bool) -> Vec<VertexId> {
         }
         visited[root as usize] = true;
         queue.push_back(root);
-        while let Some(v) = if depth_first { queue.pop_back() } else { queue.pop_front() } {
+        while let Some(v) = if depth_first {
+            queue.pop_back()
+        } else {
+            queue.pop_front()
+        } {
             order.push(v);
             for &nbr in g.neighbors(v) {
                 if !visited[nbr as usize] {
@@ -186,12 +189,12 @@ pub fn gorder_lite(g: &Csr, window: usize) -> Csr {
         .collect();
 
     let bump = |v: VertexId,
-                    delta: i32,
-                    score: &mut Vec<u32>,
-                    heap: &mut BinaryHeap<(u32, u32, VertexId)>,
-                    g: &Csr,
-                    incoming: &Csr,
-                    placed: &[bool]| {
+                delta: i32,
+                score: &mut Vec<u32>,
+                heap: &mut BinaryHeap<(u32, u32, VertexId)>,
+                g: &Csr,
+                incoming: &Csr,
+                placed: &[bool]| {
         // Affinity counts shared edges in either direction.
         for &nbr in g.neighbors(v).iter().chain(incoming.neighbors(v)) {
             if placed[nbr as usize] {
@@ -261,10 +264,12 @@ mod tests {
     fn assert_isomorphic(a: &Csr, b: &Csr) {
         assert_eq!(a.num_vertices(), b.num_vertices());
         assert_eq!(a.num_edges(), b.num_edges());
-        let mut da: Vec<usize> =
-            (0..a.num_vertices() as VertexId).map(|v| a.out_degree(v)).collect();
-        let mut db: Vec<usize> =
-            (0..b.num_vertices() as VertexId).map(|v| b.out_degree(v)).collect();
+        let mut da: Vec<usize> = (0..a.num_vertices() as VertexId)
+            .map(|v| a.out_degree(v))
+            .collect();
+        let mut db: Vec<usize> = (0..b.num_vertices() as VertexId)
+            .map(|v| b.out_degree(v))
+            .collect();
         da.sort_unstable();
         db.sort_unstable();
         assert_eq!(da, db);
@@ -289,8 +294,9 @@ mod tests {
     #[test]
     fn degree_sort_is_descending() {
         let g = degree_sort(&sample());
-        let degs: Vec<usize> =
-            (0..g.num_vertices() as VertexId).map(|v| g.out_degree(v)).collect();
+        let degs: Vec<usize> = (0..g.num_vertices() as VertexId)
+            .map(|v| g.out_degree(v))
+            .collect();
         assert!(degs.windows(2).all(|w| w[0] >= w[1]));
     }
 
@@ -303,7 +309,11 @@ mod tests {
         let g = randomize(&community(&CommunityParams::web_crawl(1 << 14, 12), 11), 3);
         let random_cost = adjacency_delta_bytes_per_edge(&g);
         let mut topo_costs = Vec::new();
-        for p in [Preprocessing::Bfs, Preprocessing::Dfs, Preprocessing::GOrder] {
+        for p in [
+            Preprocessing::Bfs,
+            Preprocessing::Dfs,
+            Preprocessing::GOrder,
+        ] {
             let cost = adjacency_delta_bytes_per_edge(&p.apply(&g, 0));
             assert!(
                 cost < random_cost * 0.92,
@@ -333,8 +343,7 @@ mod tests {
 
     #[test]
     fn display_names_match_fig18() {
-        let names: Vec<String> =
-            Preprocessing::all().iter().map(|p| p.to_string()).collect();
+        let names: Vec<String> = Preprocessing::all().iter().map(|p| p.to_string()).collect();
         assert_eq!(names, ["None", "DegreeSort", "BFS", "DFS", "GOrder"]);
     }
 

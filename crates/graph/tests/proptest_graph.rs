@@ -1,19 +1,23 @@
 //! Property-based tests on the graph substrate's invariants.
 
 use proptest::prelude::*;
+use spzip_compress::delta::DeltaCodec;
 use spzip_graph::compressed::{CompressedCsr, RowGrouping};
 use spzip_graph::reorder::{self, Preprocessing};
 use spzip_graph::{Csr, Frontier, VertexId};
-use spzip_compress::delta::DeltaCodec;
 
 fn arb_graph() -> impl Strategy<Value = Csr> {
-    (2usize..64, proptest::collection::vec((0u32..64, 0u32..64), 0..256)).prop_map(|(n, edges)| {
-        let edges: Vec<(VertexId, VertexId)> = edges
-            .into_iter()
-            .map(|(s, d)| (s % n as u32, d % n as u32))
-            .collect();
-        Csr::from_edges(n, &edges)
-    })
+    (
+        2usize..64,
+        proptest::collection::vec((0u32..64, 0u32..64), 0..256),
+    )
+        .prop_map(|(n, edges)| {
+            let edges: Vec<(VertexId, VertexId)> = edges
+                .into_iter()
+                .map(|(s, d)| (s % n as u32, d % n as u32))
+                .collect();
+            Csr::from_edges(n, &edges)
+        })
 }
 
 proptest! {

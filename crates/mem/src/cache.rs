@@ -33,8 +33,15 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// Creates a config; capacity must be a multiple of `ways * 64`.
     pub fn new(size_bytes: u64, ways: u32, replacement: Replacement) -> Self {
-        assert!(size_bytes.is_multiple_of(ways as u64 * LINE_BYTES), "capacity not a whole number of sets");
-        CacheConfig { size_bytes, ways, replacement }
+        assert!(
+            size_bytes.is_multiple_of(ways as u64 * LINE_BYTES),
+            "capacity not a whole number of sets"
+        );
+        CacheConfig {
+            size_bytes,
+            ways,
+            replacement,
+        }
     }
 
     /// Number of sets.
@@ -122,7 +129,13 @@ impl Cache {
         let sets = (0..cfg.sets())
             .map(|_| vec![LineMeta::default(); cfg.ways as usize])
             .collect();
-        Cache { cfg, sets, stats: CacheStats::default(), tick: 0, psel: 0 }
+        Cache {
+            cfg,
+            sets,
+            stats: CacheStats::default(),
+            tick: 0,
+            psel: 0,
+        }
     }
 
     /// The configuration.
@@ -168,9 +181,7 @@ impl Cache {
     /// Checks presence without touching statistics or replacement state.
     pub fn contains(&self, line_addr: u64) -> bool {
         let set = self.set_of(line_addr);
-        self.sets[set]
-            .iter()
-            .any(|l| l.valid && l.tag == line_addr)
+        self.sets[set].iter().any(|l| l.valid && l.tag == line_addr)
     }
 
     /// Inserts a line (which must not be present), evicting a victim if the
@@ -199,7 +210,11 @@ impl Cache {
                     RRPV_MAX - 1
                 } else {
                     // BRRIP: distant most of the time.
-                    if tick.is_multiple_of(32) { RRPV_MAX - 1 } else { RRPV_MAX }
+                    if tick.is_multiple_of(32) {
+                        RRPV_MAX - 1
+                    } else {
+                        RRPV_MAX
+                    }
                 }
             }
         };
@@ -221,7 +236,13 @@ impl Cache {
                 self.psel = (self.psel - 1).max(-1023);
             }
         }
-        *victim = LineMeta { tag: line_addr, valid: true, dirty, class, repl: insert_repl };
+        *victim = LineMeta {
+            tag: line_addr,
+            valid: true,
+            dirty,
+            class,
+            repl: insert_repl,
+        };
         evicted
     }
 
@@ -399,7 +420,11 @@ mod tests {
 
     #[test]
     fn drrip_basic_operation() {
-        let mut c = Cache::new(CacheConfig::new(64 * LINE_BYTES * 64, 16, Replacement::Drrip));
+        let mut c = Cache::new(CacheConfig::new(
+            64 * LINE_BYTES * 64,
+            16,
+            Replacement::Drrip,
+        ));
         // Fill far beyond capacity; must not loop forever and must keep
         // reasonable occupancy.
         for a in 0..100_000u64 {
@@ -416,7 +441,11 @@ mod tests {
     fn drrip_keeps_hot_lines_under_scan() {
         // A small hot set reused constantly plus a big scanning stream:
         // RRIP should retain most hot lines.
-        let mut c = Cache::new(CacheConfig::new(64 * LINE_BYTES * 16, 16, Replacement::Drrip));
+        let mut c = Cache::new(CacheConfig::new(
+            64 * LINE_BYTES * 16,
+            16,
+            Replacement::Drrip,
+        ));
         let hot: Vec<u64> = (0..256).collect();
         let mut hot_misses = 0;
         let mut scan_addr = 1_000_000u64;

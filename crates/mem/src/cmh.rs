@@ -118,7 +118,13 @@ impl CompressedLlc {
                 segment_budget: base.ways * (LINE_BYTES as u32 / SEGMENT_BYTES),
             })
             .collect();
-        CompressedLlc { base, sets, hits: 0, misses: 0, tick: 0 }
+        CompressedLlc {
+            base,
+            sets,
+            hits: 0,
+            misses: 0,
+            tick: 0,
+        }
     }
 
     fn set_of(&self, line_addr: u64) -> usize {
@@ -128,7 +134,9 @@ impl CompressedLlc {
     }
 
     fn segments_for(bytes: u32) -> u32 {
-        bytes.div_ceil(SEGMENT_BYTES).clamp(1, LINE_BYTES as u32 / SEGMENT_BYTES)
+        bytes
+            .div_ceil(SEGMENT_BYTES)
+            .clamp(1, LINE_BYTES as u32 / SEGMENT_BYTES)
     }
 
     /// Looks up a line; hits update LRU and dirtiness.
@@ -192,7 +200,11 @@ impl CompressedLlc {
                     let v = set.lines[victim];
                     set.lines[victim].valid = false;
                     set.segments_used -= v.segments;
-                    evicted.push(CEvicted { line_addr: v.tag, dirty: v.dirty, class: v.class });
+                    evicted.push(CEvicted {
+                        line_addr: v.tag,
+                        dirty: v.dirty,
+                        class: v.class,
+                    });
                 }
             }
         }
@@ -248,7 +260,10 @@ pub struct LcpMemory {
 impl LcpMemory {
     /// Creates an LCP model with 4 KB pages.
     pub fn new() -> Self {
-        LcpMemory { page_bytes: 4096, page_line_bytes: HashMap::new() }
+        LcpMemory {
+            page_bytes: 4096,
+            page_line_bytes: HashMap::new(),
+        }
     }
 
     /// Bytes a DRAM transfer of `line_addr` costs, per the page's uniform

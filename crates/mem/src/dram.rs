@@ -91,7 +91,10 @@ impl Dram {
     /// fractional service quanta). Used by the LCP model, which moves
     /// compressed lines smaller than 64 B.
     pub fn request_bytes(&mut self, channel: usize, now: u64, bytes: u32) -> u64 {
-        assert!(channel < self.cfg.channels, "channel {channel} out of range");
+        assert!(
+            channel < self.cfg.channels,
+            "channel {channel} out of range"
+        );
         let service = self.service_fp * bytes as u64 / LINE_BYTES;
         let start = self.next_free_fp[channel].max(now * FP);
         self.next_free_fp[channel] = start + service;
@@ -131,14 +134,22 @@ mod tests {
 
     #[test]
     fn idle_request_is_latency_plus_service() {
-        let mut d = Dram::new(DramConfig { channels: 1, latency: 100, bytes_per_cycle: 4.0 });
+        let mut d = Dram::new(DramConfig {
+            channels: 1,
+            latency: 100,
+            bytes_per_cycle: 4.0,
+        });
         // 64/4 = 16 cycles service.
         assert_eq!(d.request_line(0, 0), 116);
     }
 
     #[test]
     fn back_to_back_requests_queue() {
-        let mut d = Dram::new(DramConfig { channels: 1, latency: 100, bytes_per_cycle: 4.0 });
+        let mut d = Dram::new(DramConfig {
+            channels: 1,
+            latency: 100,
+            bytes_per_cycle: 4.0,
+        });
         let a = d.request_line(0, 0);
         let b = d.request_line(0, 0);
         assert_eq!(b, a + 16);
@@ -146,7 +157,11 @@ mod tests {
 
     #[test]
     fn channels_are_independent() {
-        let mut d = Dram::new(DramConfig { channels: 2, latency: 100, bytes_per_cycle: 4.0 });
+        let mut d = Dram::new(DramConfig {
+            channels: 2,
+            latency: 100,
+            bytes_per_cycle: 4.0,
+        });
         let a = d.request_line(0, 0);
         let b = d.request_line(1, 0);
         assert_eq!(a, b);
@@ -154,7 +169,11 @@ mod tests {
 
     #[test]
     fn idle_gaps_do_not_accumulate_credit() {
-        let mut d = Dram::new(DramConfig { channels: 1, latency: 0, bytes_per_cycle: 64.0 });
+        let mut d = Dram::new(DramConfig {
+            channels: 1,
+            latency: 0,
+            bytes_per_cycle: 64.0,
+        });
         d.request_line(0, 1000);
         // Channel was idle before 1000 but a request at 1001 must not
         // complete before its own arrival.
@@ -172,14 +191,25 @@ mod tests {
             last = d.request_line(0, 0);
         }
         let expect = (100.0 * 64.0 / cfg.bytes_per_cycle) as u64 + cfg.latency;
-        assert!((last as i64 - expect as i64).abs() <= 2, "{last} vs {expect}");
+        assert!(
+            (last as i64 - expect as i64).abs() <= 2,
+            "{last} vs {expect}"
+        );
     }
 
     #[test]
     fn partial_line_transfers_cost_less() {
-        let mut d = Dram::new(DramConfig { channels: 1, latency: 0, bytes_per_cycle: 4.0 });
+        let mut d = Dram::new(DramConfig {
+            channels: 1,
+            latency: 0,
+            bytes_per_cycle: 4.0,
+        });
         let full = d.request_line(0, 0);
-        let mut d2 = Dram::new(DramConfig { channels: 1, latency: 0, bytes_per_cycle: 4.0 });
+        let mut d2 = Dram::new(DramConfig {
+            channels: 1,
+            latency: 0,
+            bytes_per_cycle: 4.0,
+        });
         let half = d2.request_bytes(0, 0, 32);
         assert!(half < full);
     }
@@ -194,7 +224,11 @@ mod tests {
 
     #[test]
     fn utilization_reflects_busy_fraction() {
-        let mut d = Dram::new(DramConfig { channels: 1, latency: 0, bytes_per_cycle: 64.0 });
+        let mut d = Dram::new(DramConfig {
+            channels: 1,
+            latency: 0,
+            bytes_per_cycle: 64.0,
+        });
         for i in 0..50 {
             d.request_line(0, i * 2); // 1 busy cycle every 2 cycles
         }

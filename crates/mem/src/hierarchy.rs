@@ -155,7 +155,11 @@ impl MemorySystem {
             l1: (0..cfg.cores).map(|_| Cache::new(cfg.l1)).collect(),
             l2: (0..cfg.cores).map(|_| Cache::new(cfg.l2)).collect(),
             llc: Cache::new(cfg.llc),
-            mesh: if cfg.cores == 16 { Mesh::paper() } else { Mesh::new(cfg.cores.max(1), 1, 2) },
+            mesh: if cfg.cores == 16 {
+                Mesh::paper()
+            } else {
+                Mesh::new(cfg.cores.max(1), 1, 2)
+            },
             dram: Dram::new(cfg.dram),
             directory: HashMap::new(),
             stats: TrafficStats::new(),
@@ -235,8 +239,15 @@ impl MemorySystem {
                 if write {
                     self.handle_write_coherence(core, line_addr);
                 }
-                let extra = if op == MemOp::Atomic { self.cfg.atomic_penalty } else { 0 };
-                return AccessResult { complete_at: now + latency + extra, serviced_by: Level::L1 };
+                let extra = if op == MemOp::Atomic {
+                    self.cfg.atomic_penalty
+                } else {
+                    0
+                };
+                return AccessResult {
+                    complete_at: now + latency + extra,
+                    serviced_by: Level::L1,
+                };
             }
         }
 
@@ -250,8 +261,15 @@ impl MemorySystem {
                 if write {
                     self.handle_write_coherence(core, line_addr);
                 }
-                let extra = if op == MemOp::Atomic { self.cfg.atomic_penalty } else { 0 };
-                return AccessResult { complete_at: now + latency + extra, serviced_by: Level::L2 };
+                let extra = if op == MemOp::Atomic {
+                    self.cfg.atomic_penalty
+                } else {
+                    0
+                };
+                return AccessResult {
+                    complete_at: now + latency + extra,
+                    serviced_by: Level::L2,
+                };
             }
         }
 
@@ -316,13 +334,22 @@ impl MemorySystem {
             // Writes leave the line dirty at the level that owns it.
             self.llc_touch(line_addr, true);
         }
-        let extra = if op == MemOp::Atomic { self.cfg.atomic_penalty } else { 0 };
-        AccessResult { complete_at: complete_at + extra, serviced_by: level }
+        let extra = if op == MemOp::Atomic {
+            self.cfg.atomic_penalty
+        } else {
+            0
+        };
+        AccessResult {
+            complete_at: complete_at + extra,
+            serviced_by: level,
+        }
     }
 
     /// Invalidates other cores' private copies on a write.
     fn handle_write_coherence(&mut self, core: usize, line_addr: u64) {
-        let Some(&sharers) = self.directory.get(&line_addr) else { return };
+        let Some(&sharers) = self.directory.get(&line_addr) else {
+            return;
+        };
         let others = sharers & !(1u32 << core);
         if others == 0 {
             return;
@@ -529,7 +556,11 @@ mod tests {
         // The dirty line eventually reaches DRAM (here via the end-of-run
         // flush; DRRIP's thrash resistance shields it from a pure scan).
         m.flush_dirty();
-        assert_eq!(m.stats().write_bytes(DataClass::Updates), 64, "writeback happened");
+        assert_eq!(
+            m.stats().write_bytes(DataClass::Updates),
+            64,
+            "writeback happened"
+        );
     }
 
     #[test]
@@ -576,7 +607,10 @@ mod tests {
         }
         let first = *completions.first().unwrap();
         let last = *completions.last().unwrap();
-        assert!(last > first + 100, "queueing must accumulate: {first} vs {last}");
+        assert!(
+            last > first + 100,
+            "queueing must accumulate: {first} vs {last}"
+        );
     }
 
     #[test]

@@ -135,7 +135,12 @@ pub struct Access {
 impl Access {
     /// Convenience constructor.
     pub fn new(addr: u64, bytes: u32, op: MemOp, class: DataClass) -> Self {
-        Access { addr, bytes, op, class }
+        Access {
+            addr,
+            bytes,
+            op,
+            class,
+        }
     }
 
     /// Line addresses this access touches.

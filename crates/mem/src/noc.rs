@@ -17,7 +17,11 @@ pub struct Mesh {
 impl Mesh {
     /// The paper's 4×4 mesh with 2 cycles/hop (1-cycle router + 1-cycle link).
     pub fn paper() -> Self {
-        Mesh { width: 4, height: 4, cycles_per_hop: 2 }
+        Mesh {
+            width: 4,
+            height: 4,
+            cycles_per_hop: 2,
+        }
     }
 
     /// Creates a mesh.
@@ -27,7 +31,11 @@ impl Mesh {
     /// Panics if either dimension is zero.
     pub fn new(width: usize, height: usize, cycles_per_hop: u64) -> Self {
         assert!(width > 0 && height > 0, "mesh dimensions must be positive");
-        Mesh { width, height, cycles_per_hop }
+        Mesh {
+            width,
+            height,
+            cycles_per_hop,
+        }
     }
 
     /// Number of tiles.

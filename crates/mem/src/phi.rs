@@ -96,8 +96,11 @@ impl PhiUnit {
     /// Drains every buffered line, returning the distinct update count per
     /// line (end of the binning phase: residual updates also spill).
     pub fn drain(&mut self) -> Vec<(u64, u32)> {
-        let mut out: Vec<(u64, u32)> =
-            self.slots.drain().map(|(line, bits)| (line, bits.count_ones())).collect();
+        let mut out: Vec<(u64, u32)> = self
+            .slots
+            .drain()
+            .map(|(line, bits)| (line, bits.count_ones()))
+            .collect();
         out.sort_unstable();
         for (line, count) in &out {
             self.tags.invalidate(*line);
@@ -173,7 +176,10 @@ mod tests {
         let mut phi = PhiUnit::new(4 * 64, 4, 8);
         let mut spills = 0;
         for i in 0..100u64 {
-            if let PhiPush::Allocated { evicted: Some((_, count)) } = phi.push(i * 64 * 7) {
+            if let PhiPush::Allocated {
+                evicted: Some((_, count)),
+            } = phi.push(i * 64 * 7)
+            {
                 spills += count;
             }
         }
@@ -200,12 +206,19 @@ mod tests {
         let mut phi = PhiUnit::new(64 * 64, 16, 8);
         let mut coalesced_hot = 0;
         for i in 0..10_000u64 {
-            let dst = if i % 4 != 0 { (i % 16) * 8 } else { (i * 1009) % (1 << 20) };
+            let dst = if i % 4 != 0 {
+                (i % 16) * 8
+            } else {
+                (i * 1009) % (1 << 20)
+            };
             match phi.push(dst) {
                 PhiPush::Coalesced if i % 4 != 0 => coalesced_hot += 1,
                 _ => {}
             }
         }
-        assert!(coalesced_hot > 6000, "hot updates should coalesce: {coalesced_hot}");
+        assert!(
+            coalesced_hot > 6000,
+            "hot updates should coalesce: {coalesced_hot}"
+        );
     }
 }

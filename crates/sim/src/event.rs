@@ -65,7 +65,12 @@ impl Event {
 
     /// A convenience streaming (full-line, no-RFO) store event.
     pub fn stream_store(addr: u64, bytes: u32, class: spzip_mem::DataClass) -> Event {
-        Event::Mem(Access::new(addr, bytes, spzip_mem::MemOp::StreamStore, class))
+        Event::Mem(Access::new(
+            addr,
+            bytes,
+            spzip_mem::MemOp::StreamStore,
+            class,
+        ))
     }
 }
 
@@ -84,8 +89,12 @@ mod tests {
             }
             _ => panic!("wrong event"),
         }
-        assert!(matches!(Event::atomic(0, 8, DataClass::Other), Event::Mem(a) if a.op == MemOp::Atomic));
-        assert!(matches!(Event::store(0, 8, DataClass::Other), Event::Mem(a) if a.op == MemOp::Store));
+        assert!(
+            matches!(Event::atomic(0, 8, DataClass::Other), Event::Mem(a) if a.op == MemOp::Atomic)
+        );
+        assert!(
+            matches!(Event::store(0, 8, DataClass::Other), Event::Mem(a) if a.op == MemOp::Store)
+        );
         assert!(
             matches!(Event::stream_store(0, 64, DataClass::Updates), Event::Mem(a) if a.op == MemOp::StreamStore)
         );

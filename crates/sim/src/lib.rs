@@ -21,4 +21,4 @@ pub mod report;
 
 pub use event::Event;
 pub use machine::{CoreWork, Machine, MachineConfig, WorkSource};
-pub use report::RunReport;
+pub use report::{RunReport, REPORT_FORMAT};

@@ -106,7 +106,9 @@ impl Machine {
             mem: MemorySystem::new(cfg.mem),
             cores: (0..n).map(|_| CoreState::default()).collect(),
             fetchers: (0..n).map(|i| EngineModel::new(cfg.fetcher, i)).collect(),
-            compressors: (0..n).map(|i| EngineModel::new(cfg.compressor, i)).collect(),
+            compressors: (0..n)
+                .map(|i| EngineModel::new(cfg.compressor, i))
+                .collect(),
             now: 0,
             cfg,
         }
@@ -304,7 +306,9 @@ fn advance_core(
     }
     let mut progressed = false;
     while core.t < deadline {
-        let Some(&ev) = core.events.front() else { break };
+        let Some(&ev) = core.events.front() else {
+            break;
+        };
         match ev {
             Event::Compute(n) => {
                 core.t += n as u64;
@@ -450,7 +454,10 @@ mod tests {
     fn parallel_cores_overlap() {
         // Two cores doing 1000 cycles each should take ~1000, not ~2000.
         let mut m = Machine::new(tiny_config());
-        let work = || CoreWork { events: vec![Event::Compute(1000)], ..Default::default() };
+        let work = || CoreWork {
+            events: vec![Event::Compute(1000)],
+            ..Default::default()
+        };
         let mut src = ListSource {
             batches: vec![VecDeque::from([work()]), VecDeque::from([work()])],
         };
@@ -467,7 +474,10 @@ mod tests {
             .collect();
         let mut src = ListSource {
             batches: vec![
-                VecDeque::from([CoreWork { events, ..Default::default() }]),
+                VecDeque::from([CoreWork {
+                    events,
+                    ..Default::default()
+                }]),
                 VecDeque::new(),
             ],
         };
@@ -486,7 +496,10 @@ mod tests {
             .collect();
         let mut src = ListSource {
             batches: vec![
-                VecDeque::from([CoreWork { events, ..Default::default() }]),
+                VecDeque::from([CoreWork {
+                    events,
+                    ..Default::default()
+                }]),
                 VecDeque::new(),
             ],
         };
@@ -505,7 +518,9 @@ mod tests {
                 events: vec![Event::Compute(500)],
                 ..Default::default()
             });
-            ListSource { batches: src_batches }
+            ListSource {
+                batches: src_batches,
+            }
         };
         let c1 = m.run_phase(&mut mk());
         let c2 = m.run_phase(&mut mk());
@@ -526,7 +541,10 @@ mod tests {
                     return None;
                 }
                 self.left -= 1;
-                Some(CoreWork { events: vec![Event::Compute(1000)], ..Default::default() })
+                Some(CoreWork {
+                    events: vec![Event::Compute(1000)],
+                    ..Default::default()
+                })
             }
         }
         let mut m = Machine::new(tiny_config());

@@ -14,7 +14,7 @@ fn main() {
     // like the paper's inputs), with randomized vertex ids (the
     // paper's non-preprocessed convention).
     let graph = community(&CommunityParams::web_crawl(1 << 16, 12), 42);
-    let graph = reorder::randomize(&graph, 7);
+    let graph = std::sync::Arc::new(reorder::randomize(&graph, 7));
     println!(
         "graph: {} vertices, {} edges",
         graph.num_vertices(),

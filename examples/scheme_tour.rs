@@ -19,7 +19,10 @@ fn main() {
         Some("BFS") => AppName::Bfs,
         _ => AppName::Dc,
     };
-    let graph = reorder::randomize(&community(&CommunityParams::web_crawl(1 << 14, 12), 9), 5);
+    let graph = std::sync::Arc::new(reorder::randomize(
+        &community(&CommunityParams::web_crawl(1 << 14, 12), 9),
+        5,
+    ));
     println!(
         "{app} on {} vertices / {} edges, all six schemes:\n",
         graph.num_vertices(),

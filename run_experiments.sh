@@ -1,29 +1,4 @@
 #!/bin/bash
-# Regenerates every table and figure (see DESIGN.md Sec. 3).
-# fig15 also emits the per-input series of Figs. 16/17 (same cells).
-set -u
-cd "$(dirname "$0")"
-R=results
-run() {
-  local name="$1"; shift
-  echo "=== running $name ($(date +%H:%M:%S)) ==="
-  cargo run --release -q -p spzip-bench --bin "$@" > "$R/$name.txt" 2>"$R/$name.log" \
-    && echo "    ok" || echo "    FAILED (see $R/$name.log)"
-}
-run table1 table1_area
-run table2 table2_config
-run table3 table3_datasets
-run fig07 fig07_bfs_case_study
-run fig08 fig08_bfs_preprocessed
-run fig21 fig21_scratchpad
-run sorted sorted_chunks_study
-run fig19a fig19_factor_analysis
-run fig19b fig19_factor_analysis -- --preprocess
-run fig22a fig22_cmh
-run fig22b fig22_cmh -- --preprocess
-run fig20a fig20_decoupling_ablation
-run fig20b fig20_decoupling_ablation -- --preprocess
-run fig18 fig18_preprocessing
-run fig15ab fig15_main_results
-run fig15cd fig15_main_results -- --preprocess
-echo "ALL EXPERIMENTS DONE ($(date +%H:%M:%S))"
+# Regenerates every table and figure (see DESIGN.md Sec. 3) via the
+# parallel cached driver; pass e.g. --jobs 8, --fresh, --only fig15ab.
+exec cargo run --release -p spzip-bench --bin bench_all -- "$@"

@@ -15,7 +15,7 @@ fn machine() -> MachineConfig {
 
 #[test]
 fn identical_runs_produce_identical_reports() {
-    let g = community(&CommunityParams::web_crawl(1 << 10, 8), 77);
+    let g = std::sync::Arc::new(community(&CommunityParams::web_crawl(1 << 10, 8), 77));
     for scheme in [Scheme::Push, Scheme::UbSpzip, Scheme::PhiSpzip] {
         let a = run_app(AppName::Cc, &g, &scheme.config(), machine());
         let b = run_app(AppName::Cc, &g, &scheme.config(), machine());
@@ -33,7 +33,7 @@ fn identical_runs_produce_identical_reports() {
 fn graph_generation_is_seed_stable() {
     // A golden fingerprint: if generator behaviour drifts, benchmark
     // numbers silently stop being comparable across revisions.
-    let g = community(&CommunityParams::web_crawl(1 << 10, 8), 77);
+    let g = std::sync::Arc::new(community(&CommunityParams::web_crawl(1 << 10, 8), 77));
     let fingerprint: u64 = g
         .neighbors_flat()
         .iter()

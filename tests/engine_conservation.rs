@@ -14,7 +14,7 @@ use spzip_mem::hierarchy::{MemConfig, MemorySystem};
 /// produced quarters == consumed quarters + residual core-facing output.
 #[test]
 fn traversal_pipelines_conserve_queue_flow() {
-    let g = community(&CommunityParams::web_crawl(1 << 9, 6), 3);
+    let g = std::sync::Arc::new(community(&CommunityParams::web_crawl(1 << 9, 6), 3));
     for scheme in [Scheme::PushSpzip, Scheme::UbSpzip] {
         for all_active in [true, false] {
             let w = Workload::build(g.clone(), &scheme.config(), 4, 32 * 1024, all_active);
@@ -90,7 +90,7 @@ fn traversal_pipelines_conserve_queue_flow() {
 /// for every scratchpad size of the Fig. 21 sweep.
 #[test]
 fn timing_replay_drains_for_all_scratchpad_sizes() {
-    let g = community(&CommunityParams::web_crawl(1 << 9, 6), 5);
+    let g = std::sync::Arc::new(community(&CommunityParams::web_crawl(1 << 9, 6), 5));
     let scheme = Scheme::PushSpzip;
     let w = Workload::build(g, &scheme.config(), 4, 32 * 1024, true);
     let trav = pipelines::traversal(

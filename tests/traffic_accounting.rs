@@ -15,8 +15,11 @@ fn machine() -> MachineConfig {
     cfg
 }
 
-fn graph() -> spzip_graph::Csr {
-    reorder::randomize(&community(&CommunityParams::web_crawl(1 << 12, 10), 3), 1)
+fn graph() -> std::sync::Arc<spzip_graph::Csr> {
+    std::sync::Arc::new(reorder::randomize(
+        &community(&CommunityParams::web_crawl(1 << 12, 10), 3),
+        1,
+    ))
 }
 
 #[test]
@@ -57,7 +60,10 @@ fn phi_coalescing_reduces_spilled_updates() {
     let g = graph();
     let ub = run_app(AppName::Dc, &g, &Scheme::Phi.config(), machine());
     assert!(ub.validated);
-    assert!(ub.stats.phi_coalesced > 0, "PHI must coalesce on a skewed graph");
+    assert!(
+        ub.stats.phi_coalesced > 0,
+        "PHI must coalesce on a skewed graph"
+    );
     assert!(
         ub.stats.phi_spilled < ub.stats.edges,
         "spills {} must be below pushes {}",
@@ -65,14 +71,24 @@ fn phi_coalescing_reduces_spilled_updates() {
         ub.stats.edges
     );
     // Spilled + coalesced covers every pushed update.
-    assert_eq!(ub.stats.phi_spilled + ub.stats.phi_coalesced, ub.stats.edges);
+    assert_eq!(
+        ub.stats.phi_spilled + ub.stats.phi_coalesced,
+        ub.stats.edges
+    );
 }
 
 #[test]
 fn cmh_baseline_runs_validates_and_reduces_no_more_than_spzip() {
     let g = graph();
     let push = run_app(AppName::Dc, &g, &Scheme::Push.config(), machine());
-    let cmh = run_app_full(AppName::Dc, &g, &Scheme::Push.config(), machine(), None, true);
+    let cmh = run_app_full(
+        AppName::Dc,
+        &g,
+        &Scheme::Push.config(),
+        machine(),
+        None,
+        true,
+    );
     let spz = run_app(AppName::Dc, &g, &Scheme::PhiSpzip.config(), machine());
     assert!(push.validated && cmh.validated && spz.validated);
     // CMH's semantics-unaware compression must not beat SpZip's
@@ -93,7 +109,10 @@ fn adjacency_read_traffic_is_bounded_by_footprint_per_iteration() {
     let out = run_app(AppName::Dc, &g, &Scheme::Push.config(), machine());
     let adj = out.report.traffic.class_bytes(DataClass::AdjacencyMatrix);
     let footprint = (g.num_edges() * 4 + (g.num_vertices() + 1) * 8) as u64;
-    assert!(adj <= footprint + footprint / 4 + 64 * 1024, "adj {adj} vs footprint {footprint}");
+    assert!(
+        adj <= footprint + footprint / 4 + 64 * 1024,
+        "adj {adj} vs footprint {footprint}"
+    );
     let spz = run_app(AppName::Dc, &g, &Scheme::PushSpzip.config(), machine());
     assert!(
         spz.report.traffic.class_bytes(DataClass::AdjacencyMatrix) < adj,

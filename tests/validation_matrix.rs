@@ -17,13 +17,16 @@ fn tiny_machine() -> MachineConfig {
 
 #[test]
 fn validation_matrix_all_apps_all_schemes() {
-    let g = community(&CommunityParams::web_crawl(600, 6), 23);
-    let m = grid3d(6, 1, 4);
+    let g = std::sync::Arc::new(community(&CommunityParams::web_crawl(600, 6), 23));
+    let m = std::sync::Arc::new(grid3d(6, 1, 4));
     for app in AppName::all() {
         let input = if app.is_matrix() { &m } else { &g };
         for scheme in Scheme::all() {
             let out = run_app(app, input, &scheme.config(), tiny_machine());
-            assert!(out.validated, "{app} under {scheme} diverged from reference");
+            assert!(
+                out.validated,
+                "{app} under {scheme} diverged from reference"
+            );
             assert!(out.report.cycles > 0, "{app}/{scheme} simulated nothing");
         }
     }
@@ -33,7 +36,7 @@ fn validation_matrix_all_apps_all_schemes() {
 fn validation_survives_preprocessing() {
     let g = community(&CommunityParams::web_crawl(512, 6), 29);
     for prep in Preprocessing::all() {
-        let pg = prep.apply(&g, 7);
+        let pg = std::sync::Arc::new(prep.apply(&g, 7));
         for scheme in [Scheme::Push, Scheme::PhiSpzip] {
             let out = run_app(AppName::Bfs, &pg, &scheme.config(), tiny_machine());
             assert!(out.validated, "BFS/{scheme} with {prep}");
@@ -46,7 +49,7 @@ fn spzip_traversal_reduces_adjacency_traffic_when_compressible() {
     use spzip_mem::DataClass;
     // A clustered graph whose natural order compresses well: Push+SpZip
     // must move fewer adjacency bytes than Push.
-    let g = community(&CommunityParams::web_crawl(2048, 12), 31);
+    let g = std::sync::Arc::new(community(&CommunityParams::web_crawl(2048, 12), 31));
     let base = run_app(AppName::Pr, &g, &Scheme::Push.config(), tiny_machine());
     let spz = run_app(AppName::Pr, &g, &Scheme::PushSpzip.config(), tiny_machine());
     let base_adj = base.report.traffic.class_bytes(DataClass::AdjacencyMatrix);

@@ -1,0 +1,237 @@
+#![warn(missing_docs)]
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of criterion's API this workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkGroup::bench_function`], [`Throughput`], [`BenchmarkId`],
+//! and the `criterion_group!`/`criterion_main!` macros — as a small
+//! wall-clock harness: each benchmark is warmed up, then timed for the
+//! configured measurement window, and the mean iteration time (plus
+//! throughput, when declared) is printed.
+
+use std::time::{Duration, Instant};
+
+/// Re-exported for hindering constant-folding in benchmark bodies.
+pub use std::hint::black_box;
+
+/// Declared work per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A two-part benchmark name (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A name of the form `function/parameter`.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// A name from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Times closures over the measurement window.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, recording mean iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run without recording.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+        }
+        // Measurement.
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= self.measurement_time {
+                self.iters_done = iters;
+                self.elapsed = elapsed;
+                break;
+            }
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration work for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Benchmarks `routine` with a fixed input.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut b = self.bencher();
+        routine(&mut b, input);
+        self.report(&id.name, &b);
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut b = self.bencher();
+        routine(&mut b);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Ends the group (upstream parity; prints a blank separator).
+    pub fn finish(self) {
+        println!();
+    }
+
+    fn bencher(&self) -> Bencher {
+        Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            measurement_time: self.criterion.measurement_time,
+            warm_up_time: self.criterion.warm_up_time,
+        }
+    }
+
+    fn report(&self, name: &str, b: &Bencher) {
+        if b.iters_done == 0 {
+            println!("{}/{name:<40} (no iterations recorded)", self.name);
+            return;
+        }
+        let per_iter = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                let gib = bytes as f64 / per_iter; // B/ns == GiB-ish/s (1e9 ns)
+                format!("  {:>9.3} GB/s", gib)
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>9.1} Melem/s", n as f64 / per_iter * 1e3)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{name:<40} {:>12.1} ns/iter  ({} iters){rate}",
+            self.name, per_iter, b.iters_done
+        );
+    }
+}
+
+/// The benchmark harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the nominal sample count (kept for API parity; this harness
+    /// times a fixed window instead of a fixed sample count).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up window per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, fn, ...)`
+/// or the long form with a `config = ...` expression.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
