@@ -573,6 +573,93 @@ pub fn value_compressor(
     }
 }
 
+/// Every DCL program the built-in applications can load, across all
+/// engine-using schemes (including decoupled-only variants), frontier
+/// modes, and per-pipeline options — paired with a descriptive name.
+///
+/// This is the enumeration `dcl-lint --all-builtin` checks in CI: each
+/// pipeline the paper's figures exercise must lint clean. A small synthetic
+/// graph stands in for the real inputs; pipeline *structure* only depends
+/// on the scheme configuration and workload layout, not on graph scale.
+pub fn all_builtin() -> Vec<(String, Pipeline)> {
+    use crate::scheme::{Scheme, Strategy};
+    use spzip_graph::gen::{community, CommunityParams};
+    use std::sync::Arc;
+
+    let g = Arc::new(community(&CommunityParams::web_crawl(1 << 9, 6), 3));
+    let mut configs: Vec<(String, SchemeConfig)> = Scheme::all()
+        .iter()
+        .filter(|s| s.config().uses_engines())
+        .map(|s| (s.to_string(), s.config()))
+        .collect();
+    for strat in Strategy::all() {
+        configs.push((
+            format!("{strat:?}+DecoupledOnly"),
+            SchemeConfig::decoupled_only(strat),
+        ));
+    }
+
+    let mut out = Vec::new();
+    for (name, cfg) in &configs {
+        for all_active in [true, false] {
+            let w = Workload::build(g.clone(), cfg, 4, 32 * 1024, all_active);
+            for prefetch_dst in [true, false] {
+                for read_source in [true, false] {
+                    let t = traversal(
+                        &w,
+                        cfg,
+                        TraversalOpts {
+                            all_active,
+                            prefetch_dst,
+                            frontier_compressed: !all_active && cfg.compress_vertex,
+                            read_source,
+                        },
+                    );
+                    out.push((
+                        format!(
+                            "{name}/traversal aa={all_active} pf={prefetch_dst} rs={read_source}"
+                        ),
+                        t.pipeline,
+                    ));
+                }
+            }
+            if w.bins.is_some() {
+                out.push((
+                    format!("{name}/binning_compressor aa={all_active}"),
+                    binning_compressor(&w, cfg, 0).pipeline,
+                ));
+                out.push((
+                    format!("{name}/accum_fetcher aa={all_active}"),
+                    accum_fetcher(&w, cfg).pipeline,
+                ));
+            }
+            if cfg.compress_vertex {
+                out.push((
+                    format!("{name}/slice_compressor aa={all_active}"),
+                    slice_compressor(
+                        w.src_addr,
+                        w.staging_addr,
+                        cfg.vertex_codec,
+                        DataClass::SourceVertex,
+                    )
+                    .pipeline,
+                ));
+                out.push((
+                    format!("{name}/value_compressor aa={all_active}"),
+                    value_compressor(
+                        w.cfrontier_addr,
+                        cfg.vertex_codec,
+                        cfg.sort_chunks,
+                        DataClass::Frontier,
+                    )
+                    .pipeline,
+                ));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -634,6 +721,28 @@ mod tests {
         cfg.compress_vertex = false;
         let af = accum_fetcher(&w, &cfg);
         assert!(af.slice_in_q.is_none());
+    }
+
+    #[test]
+    fn every_builtin_pipeline_lints_clean_of_errors() {
+        let all = all_builtin();
+        assert!(
+            all.len() >= 40,
+            "expected a broad enumeration, got {}",
+            all.len()
+        );
+        for (name, p) in &all {
+            let diags = spzip_core::lint::lint(p);
+            let errors: Vec<_> = diags
+                .iter()
+                .filter(|d| d.severity() == spzip_core::lint::Severity::Error)
+                .collect();
+            assert!(
+                errors.is_empty(),
+                "{name} has lint errors:\n{}",
+                spzip_core::lint::render(&diags)
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,15 @@
+//! `dcl-lint`: static analysis for DCL pipelines.
+//!
+//! ```text
+//! dcl-lint examples/dcl/*.dcl        # lint text files
+//! dcl-lint --all-builtin             # lint every built-in app pipeline
+//! dcl-lint --dot fig2.dcl            # also print Graphviz dot
+//! ```
+//!
+//! Exits 0 when every linted pipeline is free of error-severity
+//! diagnostics, 1 when any error is found, and 2 when given nothing to do.
+
+fn main() {
+    let args = spzip_bench::cli::parse();
+    std::process::exit(spzip_bench::dcl_lint::run(&args));
+}

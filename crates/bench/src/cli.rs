@@ -11,6 +11,10 @@
 //! * `--out-dir DIR` — where `bench_all` writes figure text (default
 //!   `results`).
 //! * `--only fig15ab,fig07` — restrict `bench_all` to named outputs.
+//! * `--all-builtin` — `dcl-lint`: also lint every built-in app pipeline.
+//! * `--dot` — `dcl-lint`: print each linted pipeline as Graphviz dot.
+//!
+//! Positional arguments (paths for `dcl-lint`) are collected separately.
 
 use crate::driver::DriverOptions;
 use crate::figures::SweepOpts;
@@ -38,6 +42,12 @@ pub struct CommonArgs {
     pub cache_dir: PathBuf,
     /// `bench_all` output directory (`--out-dir`).
     pub out_dir: PathBuf,
+    /// Lint every built-in app pipeline (`--all-builtin`, `dcl-lint`).
+    pub all_builtin: bool,
+    /// Emit Graphviz dot for linted pipelines (`--dot`, `dcl-lint`).
+    pub dot: bool,
+    /// Positional arguments: `.dcl` files for `dcl-lint`.
+    pub paths: Vec<PathBuf>,
 }
 
 /// Parses the process arguments.
@@ -59,9 +69,15 @@ pub fn parse_from(args: &[String]) -> CommonArgs {
         fresh: false,
         cache_dir: PathBuf::from("results/cache"),
         out_dir: PathBuf::from("results"),
+        all_builtin: false,
+        dot: false,
+        paths: Vec::new(),
     };
     let value = |i: usize| args.get(i + 1).map(|s| s.as_str());
     let list = |i: usize| value(i).map(|s| s.split(',').map(|x| x.to_string()).collect());
+    // Indices consumed as the value of a preceding flag, so they are not
+    // mistaken for positional paths.
+    let mut consumed = vec![false; args.len()];
     for (i, a) in args.iter().enumerate() {
         match a.as_str() {
             "--scale" => {
@@ -69,29 +85,61 @@ pub fn parse_from(args: &[String]) -> CommonArgs {
                     Some("tiny") => Scale::Tiny,
                     Some("large") => Scale::Large,
                     _ => Scale::Bench,
+                };
+                consumed[i] = true;
+                if i + 1 < consumed.len() {
+                    consumed[i + 1] = true;
                 }
             }
-            "--preprocess" => parsed.preprocess = true,
-            "--apps" => parsed.apps = list(i),
-            "--inputs" => parsed.inputs = list(i),
-            "--only" => parsed.only = list(i),
-            "--jobs" => {
-                if let Some(n) = value(i).and_then(|s| s.parse::<usize>().ok()) {
-                    parsed.jobs = n.max(1);
+            "--preprocess" => {
+                parsed.preprocess = true;
+                consumed[i] = true;
+            }
+            "--apps" | "--inputs" | "--only" | "--jobs" | "--cache-dir" | "--out-dir" => {
+                match a.as_str() {
+                    "--apps" => parsed.apps = list(i),
+                    "--inputs" => parsed.inputs = list(i),
+                    "--only" => parsed.only = list(i),
+                    "--jobs" => {
+                        if let Some(n) = value(i).and_then(|s| s.parse::<usize>().ok()) {
+                            parsed.jobs = n.max(1);
+                        }
+                    }
+                    "--cache-dir" => {
+                        if let Some(d) = value(i) {
+                            parsed.cache_dir = PathBuf::from(d);
+                        }
+                    }
+                    "--out-dir" => {
+                        if let Some(d) = value(i) {
+                            parsed.out_dir = PathBuf::from(d);
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+                consumed[i] = true;
+                if i + 1 < consumed.len() {
+                    consumed[i + 1] = true;
                 }
             }
-            "--fresh" => parsed.fresh = true,
-            "--cache-dir" => {
-                if let Some(d) = value(i) {
-                    parsed.cache_dir = PathBuf::from(d);
-                }
+            "--fresh" => {
+                parsed.fresh = true;
+                consumed[i] = true;
             }
-            "--out-dir" => {
-                if let Some(d) = value(i) {
-                    parsed.out_dir = PathBuf::from(d);
-                }
+            "--all-builtin" => {
+                parsed.all_builtin = true;
+                consumed[i] = true;
+            }
+            "--dot" => {
+                parsed.dot = true;
+                consumed[i] = true;
             }
             _ => {}
+        }
+    }
+    for (i, a) in args.iter().enumerate() {
+        if !consumed[i] && !a.starts_with("--") {
+            parsed.paths.push(PathBuf::from(a));
         }
     }
     parsed
@@ -167,5 +215,25 @@ mod tests {
     fn ignores_unknown_flags() {
         let a = parse_from(&argv("--frobnicate --scale large"));
         assert_eq!(a.scale, Scale::Large);
+    }
+
+    #[test]
+    fn collects_positional_paths_without_eating_flag_values() {
+        let a = parse_from(&argv("fig2.dcl --jobs 3 extra.dcl --dot --all-builtin"));
+        assert_eq!(
+            a.paths,
+            vec![PathBuf::from("fig2.dcl"), PathBuf::from("extra.dcl")]
+        );
+        assert_eq!(a.jobs, 3);
+        assert!(a.dot);
+        assert!(a.all_builtin);
+    }
+
+    #[test]
+    fn flag_values_are_not_paths() {
+        let a = parse_from(&argv("--cache-dir /tmp/c --scale tiny pipeline.dcl"));
+        assert_eq!(a.paths, vec![PathBuf::from("pipeline.dcl")]);
+        assert_eq!(a.cache_dir, PathBuf::from("/tmp/c"));
+        assert_eq!(a.scale, Scale::Tiny);
     }
 }

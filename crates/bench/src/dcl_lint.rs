@@ -1,0 +1,204 @@
+//! The `dcl-lint` tool: static analysis over `.dcl` text files and every
+//! built-in application pipeline.
+//!
+//! File mode parses each path against a synthetic symbol table (symbolic
+//! `base=`/`meta=` names resolve to distinct placeholder addresses, so
+//! programs written against runtime-resolved symbols still lint), then runs
+//! [`spzip_core::lint`] and prints the rustc-style report. `--all-builtin`
+//! lints the full enumeration from [`spzip_apps::pipelines::all_builtin`]:
+//! every workload x scheme pipeline the figures load. `--dot` additionally
+//! prints each clean pipeline as Graphviz dot. The process exits non-zero
+//! iff any error-severity diagnostic (or unreadable/unparseable file) is
+//! found, which is what CI gates on.
+
+use crate::cli::CommonArgs;
+use spzip_core::lint::{self, Severity};
+use spzip_core::parser;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt::Write as _;
+
+/// Outcome of linting one batch of pipelines.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Pipelines (or files) examined.
+    pub checked: usize,
+    /// Error-severity diagnostics plus parse failures.
+    pub errors: usize,
+    /// Warning-severity diagnostics.
+    pub warnings: usize,
+    /// Human-readable report.
+    pub output: String,
+}
+
+impl LintReport {
+    fn absorb(&mut self, name: &str, diags: &[lint::Diagnostic]) {
+        self.checked += 1;
+        let errors = diags
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+            .count();
+        self.errors += errors;
+        self.warnings += diags.len() - errors;
+        if diags.is_empty() {
+            let _ = writeln!(self.output, "{name}: clean");
+        } else {
+            let _ = writeln!(self.output, "{name}:");
+            self.output.push_str(&lint::render(diags));
+        }
+    }
+}
+
+/// Builds a placeholder symbol table for a `.dcl` text: every symbolic
+/// (non-numeric) `base=`/`meta=` value gets a distinct synthetic address,
+/// so address-agnostic structural linting can proceed.
+pub fn synthetic_symbols(text: &str) -> HashMap<String, u64> {
+    let mut names = BTreeSet::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("");
+        for tok in line.split_whitespace() {
+            if let Some((k, v)) = tok.split_once('=') {
+                let numeric = v.starts_with("0x") || v.parse::<u64>().is_ok();
+                if (k == "base" || k == "meta") && !numeric {
+                    names.insert(v.to_string());
+                }
+            }
+        }
+    }
+    names
+        .into_iter()
+        .enumerate()
+        .map(|(i, n)| (n, 0x10_0000 * (i as u64 + 1)))
+        .collect()
+}
+
+/// Lints one `.dcl` program text under `name`.
+pub fn lint_text(name: &str, text: &str, dot: bool, report: &mut LintReport) {
+    let symbols = synthetic_symbols(text);
+    match parser::parse(text, &symbols) {
+        Ok(p) => {
+            report.absorb(name, &lint::lint(&p));
+            if dot {
+                report.output.push_str(&parser::to_dot(&p));
+            }
+        }
+        Err(e) => {
+            report.checked += 1;
+            report.errors += 1;
+            let _ = writeln!(report.output, "{name}: {e}");
+        }
+    }
+}
+
+/// Lints every built-in application pipeline (all workloads x schemes).
+pub fn lint_builtins(dot: bool, report: &mut LintReport) {
+    for (name, p) in spzip_apps::pipelines::all_builtin() {
+        report.absorb(&name, &lint::lint(&p));
+        if dot {
+            report.output.push_str(&parser::to_dot(&p));
+        }
+    }
+}
+
+/// Runs the tool over parsed arguments; returns the process exit code
+/// (0 iff no errors).
+pub fn run(args: &CommonArgs) -> i32 {
+    let mut report = LintReport::default();
+    for path in &args.paths {
+        match std::fs::read_to_string(path) {
+            Ok(text) => lint_text(&path.display().to_string(), &text, args.dot, &mut report),
+            Err(e) => {
+                report.checked += 1;
+                report.errors += 1;
+                let _ = writeln!(report.output, "{}: {e}", path.display());
+            }
+        }
+    }
+    if args.all_builtin {
+        lint_builtins(args.dot, &mut report);
+    }
+    if report.checked == 0 {
+        println!("usage: dcl-lint [--all-builtin] [--dot] [file.dcl ...]");
+        return 2;
+    }
+    let _ = writeln!(
+        report.output,
+        "checked {} pipeline(s): {} error(s), {} warning(s)",
+        report.checked, report.errors, report.warnings
+    );
+    print!("{}", report.output);
+    i32::from(report.errors > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_symbols_cover_symbolic_bases_only() {
+        let text = "range a -> b base=offsets elem=8\nmemqueue c -> _ base=0x1000 meta=tails";
+        let syms = synthetic_symbols(text);
+        assert!(syms.contains_key("offsets"));
+        assert!(syms.contains_key("tails"));
+        assert!(!syms.contains_key("0x1000"));
+        let mut addrs: Vec<u64> = syms.values().copied().collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), syms.len(), "addresses must be distinct");
+    }
+
+    #[test]
+    fn clean_file_reports_no_errors() {
+        let text = "
+            queue input 16
+            queue offs 32
+            queue rows 64
+            range input -> offs base=offsets idx=8 elem=8 mode=pairs class=adj
+            range offs -> rows base=rows idx=8 elem=8 mode=consecutive marker=0 class=adj
+        ";
+        let mut r = LintReport::default();
+        lint_text("fig2", text, false, &mut r);
+        assert_eq!((r.checked, r.errors, r.warnings), (1, 0, 0), "{}", r.output);
+        assert!(r.output.contains("fig2: clean"));
+    }
+
+    #[test]
+    fn undersized_queue_file_reports_error() {
+        let text = "queue a 8\nqueue b 4\nrange a -> b base=0x0 elem=8";
+        let mut r = LintReport::default();
+        lint_text("bad", text, false, &mut r);
+        assert_eq!(r.errors, 1, "{}", r.output);
+        assert!(r.output.contains("E013"), "{}", r.output);
+    }
+
+    #[test]
+    fn warnings_do_not_fail() {
+        // A dangling queue is W001: reported, but not an error.
+        let text = "
+            queue a 8
+            queue b 16
+            queue unused 8
+            range a -> b base=0x0 elem=8
+        ";
+        let mut r = LintReport::default();
+        lint_text("warny", text, false, &mut r);
+        assert_eq!(r.errors, 0, "{}", r.output);
+        assert_eq!(r.warnings, 1, "{}", r.output);
+        assert!(r.output.contains("warning[W001]"), "{}", r.output);
+    }
+
+    #[test]
+    fn dot_output_is_appended() {
+        let text = "queue a 8\nqueue b 16\nrange a -> b base=0x0 elem=8";
+        let mut r = LintReport::default();
+        lint_text("p", text, true, &mut r);
+        assert!(r.output.contains("digraph dcl {"), "{}", r.output);
+    }
+
+    #[test]
+    fn all_builtins_lint_error_free() {
+        let mut r = LintReport::default();
+        lint_builtins(false, &mut r);
+        assert!(r.checked >= 40, "{}", r.checked);
+        assert_eq!(r.errors, 0, "{}", r.output);
+    }
+}

@@ -13,9 +13,12 @@
 //!
 //! Each figure still has a standalone binary in `src/bin/`; `bench_all`
 //! regenerates everything in one process so overlapping cells (e.g. the
-//! Fig. 15/16/17 sweeps) are simulated exactly once.
+//! Fig. 15/16/17 sweeps) are simulated exactly once. The [`dcl_lint`]
+//! module backs the `dcl-lint` binary, which statically analyzes `.dcl`
+//! files and every built-in pipeline with [`spzip_core::lint`].
 
 pub mod cli;
+pub mod dcl_lint;
 pub mod driver;
 pub mod figures;
 

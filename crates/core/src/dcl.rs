@@ -8,7 +8,11 @@
 //! A [`Pipeline`] validates the hardware's structural constraints: at most
 //! 16 operators and 16 queues (the paper's implementation), single producer
 //! and single consumer per queue, acyclicity, and scratchpad capacity.
+//! Validation is the error-level half of the static analyzer in
+//! [`crate::lint`]; [`PipelineBuilder::build`] rejects any program with an
+//! `E0xx` diagnostic and lets `W0xx` warnings pass.
 
+use crate::lint::{self, Diagnostic, Severity};
 use crate::QueueId;
 use spzip_compress::CodecKind;
 use spzip_mem::DataClass;
@@ -162,23 +166,48 @@ pub struct QueueSpec {
     pub capacity_words: u16,
 }
 
-/// Validation failure for a DCL program.
+/// Validation failure for a DCL program: the error-severity subset of the
+/// [`crate::lint`] diagnostics the program produced (warnings ride along
+/// for context).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ValidateError {
-    detail: String,
+    diagnostics: Vec<Diagnostic>,
 }
 
 impl ValidateError {
-    fn new(detail: impl Into<String>) -> Self {
-        ValidateError {
-            detail: detail.into(),
-        }
+    fn new(diagnostics: Vec<Diagnostic>) -> Self {
+        debug_assert!(lint::has_errors(&diagnostics));
+        ValidateError { diagnostics }
+    }
+
+    /// Every diagnostic the linter produced, errors and warnings alike.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// The first error-severity diagnostic (there is always at least one).
+    pub fn first_error(&self) -> &Diagnostic {
+        self.diagnostics
+            .iter()
+            .find(|d| d.severity() == Severity::Error)
+            .expect("a ValidateError holds at least one error diagnostic")
+    }
+
+    /// Full rustc-style report of every diagnostic.
+    pub fn render(&self) -> String {
+        lint::render(&self.diagnostics)
     }
 }
 
 impl fmt::Display for ValidateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid DCL program: {}", self.detail)
+        let first = self.first_error();
+        write!(f, "invalid DCL program: [{}] {}", first.code, first.message)?;
+        let more = self.diagnostics.len() - 1;
+        if more > 0 {
+            write!(f, " (+{more} more diagnostics)")?;
+        }
+        Ok(())
     }
 }
 
@@ -189,10 +218,12 @@ impl std::error::Error for ValidateError {}
 /// # Examples
 ///
 /// Building the CSR-traversal pipeline of Fig. 2 (two chained range
-/// fetches):
+/// fetches). A built pipeline has no error-level diagnostics by
+/// construction, and this one lints completely clean (no warnings either):
 ///
 /// ```
 /// use spzip_core::dcl::*;
+/// use spzip_core::lint;
 /// use spzip_mem::DataClass;
 ///
 /// let mut b = PipelineBuilder::new();
@@ -217,11 +248,25 @@ impl std::error::Error for ValidateError {}
 /// );
 /// let pipeline = b.build().unwrap();
 /// assert_eq!(pipeline.operators().len(), 2);
+/// assert!(lint::lint(&pipeline).is_empty());
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Pipeline {
     queues: Vec<QueueSpec>,
     operators: Vec<OperatorSpec>,
+    /// Source line of each queue declaration, when parsed from text.
+    queue_lines: Vec<Option<u32>>,
+    /// Source line of each operator, when parsed from text.
+    op_lines: Vec<Option<u32>>,
+}
+
+/// Source spans are diagnostics metadata, not program content: two
+/// pipelines are equal if their queues and operators match, wherever they
+/// came from (so `parse(to_text(p)) == p` holds).
+impl PartialEq for Pipeline {
+    fn eq(&self, other: &Self) -> bool {
+        self.queues == other.queues && self.operators == other.operators
+    }
 }
 
 impl Pipeline {
@@ -233,6 +278,17 @@ impl Pipeline {
     /// The operator instances, in definition order.
     pub fn operators(&self) -> &[OperatorSpec] {
         &self.operators
+    }
+
+    /// Source line of each queue declaration (`None` for pipelines built in
+    /// code). Feeds diagnostic spans.
+    pub fn queue_lines(&self) -> &[Option<u32>] {
+        &self.queue_lines
+    }
+
+    /// Source line of each operator (`None` for pipelines built in code).
+    pub fn operator_lines(&self) -> &[Option<u32>] {
+        &self.op_lines
     }
 
     /// Queues read by an operator but produced by none: the core's
@@ -259,13 +315,26 @@ impl Pipeline {
     }
 
     /// Scales every queue capacity by `factor` (the Fig. 21 scratchpad
-    /// sweep: queues use the whole scratchpad in all cases).
-    pub fn scale_queues(&self, factor: f64) -> Pipeline {
+    /// sweep: queues use the whole scratchpad in all cases), re-validating
+    /// the result.
+    ///
+    /// # Errors
+    ///
+    /// Aggressive down-scaling can shrink a queue below the largest atomic
+    /// burst its producer emits, which statically deadlocks the pipeline;
+    /// the scaled program is re-linted and any error (typically `E013` or
+    /// `E014`) is returned instead of a pipeline that would wedge the
+    /// engine model.
+    pub fn scale_queues(&self, factor: f64) -> Result<Pipeline, ValidateError> {
         let mut p = self.clone();
         for q in &mut p.queues {
             q.capacity_words = ((q.capacity_words as f64 * factor) as u16).max(4);
         }
-        p
+        let diags = lint::lint_parts(&p.queues, &p.operators, &p.queue_lines, &p.op_lines);
+        if lint::has_errors(&diags) {
+            return Err(ValidateError::new(diags));
+        }
+        Ok(p)
     }
 }
 
@@ -274,6 +343,8 @@ impl Pipeline {
 pub struct PipelineBuilder {
     queues: Vec<QueueSpec>,
     operators: Vec<OperatorSpec>,
+    queue_lines: Vec<Option<u32>>,
+    op_lines: Vec<Option<u32>>,
 }
 
 impl PipelineBuilder {
@@ -286,6 +357,15 @@ impl PipelineBuilder {
     pub fn queue(&mut self, capacity_words: u16) -> QueueId {
         let id = self.queues.len() as QueueId;
         self.queues.push(QueueSpec { capacity_words });
+        self.queue_lines.push(None);
+        id
+    }
+
+    /// Like [`queue`](Self::queue), recording the source line the
+    /// declaration came from so diagnostics can point at it.
+    pub fn queue_at(&mut self, capacity_words: u16, line: u32) -> QueueId {
+        let id = self.queue(capacity_words);
+        self.queue_lines[id as usize] = Some(line);
         id
     }
 
@@ -301,6 +381,20 @@ impl PipelineBuilder {
             input,
             outputs,
         });
+        self.op_lines.push(None);
+        self
+    }
+
+    /// Like [`operator`](Self::operator), recording the source line.
+    pub fn operator_at(
+        &mut self,
+        kind: OperatorKind,
+        input: QueueId,
+        outputs: Vec<QueueId>,
+        line: u32,
+    ) -> &mut Self {
+        self.operator(kind, input, outputs);
+        *self.op_lines.last_mut().unwrap() = Some(line);
         self
     }
 
@@ -311,137 +405,60 @@ impl PipelineBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if no declared operator produces `q`.
-    pub fn retarget_producer_of(&mut self, q: QueueId, new_outputs: Vec<QueueId>) {
-        let op = self
+    /// Panics if no declared operator produces `q`; the message lists each
+    /// operator's index and fan-out so the missing edge is easy to spot.
+    pub fn retarget_producer_of(&mut self, q: QueueId, new_outputs: Vec<QueueId>) -> &mut Self {
+        let Some(idx) = self
             .operators
-            .iter_mut()
-            .rev()
-            .find(|op| op.outputs.contains(&q))
-            .unwrap_or_else(|| panic!("no producer of queue {q} to retarget"));
-        op.outputs = new_outputs;
+            .iter()
+            .rposition(|op| op.outputs.contains(&q))
+        else {
+            let fanout: Vec<String> = self
+                .operators
+                .iter()
+                .enumerate()
+                .map(|(i, op)| format!("operator {i} ({}) -> {:?}", op.kind.name(), op.outputs))
+                .collect();
+            panic!(
+                "no producer of queue {q} to retarget; declared fan-out: [{}]",
+                fanout.join(", ")
+            )
+        };
+        self.operators[idx].outputs = new_outputs;
+        self
+    }
+
+    /// Runs the full static analysis on the program as declared so far,
+    /// without consuming the builder. [`build`](Self::build) succeeds iff
+    /// this returns no [`Severity::Error`] diagnostics.
+    pub fn lint(&self) -> Vec<Diagnostic> {
+        lint::lint_parts(
+            &self.queues,
+            &self.operators,
+            &self.queue_lines,
+            &self.op_lines,
+        )
     }
 
     /// Validates and produces the pipeline.
     ///
     /// # Errors
     ///
-    /// Returns [`ValidateError`] if the program violates hardware limits,
-    /// references undeclared queues, gives a queue multiple producers or
-    /// consumers, or contains a cycle.
+    /// Returns [`ValidateError`] carrying every lint diagnostic if any is
+    /// error-severity: hardware limits, undeclared or multiply-connected
+    /// queues, cycles, statically-deadlocking capacities, broken marker
+    /// discipline, or width mismatches (see [`crate::lint`] for the code
+    /// registry). Warning-severity diagnostics do not block the build.
     pub fn build(self) -> Result<Pipeline, ValidateError> {
-        let nq = self.queues.len();
-        if nq == 0 {
-            return Err(ValidateError::new("no queues declared"));
-        }
-        if nq > MAX_QUEUES {
-            return Err(ValidateError::new(format!(
-                "{nq} queues exceed the hardware limit of {MAX_QUEUES}"
-            )));
-        }
-        if self.operators.is_empty() {
-            return Err(ValidateError::new("no operators declared"));
-        }
-        if self.operators.len() > MAX_OPERATORS {
-            return Err(ValidateError::new(format!(
-                "{} operators exceed the hardware limit of {MAX_OPERATORS}",
-                self.operators.len()
-            )));
-        }
-        let mut consumers = vec![0u32; nq];
-        let mut producers = vec![0u32; nq];
-        for (i, op) in self.operators.iter().enumerate() {
-            if op.input as usize >= nq {
-                return Err(ValidateError::new(format!(
-                    "operator {i} reads undeclared queue {}",
-                    op.input
-                )));
-            }
-            consumers[op.input as usize] += 1;
-            for &o in &op.outputs {
-                if o as usize >= nq {
-                    return Err(ValidateError::new(format!(
-                        "operator {i} writes undeclared queue {o}"
-                    )));
-                }
-                if o == op.input {
-                    return Err(ValidateError::new(format!(
-                        "operator {i} writes its own input queue {o}"
-                    )));
-                }
-                producers[o as usize] += 1;
-            }
-            if let OperatorKind::MemQueue {
-                num_queues,
-                stride,
-                chunk_elems,
-                elem_bytes,
-                mode,
-                ..
-            } = &op.kind
-            {
-                if *num_queues == 0 {
-                    return Err(ValidateError::new("MemQueue with zero queues"));
-                }
-                if *mode == MemQueueMode::Buffer
-                    && *stride < *chunk_elems as u64 * *elem_bytes as u64
-                {
-                    return Err(ValidateError::new("MemQueue stride smaller than one chunk"));
-                }
-            }
-        }
-        for q in 0..nq {
-            if producers[q] > 1 {
-                return Err(ValidateError::new(format!(
-                    "queue {q} has {} producers",
-                    producers[q]
-                )));
-            }
-            if consumers[q] > 1 {
-                return Err(ValidateError::new(format!(
-                    "queue {q} has {} consumers",
-                    consumers[q]
-                )));
-            }
-        }
-        // Acyclicity: operators form a DAG through queues. Kahn's algorithm
-        // over operator nodes.
-        let producer_of: Vec<Option<usize>> = (0..nq)
-            .map(|q| {
-                self.operators
-                    .iter()
-                    .position(|op| op.outputs.contains(&(q as QueueId)))
-            })
-            .collect();
-        let mut indeg: Vec<u32> = self
-            .operators
-            .iter()
-            .map(|op| u32::from(producer_of[op.input as usize].is_some()))
-            .collect();
-        let mut ready: Vec<usize> = indeg
-            .iter()
-            .enumerate()
-            .filter(|(_, &d)| d == 0)
-            .map(|(i, _)| i)
-            .collect();
-        let mut seen = 0;
-        while let Some(i) = ready.pop() {
-            seen += 1;
-            for &o in &self.operators[i].outputs {
-                if let Some(consumer) = self.operators.iter().position(|op| op.input == o) {
-                    indeg[consumer] -= 1;
-                    if indeg[consumer] == 0 {
-                        ready.push(consumer);
-                    }
-                }
-            }
-        }
-        if seen != self.operators.len() {
-            return Err(ValidateError::new("operator graph contains a cycle"));
+        let diags = self.lint();
+        if lint::has_errors(&diags) {
+            return Err(ValidateError::new(diags));
         }
         Ok(Pipeline {
             queues: self.queues,
             operators: self.operators,
+            queue_lines: self.queue_lines,
+            op_lines: self.op_lines,
         })
     }
 }
@@ -454,7 +471,7 @@ mod tests {
         OperatorKind::RangeFetch {
             base,
             idx_bytes: 8,
-            elem_bytes: 4,
+            elem_bytes: 8,
             input: RangeInput::Pairs,
             marker: Some(0),
             class: DataClass::AdjacencyMatrix,
@@ -519,7 +536,7 @@ mod tests {
         let mut b = PipelineBuilder::new();
         let mut prev = b.queue(4);
         for _ in 0..17 {
-            let next = b.queue(4);
+            let next = b.queue(8);
             b.operator(range(0), prev, vec![next]);
             prev = next;
         }
@@ -527,6 +544,29 @@ mod tests {
         // but the message must mention a limit.
         let err = b.build().unwrap_err();
         assert!(err.to_string().contains("limit"));
+    }
+
+    #[test]
+    fn rejects_undersized_queue_with_deadlock_code() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(8);
+        let q1 = b.queue(4); // 16 quarters < one 32-quarter fetch burst
+        b.operator(range(0), q0, vec![q1]);
+        let err = b.build().unwrap_err();
+        assert_eq!(err.first_error().code.as_str(), "E013");
+        assert!(err.to_string().contains("E013"), "{err}");
+    }
+
+    #[test]
+    fn validate_error_exposes_all_diagnostics() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(8);
+        let q1 = b.queue(4);
+        b.queue(8); // dangling -> W001 rides along
+        b.operator(range(0), q0, vec![q1]);
+        let err = b.build().unwrap_err();
+        assert!(err.diagnostics().len() >= 2);
+        assert!(err.render().contains("warning[W001]"), "{}", err.render());
     }
 
     #[test]
@@ -575,11 +615,47 @@ mod tests {
         let q1 = b.queue(50);
         b.operator(range(0), q0, vec![q1]);
         let p = b.build().unwrap();
-        let doubled = p.scale_queues(2.0);
+        let doubled = p.scale_queues(2.0).unwrap();
         assert_eq!(doubled.queues()[0].capacity_words, 200);
         assert_eq!(doubled.queues()[1].capacity_words, 100);
-        let halved = p.scale_queues(0.01);
-        assert_eq!(halved.queues()[0].capacity_words, 4, "floor applies");
+    }
+
+    #[test]
+    fn scale_queues_rejects_statically_deadlocked_result() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(100);
+        let q1 = b.queue(50);
+        b.operator(range(0), q0, vec![q1]);
+        let p = b.build().unwrap();
+        // The .max(4)-word floor is below one 32-quarter fetch burst: this
+        // used to produce a pipeline that wedged the engine model.
+        let err = p.scale_queues(0.01).unwrap_err();
+        assert_eq!(err.first_error().code.as_str(), "E013");
+    }
+
+    #[test]
+    fn retarget_producer_chains_and_panics_richly() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(8);
+        let q1 = b.queue(16);
+        let q2 = b.queue(16);
+        b.operator(range(0), q0, vec![q1]);
+        b.retarget_producer_of(q1, vec![q1, q2])
+            .operator(range(64), q1, vec![]);
+        let p = b.build().unwrap();
+        assert_eq!(p.operators()[0].outputs, vec![q1, q2]);
+
+        let msg = std::panic::catch_unwind(|| {
+            let mut b = PipelineBuilder::new();
+            let q0 = b.queue(8);
+            let q1 = b.queue(16);
+            b.operator(range(0), q0, vec![q1]);
+            b.retarget_producer_of(9, vec![q1]);
+        })
+        .unwrap_err();
+        let msg = msg.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("queue 9"), "{msg}");
+        assert!(msg.contains("operator 0 (range)"), "{msg}");
     }
 
     #[test]

@@ -140,6 +140,17 @@ impl EngineModel {
     /// program's declared capacities fill the scratchpad, as in the Fig. 21
     /// sweep), clears traces, and charges the configuration cost.
     pub fn load_program(&mut self, pipeline: &Pipeline, now: u64) {
+        // Built pipelines are lint-clean by construction; catch anyone
+        // assembling a Pipeline through a back door (debug builds only).
+        #[cfg(debug_assertions)]
+        {
+            let diags = crate::lint::lint(pipeline);
+            debug_assert!(
+                !crate::lint::has_errors(&diags),
+                "engine loaded a pipeline that fails lint:\n{}",
+                crate::lint::render(&diags)
+            );
+        }
         let declared: u32 = pipeline.scratchpad_words();
         let budget_words = self.cfg.scratchpad_bytes / 4;
         let scale = budget_words as f64 / declared.max(1) as f64;

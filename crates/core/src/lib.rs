@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! SpZip: programmable traversal, decompression, and compression engines.
 //!
@@ -9,6 +10,9 @@
 //!   (Sec. II). The DCL is SpZip's hardware-software interface.
 //! * [`parser`] — a textual form of the DCL, so pipelines can be written,
 //!   printed, and round-tripped as programs.
+//! * [`lint`] — the static analyzer: typed diagnostics (`E0xx`/`W0xx`)
+//!   covering deadlock freedom, chunk-marker discipline, width agreement,
+//!   dead operators, and scratchpad budgets, with a rustc-style renderer.
 //! * [`memory`] — a synthetic address space holding the application's real
 //!   data, which the functional engine reads and writes.
 //! * [`func`] — the functional engine: executes a DCL pipeline against a
@@ -30,6 +34,7 @@ pub mod area;
 pub mod dcl;
 pub mod engine;
 pub mod func;
+pub mod lint;
 pub mod memory;
 pub mod parser;
 

@@ -1,0 +1,1523 @@
+//! Static analysis ("lint") for DCL programs.
+//!
+//! [`lint`] runs over any [`Pipeline`] — built in code or parsed from text —
+//! and returns structured [`Diagnostic`]s with stable codes (`E0xx` hard
+//! errors, `W0xx` warnings), the offending operator or queue, an optional
+//! source line from the parser, and a one-line fix hint. [`render`] formats a
+//! diagnostic list in rustc style.
+//!
+//! The checks go beyond the structural validation that
+//! [`PipelineBuilder::build`](crate::dcl::PipelineBuilder::build) always
+//! enforced (cardinality, references, single producer/consumer, acyclicity):
+//!
+//! * **Deadlock freedom** (`E013`, `E014`, `E019`): every queue must be able
+//!   to hold the largest atomic burst its producer emits in one firing
+//!   (a ≤ 32-byte segment, or a 4-quarter chunk marker) and the largest
+//!   per-firing demand of its consumer — otherwise the engine's round-robin
+//!   scheduler can never fire the operator and the pipeline wedges. `E019`
+//!   aggregates these per-queue faults into the core-visible consequence: a
+//!   core-input → core-output path that can never drain.
+//! * **Chunk-marker discipline** (`E015`, `E016`): operators that consume
+//!   marker-delimited chunks ([`Decompress`](OperatorKind::Decompress),
+//!   [`Compress`](OperatorKind::Compress), and append-mode
+//!   [`MemQueue`](OperatorKind::MemQueue)) only flush on a marker, so a
+//!   marker-less upstream stream starves them forever; and marker values
+//!   that address MemQueue bins must stay within `num_queues`. (Markers are
+//!   a distinct item kind on the queue bus, so they are always
+//!   distinguishable from data words; only their *values* need checking.)
+//! * **Width compatibility** (`E012`, `E017`): element/index widths must be
+//!   powers of two that divide the 32-byte firing width — anything else
+//!   breaks the burst accounting above — and the width produced into a queue
+//!   must agree with what its consumer decodes.
+//! * **Dead operators and unreachable queues** (`E018`, `W001`, `W002`):
+//!   sinks with declared outputs starve their consumers (the hardware never
+//!   pushes from a stream-writer), dangling queues waste scratchpad, and
+//!   transforms with no outputs compute chunks nobody reads.
+//! * **Scratchpad budget** (`W003`): declared queue words are checked
+//!   against the per-engine scratchpad
+//!   ([`DEFAULT_SCRATCHPAD_BYTES`](crate::dcl::DEFAULT_SCRATCHPAD_BYTES));
+//!   the engine rescales on load, so oversubscription is a warning, not an
+//!   error.
+//! * **Traffic-class consistency** (`W004`): one base address tagged with
+//!   two different [`DataClass`]es splits one stream's traffic across
+//!   compression/placement policies.
+//!
+//! `build()` keeps its contract: diagnostics of [`Severity::Error`] deny the
+//! build, warnings pass through. The full diagnostic registry is documented
+//! in `DESIGN.md`.
+
+use crate::dcl::{
+    MemQueueMode, OperatorKind, OperatorSpec, Pipeline, QueueSpec, DEFAULT_SCRATCHPAD_BYTES,
+    MAX_OPERATORS, MAX_QUEUES,
+};
+use crate::QueueId;
+use spzip_mem::DataClass;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Largest payload one firing can move, in quarter-words (32 bytes —
+/// `func::FIRE_BYTES`).
+const FIRING_QUARTERS: u32 = 32;
+/// Queue cost of a chunk marker, in quarter-words.
+const MARKER_QUARTERS: u32 = 4;
+/// Largest single item the core enqueues (a u64), in quarter-words.
+const CORE_ENQUEUE_QUARTERS: u32 = 8;
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but legal: the program builds and runs.
+    Warning,
+    /// The program is rejected by [`PipelineBuilder::build`](crate::dcl::PipelineBuilder::build).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable diagnostic codes. `E0xx` are hard errors, `W0xx` warnings; codes
+/// are never renumbered so tools can match on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)] // each code is documented via `summary()` and DESIGN.md
+pub enum Code {
+    E001,
+    E002,
+    E003,
+    E004,
+    E005,
+    E006,
+    E007,
+    E008,
+    E009,
+    E010,
+    E011,
+    E012,
+    E013,
+    E014,
+    E015,
+    E016,
+    E017,
+    E018,
+    E019,
+    W001,
+    W002,
+    W003,
+    W004,
+}
+
+impl Code {
+    /// Every code in the registry, in numeric order.
+    pub fn all() -> &'static [Code] {
+        use Code::*;
+        &[
+            E001, E002, E003, E004, E005, E006, E007, E008, E009, E010, E011, E012, E013, E014,
+            E015, E016, E017, E018, E019, W001, W002, W003, W004,
+        ]
+    }
+
+    /// The stable textual form, e.g. `"E013"`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Code::E001 => "E001",
+            Code::E002 => "E002",
+            Code::E003 => "E003",
+            Code::E004 => "E004",
+            Code::E005 => "E005",
+            Code::E006 => "E006",
+            Code::E007 => "E007",
+            Code::E008 => "E008",
+            Code::E009 => "E009",
+            Code::E010 => "E010",
+            Code::E011 => "E011",
+            Code::E012 => "E012",
+            Code::E013 => "E013",
+            Code::E014 => "E014",
+            Code::E015 => "E015",
+            Code::E016 => "E016",
+            Code::E017 => "E017",
+            Code::E018 => "E018",
+            Code::E019 => "E019",
+            Code::W001 => "W001",
+            Code::W002 => "W002",
+            Code::W003 => "W003",
+            Code::W004 => "W004",
+        }
+    }
+
+    /// Errors deny `build()`; warnings pass through.
+    pub fn severity(&self) -> Severity {
+        if self.as_str().starts_with('E') {
+            Severity::Error
+        } else {
+            Severity::Warning
+        }
+    }
+
+    /// One-line description of what the code means (the registry entry).
+    pub fn summary(&self) -> &'static str {
+        match self {
+            Code::E001 => "program declares no queues",
+            Code::E002 => "program declares no operators",
+            Code::E003 => "queue count exceeds the hardware limit",
+            Code::E004 => "operator count exceeds the hardware limit",
+            Code::E005 => "operator references an undeclared queue",
+            Code::E006 => "operator writes its own input queue",
+            Code::E007 => "queue has multiple producers",
+            Code::E008 => "queue has multiple consumers",
+            Code::E009 => "operator graph contains a cycle",
+            Code::E010 => "MemQueue declares zero in-memory queues",
+            Code::E011 => "MemQueue stride smaller than one chunk",
+            Code::E012 => "invalid element or index width",
+            Code::E013 => "queue cannot hold its producer's largest burst",
+            Code::E014 => "queue cannot hold its consumer's per-firing demand",
+            Code::E015 => "marker-less stream feeds a chunk-delimited consumer",
+            Code::E016 => "marker value outside the MemQueue bin range",
+            Code::E017 => "element width disagrees across a queue edge",
+            Code::E018 => "sink operator declares output queues",
+            Code::E019 => "core-input to core-output path can wedge",
+            Code::W001 => "queue has no producer and no consumer",
+            Code::W002 => "transform discards its output",
+            Code::W003 => "declared queue words exceed the engine scratchpad",
+            Code::W004 => "one base address used with different traffic classes",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What a diagnostic points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Site {
+    /// The program as a whole.
+    Program,
+    /// A queue, by id.
+    Queue(QueueId),
+    /// An operator, by definition index.
+    Operator(usize),
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Site::Program => write!(f, "program"),
+            Site::Queue(q) => write!(f, "queue q{q}"),
+            Site::Operator(i) => write!(f, "operator {i}"),
+        }
+    }
+}
+
+/// One finding from the linter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code; severity derives from it.
+    pub code: Code,
+    /// The offending operator or queue.
+    pub site: Site,
+    /// Source line in the `.dcl` text, when the pipeline was parsed.
+    pub line: Option<u32>,
+    /// Human-readable description of this occurrence.
+    pub message: String,
+    /// One-line suggested fix.
+    pub hint: Option<String>,
+}
+
+impl Diagnostic {
+    fn new(code: Code, site: Site, line: Option<u32>, message: String) -> Self {
+        Diagnostic {
+            code,
+            site,
+            line,
+            message,
+            hint: None,
+        }
+    }
+
+    fn hint(mut self, hint: impl Into<String>) -> Self {
+        self.hint = Some(hint.into());
+        self
+    }
+
+    /// Error or warning, per the code registry.
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity(), self.code, self.message)
+    }
+}
+
+/// Renders diagnostics in rustc style:
+///
+/// ```text
+/// error[E013]: queue q1 (4 words) cannot hold its producer's burst of 32 quarters
+///   --> line 3 (queue q1)
+///    = help: declare at least 8 words
+/// ```
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&format!("{d}\n"));
+        match d.line {
+            Some(l) => out.push_str(&format!("  --> line {l} ({})\n", d.site)),
+            None => out.push_str(&format!("  --> {}\n", d.site)),
+        }
+        if let Some(h) = &d.hint {
+            out.push_str(&format!("   = help: {h}\n"));
+        }
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity() == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    if errors > 0 {
+        out.push_str(&format!("{errors} error(s), {warnings} warning(s)\n"));
+    } else if warnings > 0 {
+        out.push_str(&format!("{warnings} warning(s)\n"));
+    }
+    out
+}
+
+/// Lints a built pipeline. Built pipelines already passed the error-level
+/// checks, so this returns warnings only — parse-time spans, when present,
+/// are carried through.
+pub fn lint(p: &Pipeline) -> Vec<Diagnostic> {
+    lint_parts(
+        p.queues(),
+        p.operators(),
+        p.queue_lines(),
+        p.operator_lines(),
+    )
+}
+
+/// True if any diagnostic is an error.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity() == Severity::Error)
+}
+
+/// Largest number of quarter-words `kind` can push into each of its output
+/// queues in a single firing; `None` for sinks that never push.
+fn producer_burst_quarters(kind: &OperatorKind) -> Option<u32> {
+    match kind {
+        // Range fetches emit <=32-byte segments, then a 4-quarter marker.
+        OperatorKind::RangeFetch { .. } => Some(FIRING_QUARTERS),
+        // One element (or start/end pair) per firing, plus passed markers.
+        OperatorKind::Indirect {
+            elem_bytes, pair, ..
+        } => {
+            let payload = if *pair { 2 } else { 1 } * *elem_bytes as u32;
+            Some(payload.clamp(MARKER_QUARTERS, FIRING_QUARTERS))
+        }
+        // Transforms emit in <=32-byte firings (func::emit_transformed).
+        OperatorKind::Decompress { .. } | OperatorKind::Compress { .. } => Some(FIRING_QUARTERS),
+        // Buffer-mode MQUs stream flushed bins in <=32-byte segments.
+        OperatorKind::MemQueue {
+            mode: MemQueueMode::Buffer,
+            ..
+        } => Some(FIRING_QUARTERS),
+        // Stream writers and append MQUs never push downstream.
+        OperatorKind::StreamWrite { .. }
+        | OperatorKind::MemQueue {
+            mode: MemQueueMode::Append,
+            ..
+        } => None,
+    }
+}
+
+/// Largest number of quarter-words one firing of `kind` removes from its
+/// input queue. A firing only happens once its demand is resident, so the
+/// input queue must be at least this big.
+fn consumer_demand_quarters(kind: &OperatorKind) -> u32 {
+    match kind {
+        // One index / value / marker item per firing (<= a u64's 8 quarters).
+        OperatorKind::RangeFetch { .. }
+        | OperatorKind::Indirect { .. }
+        | OperatorKind::StreamWrite { .. } => CORE_ENQUEUE_QUARTERS,
+        // Chunk transforms spread a chunk's cost over <=32-quarter firings.
+        OperatorKind::Decompress { .. } | OperatorKind::Compress { .. } => FIRING_QUARTERS,
+        OperatorKind::MemQueue { mode, .. } => match mode {
+            // (bin id, payload) pairs: two items per firing.
+            MemQueueMode::Buffer => 2 * CORE_ENQUEUE_QUARTERS,
+            // Chunk cost spread over <=32-quarter write firings.
+            MemQueueMode::Append => FIRING_QUARTERS,
+        },
+    }
+}
+
+/// Byte width of the values `kind` pushes downstream, when fixed.
+fn output_width(kind: &OperatorKind) -> Option<u8> {
+    match kind {
+        OperatorKind::RangeFetch { elem_bytes, .. }
+        | OperatorKind::Indirect { elem_bytes, .. }
+        | OperatorKind::Decompress { elem_bytes, .. } => Some(*elem_bytes),
+        // Compressors emit raw bytes.
+        OperatorKind::Compress { .. } => Some(1),
+        OperatorKind::MemQueue {
+            mode: MemQueueMode::Buffer,
+            elem_bytes,
+            ..
+        } => Some(*elem_bytes),
+        OperatorKind::StreamWrite { .. }
+        | OperatorKind::MemQueue {
+            mode: MemQueueMode::Append,
+            ..
+        } => None,
+    }
+}
+
+/// Byte width `kind` expects on its input queue, when it decodes one.
+/// `None` means any width is accepted (indices, raw streams, id/payload
+/// pairs).
+fn expected_input_width(kind: &OperatorKind) -> Option<u8> {
+    match kind {
+        OperatorKind::RangeFetch { idx_bytes, .. } => Some(*idx_bytes),
+        OperatorKind::Compress { elem_bytes, .. } => Some(*elem_bytes),
+        // Compressed streams are byte streams.
+        OperatorKind::Decompress { .. } => Some(1),
+        OperatorKind::MemQueue {
+            mode: MemQueueMode::Append,
+            ..
+        } => Some(1),
+        OperatorKind::Indirect { .. }
+        | OperatorKind::StreamWrite { .. }
+        | OperatorKind::MemQueue {
+            mode: MemQueueMode::Buffer,
+            ..
+        } => None,
+    }
+}
+
+/// Whether `kind` only makes progress on marker-delimited chunks: without a
+/// marker-emitting producer somewhere upstream it accumulates forever.
+fn requires_markers(kind: &OperatorKind) -> bool {
+    matches!(
+        kind,
+        OperatorKind::Decompress { .. }
+            | OperatorKind::Compress { .. }
+            | OperatorKind::MemQueue {
+                mode: MemQueueMode::Append,
+                ..
+            }
+    )
+}
+
+/// Element widths the fetch/transform datapaths support: they must divide
+/// the 32-byte firing width or burst accounting (and the functional model's
+/// chunking) breaks.
+fn valid_elem_width(w: u8) -> bool {
+    matches!(w, 1 | 2 | 4 | 8)
+}
+
+/// Core-side index widths.
+fn valid_idx_width(w: u8) -> bool {
+    matches!(w, 4 | 8)
+}
+
+/// The linter proper, over raw parts so both [`Pipeline`] and the builder
+/// can run it. Deterministic: same input yields the same diagnostics in the
+/// same order (no hash-order dependence anywhere).
+pub(crate) fn lint_parts(
+    queues: &[QueueSpec],
+    operators: &[OperatorSpec],
+    queue_lines: &[Option<u32>],
+    op_lines: &[Option<u32>],
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let nq = queues.len();
+    let no = operators.len();
+    let qline = |q: QueueId| queue_lines.get(q as usize).copied().flatten();
+    let oline = |i: usize| op_lines.get(i).copied().flatten();
+
+    // ---- phase A: cardinality, references, per-operator configuration ----
+    if nq == 0 {
+        diags.push(
+            Diagnostic::new(Code::E001, Site::Program, None, "no queues declared".into())
+                .hint("declare at least one queue for the core to enqueue into"),
+        );
+    }
+    if no == 0 {
+        diags.push(
+            Diagnostic::new(
+                Code::E002,
+                Site::Program,
+                None,
+                "no operators declared".into(),
+            )
+            .hint("a pipeline needs at least one operator"),
+        );
+    }
+    if nq == 0 || no == 0 {
+        return diags;
+    }
+    if nq > MAX_QUEUES {
+        diags.push(
+            Diagnostic::new(
+                Code::E003,
+                Site::Program,
+                None,
+                format!("{nq} queues exceed the hardware limit of {MAX_QUEUES}"),
+            )
+            .hint("split the program across engines or merge streams"),
+        );
+    }
+    if no > MAX_OPERATORS {
+        diags.push(
+            Diagnostic::new(
+                Code::E004,
+                Site::Program,
+                None,
+                format!("{no} operators exceed the hardware limit of {MAX_OPERATORS}"),
+            )
+            .hint("split the program across engines"),
+        );
+    }
+
+    let mut bad_ref = false;
+    for (i, op) in operators.iter().enumerate() {
+        if op.input as usize >= nq {
+            diags.push(
+                Diagnostic::new(
+                    Code::E005,
+                    Site::Operator(i),
+                    oline(i),
+                    format!(
+                        "operator {i} ({}) reads undeclared queue {}",
+                        op.kind.name(),
+                        op.input
+                    ),
+                )
+                .hint(format!("declare queue {} before using it", op.input)),
+            );
+            bad_ref = true;
+        }
+        for &o in &op.outputs {
+            if o as usize >= nq {
+                diags.push(
+                    Diagnostic::new(
+                        Code::E005,
+                        Site::Operator(i),
+                        oline(i),
+                        format!(
+                            "operator {i} ({}) writes undeclared queue {o}",
+                            op.kind.name()
+                        ),
+                    )
+                    .hint(format!("declare queue {o} before using it")),
+                );
+                bad_ref = true;
+            } else if o == op.input {
+                diags.push(
+                    Diagnostic::new(
+                        Code::E006,
+                        Site::Operator(i),
+                        oline(i),
+                        format!(
+                            "operator {i} ({}) writes its own input queue {o}",
+                            op.kind.name()
+                        ),
+                    )
+                    .hint("route the output through a distinct queue"),
+                );
+            }
+        }
+    }
+    if bad_ref {
+        // Downstream analyses index by queue id; stop here.
+        return diags;
+    }
+
+    for (i, op) in operators.iter().enumerate() {
+        match &op.kind {
+            OperatorKind::RangeFetch {
+                idx_bytes,
+                elem_bytes,
+                ..
+            } => {
+                if !valid_idx_width(*idx_bytes) {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::E012,
+                            Site::Operator(i),
+                            oline(i),
+                            format!("operator {i} (range) has invalid idx_bytes {idx_bytes}"),
+                        )
+                        .hint("index widths must be 4 or 8 bytes"),
+                    );
+                }
+                if !valid_elem_width(*elem_bytes) {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::E012,
+                            Site::Operator(i),
+                            oline(i),
+                            format!("operator {i} (range) has invalid elem_bytes {elem_bytes}"),
+                        )
+                        .hint("element widths must be 1, 2, 4 or 8 bytes"),
+                    );
+                }
+            }
+            OperatorKind::Indirect { elem_bytes, .. }
+            | OperatorKind::Decompress { elem_bytes, .. }
+            | OperatorKind::Compress { elem_bytes, .. } => {
+                if !valid_elem_width(*elem_bytes) {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::E012,
+                            Site::Operator(i),
+                            oline(i),
+                            format!(
+                                "operator {i} ({}) has invalid elem_bytes {elem_bytes}",
+                                op.kind.name()
+                            ),
+                        )
+                        .hint("element widths must be 1, 2, 4 or 8 bytes"),
+                    );
+                }
+            }
+            OperatorKind::MemQueue {
+                num_queues,
+                stride,
+                chunk_elems,
+                elem_bytes,
+                mode,
+                ..
+            } => {
+                if *num_queues == 0 {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::E010,
+                            Site::Operator(i),
+                            oline(i),
+                            format!("operator {i} (memqueue) declares zero in-memory queues"),
+                        )
+                        .hint("set nq to the number of bins"),
+                    );
+                }
+                if !valid_elem_width(*elem_bytes) {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::E012,
+                            Site::Operator(i),
+                            oline(i),
+                            format!("operator {i} (memqueue) has invalid elem_bytes {elem_bytes}"),
+                        )
+                        .hint("element widths must be 1, 2, 4 or 8 bytes"),
+                    );
+                }
+                if *mode == MemQueueMode::Buffer
+                    && *stride < *chunk_elems as u64 * *elem_bytes as u64
+                {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::E011,
+                            Site::Operator(i),
+                            oline(i),
+                            format!(
+                                "operator {i} (memqueue) stride {stride} is smaller than one \
+                                 chunk ({chunk_elems} x {elem_bytes} bytes)",
+                            ),
+                        )
+                        .hint("bins must hold at least one buffered chunk"),
+                    );
+                }
+            }
+            OperatorKind::StreamWrite { .. } => {}
+        }
+        // Sinks never push; declared outputs would starve their consumers.
+        if producer_burst_quarters(&op.kind).is_none() && !op.outputs.is_empty() {
+            diags.push(
+                Diagnostic::new(
+                    Code::E018,
+                    Site::Operator(i),
+                    oline(i),
+                    format!(
+                        "operator {i} ({}) is a sink but declares {} output queue(s)",
+                        op.kind.name(),
+                        op.outputs.len()
+                    ),
+                )
+                .hint("sinks (streamwrite, append memqueue) take no outputs"),
+            );
+        }
+        // Transforms that drop their result compute chunks nobody reads.
+        if matches!(
+            op.kind,
+            OperatorKind::Decompress { .. } | OperatorKind::Compress { .. }
+        ) && op.outputs.is_empty()
+        {
+            diags.push(
+                Diagnostic::new(
+                    Code::W002,
+                    Site::Operator(i),
+                    oline(i),
+                    format!(
+                        "operator {i} ({}) has no outputs: its result is discarded",
+                        op.kind.name()
+                    ),
+                )
+                .hint("connect an output queue or drop the operator"),
+            );
+        }
+    }
+
+    // ---- phase B: producer/consumer structure and acyclicity -------------
+    let mut producers: Vec<Vec<usize>> = vec![Vec::new(); nq];
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); nq];
+    for (i, op) in operators.iter().enumerate() {
+        consumers[op.input as usize].push(i);
+        for &o in &op.outputs {
+            producers[o as usize].push(i);
+        }
+    }
+    let mut structure_bad = false;
+    for q in 0..nq {
+        if producers[q].len() > 1 {
+            diags.push(
+                Diagnostic::new(
+                    Code::E007,
+                    Site::Queue(q as QueueId),
+                    qline(q as QueueId),
+                    format!("queue {q} has {} producers", producers[q].len()),
+                )
+                .hint("each queue takes exactly one producer; fan in through an operator"),
+            );
+            structure_bad = true;
+        }
+        if consumers[q].len() > 1 {
+            diags.push(
+                Diagnostic::new(
+                    Code::E008,
+                    Site::Queue(q as QueueId),
+                    qline(q as QueueId),
+                    format!("queue {q} has {} consumers", consumers[q].len()),
+                )
+                .hint("fan out by listing several outputs on the producer"),
+            );
+            structure_bad = true;
+        }
+        if producers[q].is_empty() && consumers[q].is_empty() {
+            diags.push(
+                Diagnostic::new(
+                    Code::W001,
+                    Site::Queue(q as QueueId),
+                    qline(q as QueueId),
+                    format!("queue {q} has no producer and no consumer"),
+                )
+                .hint("remove the declaration to reclaim scratchpad"),
+            );
+        }
+    }
+
+    // Kahn's algorithm over operator nodes; also yields a topological order
+    // for the stream-property propagation below.
+    let producer_of: Vec<Option<usize>> = (0..nq).map(|q| producers[q].first().copied()).collect();
+    let mut indeg: Vec<u32> = operators
+        .iter()
+        .map(|op| u32::from(producer_of[op.input as usize].is_some()))
+        .collect();
+    let mut ready: Vec<usize> = indeg
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d == 0)
+        .map(|(i, _)| i)
+        .collect();
+    let mut topo = Vec::with_capacity(no);
+    while let Some(i) = ready.pop() {
+        topo.push(i);
+        for &o in &operators[i].outputs {
+            for &c in &consumers[o as usize] {
+                indeg[c] -= 1;
+                if indeg[c] == 0 {
+                    ready.push(c);
+                }
+            }
+        }
+    }
+    if topo.len() != no {
+        diags.push(
+            Diagnostic::new(
+                Code::E009,
+                Site::Program,
+                None,
+                "operator graph contains a cycle".into(),
+            )
+            .hint("DCL programs must be acyclic dataflow DAGs"),
+        );
+        structure_bad = true;
+    }
+    if structure_bad {
+        // The semantic phase assumes single-producer/consumer DAG shape.
+        return diags;
+    }
+
+    // ---- phase C: semantic stream analysis -------------------------------
+
+    // E013: capacity vs producer burst (core enqueues for unproduced
+    // queues). A queue smaller than one atomic burst can never accept the
+    // firing that fills it: the producer stalls forever.
+    for q in 0..nq {
+        let cap_q = queues[q].capacity_words as u32 * 4;
+        let (burst, what) = match producer_of[q] {
+            Some(p) => match producer_burst_quarters(&operators[p].kind) {
+                Some(b) => (b, format!("operator {p} ({})", operators[p].kind.name())),
+                None => continue, // sink "producer": already E018
+            },
+            None if !consumers[q].is_empty() => (CORE_ENQUEUE_QUARTERS, "the core".to_string()),
+            None => continue, // dangling: W001
+        };
+        if cap_q < burst {
+            let need = burst.div_ceil(4);
+            diags.push(
+                Diagnostic::new(
+                    Code::E013,
+                    Site::Queue(q as QueueId),
+                    qline(q as QueueId),
+                    format!(
+                        "queue {q} ({} words) cannot hold the largest burst {what} \
+                         can emit in one firing ({burst} quarter-words): the pipeline deadlocks",
+                        queues[q].capacity_words
+                    ),
+                )
+                .hint(format!("declare at least {need} words")),
+            );
+        }
+    }
+
+    // E014: capacity vs consumer demand. A firing only launches once its
+    // whole demand is resident; a smaller queue never reaches it.
+    for q in 0..nq {
+        let cap_q = queues[q].capacity_words as u32 * 4;
+        let Some(&c) = consumers[q].first() else {
+            continue;
+        };
+        let demand = consumer_demand_quarters(&operators[c].kind);
+        if cap_q < demand {
+            let need = demand.div_ceil(4);
+            diags.push(
+                Diagnostic::new(
+                    Code::E014,
+                    Site::Queue(q as QueueId),
+                    qline(q as QueueId),
+                    format!(
+                        "queue {q} ({} words) cannot hold the {demand} quarter-words one \
+                         firing of operator {c} ({}) consumes: the pipeline deadlocks",
+                        queues[q].capacity_words,
+                        operators[c].kind.name()
+                    ),
+                )
+                .hint(format!("declare at least {need} words")),
+            );
+        }
+    }
+
+    // Stream properties propagated in topological order:
+    //  - can the stream into queue q ever carry a chunk marker?
+    //  - which constant marker values / bin-id bounds flow along it?
+    let mut marker_capable = vec![false; nq];
+    let mut marker_consts: Vec<Vec<u32>> = vec![Vec::new(); nq];
+    let mut bin_bound: Vec<Option<u32>> = vec![None; nq];
+    for q in 0..nq {
+        if producer_of[q].is_none() && !consumers[q].is_empty() {
+            // The core can enqueue markers directly.
+            marker_capable[q] = true;
+        }
+    }
+    for &i in &topo {
+        let op = &operators[i];
+        let inq = op.input as usize;
+        let (capable, consts, bound) = match &op.kind {
+            // A range fetch regenerates its stream (output items are
+            // fetched elements, not input items); downstream chunk framing
+            // must come from its own marker config, not from markers that
+            // happen to survive pass-through two hops up.
+            OperatorKind::RangeFetch { marker, .. } => {
+                let mut consts = marker_consts[inq].clone();
+                if let Some(m) = marker {
+                    if !consts.contains(m) {
+                        consts.push(*m);
+                    }
+                }
+                (marker.is_some(), consts, bin_bound[inq])
+            }
+            // Indirections and transforms pass incoming markers through.
+            OperatorKind::Indirect { .. }
+            | OperatorKind::Decompress { .. }
+            | OperatorKind::Compress { .. } => (
+                marker_capable[inq],
+                marker_consts[inq].clone(),
+                bin_bound[inq],
+            ),
+            // Buffer MQUs re-emit flushed bins delimited by Marker(bin id).
+            OperatorKind::MemQueue {
+                mode: MemQueueMode::Buffer,
+                num_queues,
+                ..
+            } => (true, Vec::new(), Some(*num_queues)),
+            OperatorKind::StreamWrite { .. }
+            | OperatorKind::MemQueue {
+                mode: MemQueueMode::Append,
+                ..
+            } => (false, Vec::new(), None),
+        };
+        for &o in &op.outputs {
+            marker_capable[o as usize] = capable;
+            marker_consts[o as usize] = consts.clone();
+            bin_bound[o as usize] = bound;
+        }
+    }
+
+    // E015: chunk-delimited consumers need a marker-emitting producer
+    // somewhere upstream, or they accumulate forever.
+    for (i, op) in operators.iter().enumerate() {
+        if requires_markers(&op.kind) && !marker_capable[op.input as usize] {
+            diags.push(
+                Diagnostic::new(
+                    Code::E015,
+                    Site::Operator(i),
+                    oline(i),
+                    format!(
+                        "operator {i} ({}) consumes marker-delimited chunks but queue {} can \
+                         never carry a marker: it would accumulate forever",
+                        op.kind.name(),
+                        op.input
+                    ),
+                )
+                .hint("give an upstream range fetch a marker=N, or feed it from the core"),
+            );
+        }
+    }
+
+    // E016: marker values reaching a MemQueue address its bins.
+    for (i, op) in operators.iter().enumerate() {
+        if let OperatorKind::MemQueue { num_queues, .. } = &op.kind {
+            let inq = op.input as usize;
+            for &m in &marker_consts[inq] {
+                if m >= *num_queues {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::E016,
+                            Site::Operator(i),
+                            oline(i),
+                            format!(
+                                "operator {i} (memqueue) has {num_queues} bins but an upstream \
+                                 marker carries bin id {m}",
+                            ),
+                        )
+                        .hint("markers reaching a memqueue select bins: keep them < nq"),
+                    );
+                }
+            }
+            if let Some(b) = bin_bound[inq] {
+                if b > *num_queues {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::E016,
+                            Site::Operator(i),
+                            oline(i),
+                            format!(
+                                "operator {i} (memqueue) has {num_queues} bins but an upstream \
+                                 memqueue emits bin ids up to {}",
+                                b - 1
+                            ),
+                        )
+                        .hint("downstream memqueues need at least as many bins as upstream"),
+                    );
+                }
+            }
+        }
+    }
+
+    // E017: width agreement across each queue edge.
+    for (i, op) in operators.iter().enumerate() {
+        let Some(expect) = expected_input_width(&op.kind) else {
+            continue;
+        };
+        let Some(p) = producer_of[op.input as usize] else {
+            continue; // core-fed: the software side chooses widths
+        };
+        let Some(got) = output_width(&operators[p].kind) else {
+            continue;
+        };
+        if got != expect {
+            diags.push(
+                Diagnostic::new(
+                    Code::E017,
+                    Site::Operator(i),
+                    oline(i),
+                    format!(
+                        "operator {i} ({}) decodes {expect}-byte values from queue {} but \
+                         operator {p} ({}) produces {got}-byte values",
+                        op.kind.name(),
+                        op.input,
+                        operators[p].kind.name()
+                    ),
+                )
+                .hint("make elem_bytes/idx_bytes agree across the queue"),
+            );
+        }
+    }
+
+    // W004: one base address, two traffic classes.
+    let mut base_class: BTreeMap<u64, (DataClass, usize)> = BTreeMap::new();
+    let mut check_base = |base: u64, class: DataClass, i: usize, diags: &mut Vec<Diagnostic>| {
+        match base_class.get(&base) {
+            None => {
+                base_class.insert(base, (class, i));
+            }
+            Some(&(first_class, first_op)) if first_class != class => {
+                diags.push(
+                    Diagnostic::new(
+                        Code::W004,
+                        Site::Operator(i),
+                        oline(i),
+                        format!(
+                            "operator {i} ({}) tags base {base:#x} as {class:?} but operator \
+                             {first_op} tagged it {first_class:?}",
+                            operators[i].kind.name()
+                        ),
+                    )
+                    .hint("one stream, one traffic class: split arrays or align the classes"),
+                );
+                // Report each conflicting base once.
+                base_class.insert(base, (class, i));
+            }
+            Some(_) => {}
+        }
+    };
+    for (i, op) in operators.iter().enumerate() {
+        match &op.kind {
+            OperatorKind::RangeFetch { base, class, .. }
+            | OperatorKind::Indirect { base, class, .. }
+            | OperatorKind::StreamWrite { base, class } => check_base(*base, *class, i, &mut diags),
+            OperatorKind::MemQueue {
+                data_base,
+                meta_addr,
+                class,
+                ..
+            } => {
+                check_base(*data_base, *class, i, &mut diags);
+                check_base(*meta_addr, *class, i, &mut diags);
+            }
+            OperatorKind::Decompress { .. } | OperatorKind::Compress { .. } => {}
+        }
+    }
+
+    // W003: scratchpad budget. The engine rescales declared capacities on
+    // load, so oversubscription distorts relative sizes rather than failing.
+    let total_words: u32 = queues.iter().map(|q| q.capacity_words as u32).sum();
+    let budget_words = DEFAULT_SCRATCHPAD_BYTES / 4;
+    if total_words > budget_words {
+        diags.push(
+            Diagnostic::new(
+                Code::W003,
+                Site::Program,
+                None,
+                format!(
+                    "declared queues total {total_words} words but the engine scratchpad \
+                     holds {budget_words}: capacities will be scaled down on load",
+                ),
+            )
+            .hint("shrink declared capacities to keep their ratios meaningful"),
+        );
+    }
+
+    // E019: fold the per-queue deadlocks into the core-visible consequence —
+    // a core-input -> core-output path through a wedged operator.
+    let blocked: Vec<usize> = diags
+        .iter()
+        .filter_map(|d| match (d.code, d.site) {
+            // E013 wedges the producer mid-burst (or, for a core-fed
+            // queue, starves the consumer); E014 wedges the consumer.
+            (Code::E013, Site::Queue(q)) => {
+                producer_of[q as usize].or_else(|| consumers[q as usize].first().copied())
+            }
+            (Code::E014, Site::Queue(q)) => consumers[q as usize].first().copied(),
+            _ => None,
+        })
+        .collect();
+    if !blocked.is_empty() {
+        // forward[i] = ops reachable from i (inclusive); back likewise.
+        let reach = |start: usize, forward: bool| -> Vec<bool> {
+            let mut seen = vec![false; no];
+            let mut stack = vec![start];
+            while let Some(i) = stack.pop() {
+                if std::mem::replace(&mut seen[i], true) {
+                    continue;
+                }
+                if forward {
+                    for &o in &operators[i].outputs {
+                        for &c in &consumers[o as usize] {
+                            stack.push(c);
+                        }
+                    }
+                } else if let Some(p) = producer_of[operators[i].input as usize] {
+                    stack.push(p);
+                }
+            }
+            seen
+        };
+        let core_in: Vec<QueueId> = (0..nq as QueueId)
+            .filter(|&q| producer_of[q as usize].is_none() && !consumers[q as usize].is_empty())
+            .collect();
+        let core_out: Vec<QueueId> = (0..nq as QueueId)
+            .filter(|&q| producer_of[q as usize].is_some() && consumers[q as usize].is_empty())
+            .collect();
+        for &ci in &core_in {
+            let fwd = reach(consumers[ci as usize][0], true);
+            let mut found = None;
+            'outer: for &co in &core_out {
+                let back = reach(producer_of[co as usize].unwrap(), false);
+                for &b in &blocked {
+                    if fwd[b] && back[b] {
+                        found = Some((co, b));
+                        break 'outer;
+                    }
+                }
+            }
+            if let Some((co, b)) = found {
+                diags.push(
+                    Diagnostic::new(
+                        Code::E019,
+                        Site::Queue(ci),
+                        qline(ci),
+                        format!(
+                            "the path from core input queue {ci} to core output queue {co} \
+                             crosses operator {b} ({}), which can never fire: data enqueued \
+                             at {ci} wedges the engine",
+                            operators[b].kind.name()
+                        ),
+                    )
+                    .hint("fix the E013/E014 capacities on this path"),
+                );
+            }
+        }
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dcl::PipelineBuilder;
+    use spzip_compress::CodecKind;
+
+    fn range8(base: u64, marker: Option<u32>) -> OperatorKind {
+        OperatorKind::RangeFetch {
+            base,
+            idx_bytes: 8,
+            elem_bytes: 8,
+            input: crate::dcl::RangeInput::Pairs,
+            marker,
+            class: DataClass::AdjacencyMatrix,
+        }
+    }
+
+    fn codes(b: &PipelineBuilder) -> Vec<&'static str> {
+        b.lint().iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn registry_is_consistent() {
+        for c in Code::all() {
+            assert_eq!(c.as_str().len(), 4);
+            assert!(!c.summary().is_empty());
+            match c.as_str().as_bytes()[0] {
+                b'E' => assert_eq!(c.severity(), Severity::Error),
+                b'W' => assert_eq!(c.severity(), Severity::Warning),
+                _ => panic!("bad code prefix"),
+            }
+        }
+    }
+
+    #[test]
+    fn e001_e002_empty_program() {
+        let b = PipelineBuilder::new();
+        assert_eq!(codes(&b), vec!["E001", "E002"]);
+    }
+
+    #[test]
+    fn e002_queue_without_operators() {
+        let mut b = PipelineBuilder::new();
+        b.queue(8);
+        assert_eq!(codes(&b), vec!["E002"]);
+    }
+
+    #[test]
+    fn e003_too_many_queues() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(8);
+        let q1 = b.queue(8);
+        for _ in 0..15 {
+            b.queue(8);
+        }
+        b.operator(range8(0, None), q0, vec![q1]);
+        assert!(codes(&b).contains(&"E003"));
+    }
+
+    #[test]
+    fn e004_too_many_operators() {
+        let mut b = PipelineBuilder::new();
+        let mut prev = b.queue(8);
+        for _ in 0..17 {
+            let next = b.queue(8);
+            b.operator(range8(0, None), prev, vec![next]);
+            prev = next;
+        }
+        assert!(codes(&b).contains(&"E004"));
+    }
+
+    #[test]
+    fn e005_undeclared_queue() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(8);
+        b.operator(range8(0, None), q0, vec![9]);
+        assert_eq!(codes(&b), vec!["E005"]);
+    }
+
+    #[test]
+    fn e006_self_loop() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(8);
+        b.operator(range8(0, None), q0, vec![q0]);
+        assert!(codes(&b).contains(&"E006"));
+    }
+
+    #[test]
+    fn e007_multiple_producers() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(8);
+        let q1 = b.queue(8);
+        let q2 = b.queue(8);
+        b.operator(range8(0, None), q0, vec![q2]);
+        b.operator(range8(0, None), q1, vec![q2]);
+        assert!(codes(&b).contains(&"E007"));
+    }
+
+    #[test]
+    fn e008_multiple_consumers() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(8);
+        let q1 = b.queue(8);
+        let q2 = b.queue(8);
+        b.operator(range8(0, None), q0, vec![q1]);
+        b.operator(range8(0, None), q0, vec![q2]);
+        assert!(codes(&b).contains(&"E008"));
+    }
+
+    #[test]
+    fn e009_cycle() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(8);
+        let q1 = b.queue(8);
+        b.operator(range8(0, None), q0, vec![q1]);
+        b.operator(range8(0, None), q1, vec![q0]);
+        assert!(codes(&b).contains(&"E009"));
+    }
+
+    #[test]
+    fn e010_memqueue_zero_bins() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(8);
+        b.operator(
+            OperatorKind::MemQueue {
+                num_queues: 0,
+                data_base: 0x1000,
+                stride: 4096,
+                meta_addr: 0x8000,
+                chunk_elems: 32,
+                elem_bytes: 8,
+                mode: MemQueueMode::Buffer,
+                class: DataClass::Updates,
+            },
+            q0,
+            vec![],
+        );
+        assert!(codes(&b).contains(&"E010"));
+    }
+
+    #[test]
+    fn e011_memqueue_stride_too_small() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(8);
+        b.operator(
+            OperatorKind::MemQueue {
+                num_queues: 4,
+                data_base: 0x1000,
+                stride: 8,
+                meta_addr: 0x8000,
+                chunk_elems: 32,
+                elem_bytes: 8,
+                mode: MemQueueMode::Buffer,
+                class: DataClass::Updates,
+            },
+            q0,
+            vec![],
+        );
+        assert!(codes(&b).contains(&"E011"));
+    }
+
+    #[test]
+    fn e012_invalid_widths() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(8);
+        let q1 = b.queue(8);
+        b.operator(
+            OperatorKind::RangeFetch {
+                base: 0,
+                idx_bytes: 3,
+                elem_bytes: 5,
+                input: crate::dcl::RangeInput::Pairs,
+                marker: None,
+                class: DataClass::Other,
+            },
+            q0,
+            vec![q1],
+        );
+        let cs = codes(&b);
+        assert_eq!(cs.iter().filter(|c| **c == "E012").count(), 2);
+    }
+
+    #[test]
+    fn e013_queue_smaller_than_burst() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(8);
+        let q1 = b.queue(4); // 16 quarters < a 32-quarter fetch segment
+        b.operator(range8(0, None), q0, vec![q1]);
+        let cs = codes(&b);
+        assert!(cs.contains(&"E013"), "{cs:?}");
+    }
+
+    #[test]
+    fn e013_core_fed_queue_too_small() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(1); // 4 quarters < one u64 enqueue
+        let q1 = b.queue(16);
+        b.operator(range8(0, None), q0, vec![q1]);
+        assert!(codes(&b).contains(&"E013"));
+    }
+
+    #[test]
+    fn e014_queue_smaller_than_demand() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(4); // 16 quarters < a transform's 32-quarter firing
+        let q1 = b.queue(16);
+        b.operator(
+            OperatorKind::Decompress {
+                codec: CodecKind::Delta,
+                elem_bytes: 4,
+            },
+            q0,
+            vec![q1],
+        );
+        let cs = codes(&b);
+        assert!(cs.contains(&"E014"), "{cs:?}");
+        assert!(!cs.contains(&"E013"), "core burst fits 16 quarters: {cs:?}");
+    }
+
+    #[test]
+    fn e015_markerless_stream_into_compressor() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(8);
+        let q1 = b.queue(16);
+        let q2 = b.queue(16);
+        b.operator(
+            OperatorKind::RangeFetch {
+                base: 0,
+                idx_bytes: 8,
+                elem_bytes: 4,
+                input: crate::dcl::RangeInput::Pairs,
+                marker: None, // no chunk delimiters ever
+                class: DataClass::Other,
+            },
+            q0,
+            vec![q1],
+        );
+        b.operator(
+            OperatorKind::Compress {
+                codec: CodecKind::Delta,
+                elem_bytes: 4,
+                sort_chunks: false,
+            },
+            q1,
+            vec![q2],
+        );
+        assert!(codes(&b).contains(&"E015"));
+    }
+
+    #[test]
+    fn e016_marker_out_of_bin_range() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(8);
+        let q1 = b.queue(16);
+        b.operator(
+            OperatorKind::RangeFetch {
+                base: 0,
+                idx_bytes: 8,
+                elem_bytes: 1,
+                input: crate::dcl::RangeInput::Pairs,
+                marker: Some(9),
+                class: DataClass::Other,
+            },
+            q0,
+            vec![q1],
+        );
+        b.operator(
+            OperatorKind::MemQueue {
+                num_queues: 4,
+                data_base: 0x1000,
+                stride: 4096,
+                meta_addr: 0x8000,
+                chunk_elems: 32,
+                elem_bytes: 8,
+                mode: MemQueueMode::Append,
+                class: DataClass::Updates,
+            },
+            q1,
+            vec![],
+        );
+        assert!(codes(&b).contains(&"E016"));
+    }
+
+    #[test]
+    fn e017_width_mismatch() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(8);
+        let q1 = b.queue(16);
+        let q2 = b.queue(16);
+        b.operator(
+            OperatorKind::RangeFetch {
+                base: 0,
+                idx_bytes: 8,
+                elem_bytes: 4, // produces 4-byte values...
+                input: crate::dcl::RangeInput::Pairs,
+                marker: Some(0),
+                class: DataClass::Other,
+            },
+            q0,
+            vec![q1],
+        );
+        b.operator(range8(64, Some(0)), q1, vec![q2]); // ...decoded as 8-byte indices
+        assert!(codes(&b).contains(&"E017"));
+    }
+
+    #[test]
+    fn e018_sink_with_outputs() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(8);
+        let q1 = b.queue(16);
+        b.operator(
+            OperatorKind::StreamWrite {
+                base: 0x1000,
+                class: DataClass::Other,
+            },
+            q0,
+            vec![q1],
+        );
+        assert!(codes(&b).contains(&"E018"));
+    }
+
+    #[test]
+    fn e019_wedged_core_path() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(8);
+        let q1 = b.queue(4); // wedges mid-path
+        let q2 = b.queue(16);
+        b.operator(range8(0, None), q0, vec![q1]);
+        b.operator(range8(64, None), q1, vec![q2]);
+        let cs = codes(&b);
+        assert!(cs.contains(&"E013"), "{cs:?}");
+        assert!(cs.contains(&"E019"), "{cs:?}");
+    }
+
+    #[test]
+    fn w001_dangling_queue() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(8);
+        let q1 = b.queue(16);
+        b.queue(8); // never referenced
+        b.operator(range8(0, None), q0, vec![q1]);
+        assert_eq!(codes(&b), vec!["W001"]);
+    }
+
+    #[test]
+    fn w002_transform_discards_output() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(8);
+        b.operator(
+            OperatorKind::Compress {
+                codec: CodecKind::Delta,
+                elem_bytes: 4,
+                sort_chunks: false,
+            },
+            q0,
+            vec![],
+        );
+        assert!(codes(&b).contains(&"W002"));
+    }
+
+    #[test]
+    fn w003_scratchpad_oversubscribed() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(300);
+        let q1 = b.queue(300);
+        b.operator(range8(0, None), q0, vec![q1]);
+        assert!(codes(&b).contains(&"W003"));
+    }
+
+    #[test]
+    fn w004_base_class_conflict() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(8);
+        let q1 = b.queue(16);
+        let q2 = b.queue(16);
+        b.operator(range8(0x1000, None), q0, vec![q1]);
+        b.operator(
+            OperatorKind::Indirect {
+                base: 0x1000,
+                elem_bytes: 8,
+                pair: false,
+                class: DataClass::DestinationVertex,
+            },
+            q1,
+            vec![q2],
+        );
+        assert!(codes(&b).contains(&"W004"));
+    }
+
+    #[test]
+    fn clean_pipeline_has_no_diagnostics() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(8);
+        let q1 = b.queue(16);
+        let q2 = b.queue(32);
+        b.operator(range8(0x1000, None), q0, vec![q1]);
+        b.operator(range8(0x2000, Some(0)), q1, vec![q2]);
+        assert!(codes(&b).is_empty());
+    }
+
+    #[test]
+    fn render_is_rustc_style() {
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(8);
+        let q1 = b.queue(4);
+        b.operator(range8(0, None), q0, vec![q1]);
+        let out = render(&b.lint());
+        assert!(out.contains("error[E013]"), "{out}");
+        assert!(out.contains("= help:"), "{out}");
+        assert!(out.contains("--> queue q1"), "{out}");
+    }
+}

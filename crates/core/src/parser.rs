@@ -51,7 +51,13 @@ impl std::error::Error for ParseError {}
 
 impl From<ValidateError> for ParseError {
     fn from(e: ValidateError) -> Self {
-        ParseError::new(0, e.to_string())
+        // Surface the first error with its source span; parse() records the
+        // declaration line of every queue and operator in the builder.
+        let first = e.first_error();
+        ParseError::new(
+            first.line.unwrap_or(0) as usize,
+            format!("[{}] {}", first.code, first.message),
+        )
     }
 }
 
@@ -104,7 +110,7 @@ pub fn parse(text: &str, symbols: &HashMap<String, u64>) -> Result<Pipeline, Par
             if queue_ids.contains_key(name) {
                 return Err(ParseError::new(lineno, format!("duplicate queue '{name}'")));
             }
-            let id = builder.queue(cap);
+            let id = builder.queue_at(cap, lineno as u32);
             queue_ids.insert(name.to_string(), id);
             continue;
         }
@@ -252,7 +258,7 @@ pub fn parse(text: &str, symbols: &HashMap<String, u64>) -> Result<Pipeline, Par
                 ))
             }
         };
-        builder.operator(kind, input, outputs);
+        builder.operator_at(kind, input, outputs, lineno as u32);
     }
     Ok(builder.build()?)
 }
@@ -450,6 +456,18 @@ mod tests {
         ";
         let err = parse(text, &syms()).unwrap_err();
         assert!(err.to_string().contains("consumers"));
+    }
+
+    #[test]
+    fn undersized_queue_is_rejected_with_code_and_span() {
+        // Queue b (4 words = 16 quarters) cannot hold one 32-quarter fetch
+        // burst: the build must fail with E013 pointing at b's declaration
+        // line instead of producing a program that wedges the engine.
+        let text = "queue a 8\nqueue b 4\nrange a -> b base=0x0 elem=8";
+        let err = parse(text, &syms()).unwrap_err();
+        let s = err.to_string();
+        assert!(s.contains("[E013]"), "{s}");
+        assert!(s.contains("line 2"), "{s}");
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Property-based tests for the DCL static analyzer: textual round-trips
+//! over a wider operator mix than `proptest_core`, and determinism of the
+//! linter (same pipeline, same diagnostics, same order — every time).
+
+use proptest::prelude::*;
+use spzip_compress::CodecKind;
+use spzip_core::dcl::{OperatorKind, Pipeline, PipelineBuilder, RangeInput};
+use spzip_core::lint;
+use spzip_core::parser;
+use spzip_mem::DataClass;
+use std::collections::HashMap;
+
+fn arb_class() -> impl Strategy<Value = DataClass> {
+    prop_oneof![
+        Just(DataClass::AdjacencyMatrix),
+        Just(DataClass::SourceVertex),
+        Just(DataClass::DestinationVertex),
+        Just(DataClass::Updates),
+        Just(DataClass::Frontier),
+        Just(DataClass::Other),
+    ]
+}
+
+fn arb_codec() -> impl Strategy<Value = CodecKind> {
+    prop_oneof![
+        Just(CodecKind::None),
+        Just(CodecKind::Delta),
+        Just(CodecKind::Bpc32),
+        Just(CodecKind::Bpc64),
+        Just(CodecKind::Rle),
+    ]
+}
+
+fn arb_elem() -> impl Strategy<Value = u8> {
+    prop_oneof![Just(1u8), Just(2), Just(4), Just(8)]
+}
+
+/// A random valid chain: fetch, optional compress/decompress stage,
+/// optional indirection, optional StreamWrite sink, with a possibly
+/// dangling extra queue (a W001 warning, still buildable).
+fn arb_pipeline() -> impl Strategy<Value = Pipeline> {
+    (
+        (arb_class(), arb_codec(), arb_elem(), arb_elem()),
+        (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()),
+        8u16..64,
+    )
+        .prop_map(
+            |((class, codec, e1, e2), (transform, indirect, sink, dangling), cap)| {
+                let mut b = PipelineBuilder::new();
+                let q0 = b.queue(8);
+                let q1 = b.queue(cap);
+                b.operator(
+                    OperatorKind::RangeFetch {
+                        base: 0x1000,
+                        idx_bytes: 8,
+                        elem_bytes: e1,
+                        input: RangeInput::Pairs,
+                        marker: Some(0),
+                        class,
+                    },
+                    q0,
+                    vec![q1],
+                );
+                let mut last = q1;
+                if transform {
+                    let q2 = b.queue(cap);
+                    let q3 = b.queue(cap);
+                    // Compress consumes e1-wide elements (matching the fetch
+                    // output) and emits bytes; Decompress re-widens to e2.
+                    b.operator(
+                        OperatorKind::Compress {
+                            codec,
+                            elem_bytes: e1,
+                            sort_chunks: false,
+                        },
+                        last,
+                        vec![q2],
+                    );
+                    b.operator(
+                        OperatorKind::Decompress {
+                            codec,
+                            elem_bytes: e2,
+                        },
+                        q2,
+                        vec![q3],
+                    );
+                    last = q3;
+                }
+                if indirect {
+                    let q4 = b.queue(cap);
+                    b.operator(
+                        OperatorKind::Indirect {
+                            base: 0x8000,
+                            elem_bytes: e2,
+                            pair: false,
+                            class: DataClass::DestinationVertex,
+                        },
+                        last,
+                        vec![q4],
+                    );
+                    last = q4;
+                }
+                if sink {
+                    b.operator(
+                        OperatorKind::StreamWrite {
+                            base: 0x9000,
+                            class: DataClass::Updates,
+                        },
+                        last,
+                        Vec::new(),
+                    );
+                }
+                if dangling {
+                    b.queue(cap);
+                }
+                b.build().expect("chain validates")
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `parse(to_text(p))` is the identity for arbitrary valid pipelines.
+    #[test]
+    fn textual_roundtrip(p in arb_pipeline()) {
+        let text = parser::to_text(&p);
+        let reparsed = parser::parse(&text, &HashMap::new()).unwrap();
+        prop_assert_eq!(p, reparsed);
+    }
+
+    /// The linter is deterministic: repeated runs over the same pipeline
+    /// (and over its textual round-trip) produce identical diagnostics in
+    /// identical order.
+    #[test]
+    fn lint_is_deterministic(p in arb_pipeline()) {
+        let first = lint::lint(&p);
+        for _ in 0..3 {
+            prop_assert_eq!(&first, &lint::lint(&p));
+        }
+        let reparsed = parser::parse(&parser::to_text(&p), &HashMap::new()).unwrap();
+        // Codes and sites survive the round-trip; spans may differ because
+        // the printed text has its own line numbering.
+        let keys = |d: &[lint::Diagnostic]| {
+            d.iter().map(|x| (x.code, x.site)).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(keys(&first), keys(&lint::lint(&reparsed)));
+    }
+
+    /// Anything `build()` accepts is free of error-severity diagnostics.
+    #[test]
+    fn built_pipelines_have_no_lint_errors(p in arb_pipeline()) {
+        let diags = lint::lint(&p);
+        prop_assert!(!lint::has_errors(&diags), "{}", lint::render(&diags));
+    }
+}

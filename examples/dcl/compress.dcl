@@ -1,0 +1,11 @@
+# Fig. 6-style update compressor: gather values, compress, stream out.
+#
+# The fetched value stream is chunk-delimited (marker=1) so the compressor
+# knows where each compressible block ends; the compressed bytes are
+# written back to memory by the StreamWrite sink.
+queue input  16
+queue vals   64
+queue cbytes 64
+range input -> vals base=updates idx=8 elem=4 mode=consecutive marker=1 class=updates
+compress vals -> cbytes codec=delta elem=4 sort=false
+streamwrite cbytes -> _ base=cupdates class=updates

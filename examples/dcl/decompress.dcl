@@ -1,0 +1,11 @@
+# Fig. 5-style traversal over a compressed adjacency matrix.
+#
+# The byte stream fetched from the compressed rows carries end-of-row
+# markers (marker=0), which the decompressor uses to delimit chunks.
+queue input 16
+queue coffs 32
+queue bytes 64
+queue rows  64
+range input -> coffs base=offsets idx=8 elem=8 mode=pairs class=adj
+range coffs -> bytes base=crows   idx=8 elem=1 mode=consecutive marker=0 class=adj
+decompress bytes -> rows codec=delta elem=4

@@ -1,0 +1,10 @@
+# Fig. 2: decoupled CSR traversal fetcher.
+#
+# The core enqueues (start, end) vertex-id pairs into `input`; the first
+# RangeFetch turns each pair into an offset-array range, the second streams
+# the neighbor rows back to the core with an end-of-row marker.
+queue input 16
+queue offs  32
+queue rows  64
+range input -> offs base=offsets idx=8 elem=8 mode=pairs class=adj
+range offs  -> rows base=rows    idx=8 elem=4 mode=consecutive marker=0 class=adj
