@@ -1,0 +1,27 @@
+use spzip_core::dcl::{OperatorKind, PipelineBuilder, RangeInput};
+use spzip_mem::DataClass;
+
+fn range8(base: u64) -> OperatorKind {
+    OperatorKind::RangeFetch {
+        base,
+        idx_bytes: 8,
+        elem_bytes: 8,
+        input: RangeInput::Pairs,
+        marker: None,
+        class: DataClass::AdjacencyMatrix,
+    }
+}
+
+#[test]
+fn multi_producer_with_consumer_does_not_panic() {
+    let mut b = PipelineBuilder::new();
+    let q0 = b.queue(8);
+    let q1 = b.queue(8);
+    let q2 = b.queue(32);
+    let q3 = b.queue(32);
+    b.operator(range8(0), q0, vec![q2]);
+    b.operator(range8(64), q1, vec![q2]);
+    b.operator(range8(128), q2, vec![q3]);
+    let diags = b.lint();
+    assert!(diags.iter().any(|d| d.code.as_str() == "E007"));
+}
