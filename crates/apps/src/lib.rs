@@ -34,6 +34,7 @@ pub mod layout;
 pub mod pipelines;
 pub mod run;
 pub mod runtime;
+pub mod sanitize;
 pub mod scheme;
 pub mod spec;
 

@@ -192,6 +192,84 @@ pub fn run_app_full(
     }
 }
 
+/// [`run_app`] with the SimSanitizer enabled: the machine records the
+/// synchronization/memory trace, the run bypasses nothing functionally,
+/// and the outcome is paired with the sanitizer's verdict — race
+/// detection, queue-protocol and accounting checks from the trace, plus
+/// codec byte-conservation over the workload's compressed regions.
+///
+/// # Panics
+///
+/// Panics if the simulated machine deadlocks (an instrumentation bug).
+#[cfg(feature = "sanitize")]
+pub fn run_app_sanitized(
+    app: AppName,
+    g: &Arc<Csr>,
+    cfg: &SchemeConfig,
+    mcfg: MachineConfig,
+    fetcher_scratchpad: Option<u32>,
+    cmh: bool,
+) -> (RunOutcome, spzip_sim::sanitize::SanitizeReport) {
+    let mut machine = Machine::new(mcfg);
+    machine.enable_sanitizer();
+    if let Some(bytes) = fetcher_scratchpad {
+        machine.set_fetcher_scratchpad(bytes);
+    }
+    let mut alg = app.build();
+    let all_active = alg.all_active();
+    let mut w = Workload::build(
+        g.clone(),
+        cfg,
+        mcfg.mem.cores,
+        mcfg.mem.llc.size_bytes,
+        all_active,
+    );
+    if cmh {
+        // Same static-profile approximation as `run_app_full`.
+        let mut probe_alg = app.build();
+        let mut probe_w = Workload::build(
+            g.clone(),
+            cfg,
+            mcfg.mem.cores,
+            mcfg.mem.llc.size_bytes,
+            all_active,
+        );
+        let _ = reference_run(probe_alg.as_mut(), &mut probe_w);
+        machine.enable_cmh(probe_w.img.bdi_profile());
+    }
+    let stats = runtime::run_algorithm(&mut machine, &mut w, alg.as_mut(), cfg);
+    let result = alg.result(&w);
+
+    // Vertex-slice conservation was checked inside run_algorithm at each
+    // iteration's sync point; the static adjacency is checked here.
+    for v in crate::sanitize::check_adjacency_conservation(&w, cfg) {
+        machine.note_violation(v);
+    }
+
+    let mut ref_alg = app.build();
+    let mut ref_w = Workload::build(
+        g.clone(),
+        &SchemeConfig::software(Strategy::Push),
+        mcfg.mem.cores,
+        mcfg.mem.llc.size_bytes,
+        all_active,
+    );
+    let reference = reference_run(ref_alg.as_mut(), &mut ref_w);
+    let validated = results_match(alg.as_ref(), &result, &reference);
+
+    let adjacency_ratio = w.cadj.as_ref().map(|c| c.ratio);
+    let (report, sanitize) = machine.finish_sanitized();
+    (
+        RunOutcome {
+            report,
+            stats,
+            validated,
+            adjacency_ratio,
+        },
+        sanitize,
+    )
+}
+
 /// Pure functional execution in the same order the instrumented runtime
 /// uses (frontier order, immediate application).
 pub fn reference_run(alg: &mut dyn Algorithm, w: &mut Workload) -> Vec<u32> {
@@ -266,6 +344,25 @@ mod tests {
         for scheme in Scheme::all() {
             let out = run_app(AppName::Bfs, &g, &scheme.config(), tiny_machine());
             assert!(out.validated, "BFS under {scheme}");
+        }
+    }
+
+    #[cfg(feature = "sanitize")]
+    #[test]
+    fn sanitized_bfs_is_clean_under_all_schemes() {
+        let g = tiny_graph();
+        for scheme in Scheme::all() {
+            let (out, san) = run_app_sanitized(
+                AppName::Bfs,
+                &g,
+                &scheme.config(),
+                tiny_machine(),
+                None,
+                false,
+            );
+            assert!(out.validated, "BFS under {scheme}");
+            assert!(san.clean(), "BFS under {scheme}:\n{}", san.render());
+            assert!(!san.trace.events.is_empty());
         }
     }
 

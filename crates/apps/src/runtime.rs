@@ -210,6 +210,17 @@ pub fn run_algorithm(
             }
         }
 
+        // The vertex-slice conservation contract holds exactly here:
+        // every accumulation recompressed the chunks it touched, and the
+        // host-side end_iteration below may rewrite the raw arrays
+        // without recompressing.
+        #[cfg(feature = "sanitize")]
+        if machine.sanitizing() {
+            for v in crate::sanitize::check_vertex_conservation(w, cfg) {
+                machine.note_violation(v);
+            }
+        }
+
         let end = alg.end_iteration(w, iteration);
         if end == EndIter::ContinueWithVertexPhase {
             run_vertex_phase(machine, w, cfg, &cost, cores);
@@ -483,6 +494,26 @@ fn run_traversal_phase(
     source.bin_cursors =
         vec![vec![0u64; source.w.bins.as_ref().map_or(0, |b| b.num_bins as usize)]; cores];
     machine.run_phase(&mut source);
+    // Drain discipline (S004): the binning compressors were finalized with
+    // closing markers before the phase ended, so no operator may still
+    // buffer an open chunk.
+    #[cfg(feature = "sanitize")]
+    if machine.sanitizing() {
+        use spzip_sim::sanitize::{Code, Violation};
+        for (c, eng) in comp_engines.iter().enumerate() {
+            let Some(e) = eng else { continue };
+            for (op, buffered) in e.open_chunks() {
+                machine.note_violation(Violation::new(
+                    Code::UnterminatedChunk,
+                    format!(
+                        "compressor {c} operator {op} still buffers {buffered} item(s) \
+                         after the binning phase drained"
+                    ),
+                    format!("compressor {c} at end of binning phase"),
+                ));
+            }
+        }
+    }
 }
 
 struct TraversalSource<'a> {

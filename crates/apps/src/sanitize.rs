@@ -1,0 +1,233 @@
+//! Application-side SimSanitizer checks: codec byte conservation over the
+//! workload's compressed regions.
+//!
+//! The simulator-side checkers (`spzip_sim::sanitize`) see queues and
+//! memory accesses but not data contents; this module closes the loop on
+//! the *values*. After a run, every compressed region the workload still
+//! carries must decode back to exactly the data it claims to hold
+//! (S008), and its framed length must match the bytes its frames consume
+//! (S009) — the byte-conservation contract of `spzip_compress::sanitize`.
+//!
+//! Regions checked:
+//!
+//! * the compressed adjacency matrix (static: each group must decode to
+//!   its rows' neighbor lists) — checked once at end of run;
+//! * compressed destination slices (`cdst`): the runtime recompresses a
+//!   chunk from the raw destination array after every accumulation that
+//!   touches it, so each chunk must decode to the raw array's contents;
+//! * compressed source chunks (`csrc`): same contract against the raw
+//!   source array (recompressed by the end-of-iteration vertex phase).
+//!
+//! The vertex-slice contract is *phase-scoped*, not end-of-run: an
+//! algorithm's host-side `end_iteration` may rewrite the raw arrays
+//! (PageRank swaps ranks into `src` and zeroes `dst`) and the compressed
+//! slices only catch up when the machine next touches them. The runtime
+//! therefore calls [`check_vertex_conservation`] at the end of every
+//! iteration's machine phases, *before* `end_iteration` runs — the one
+//! point where raw and compressed state must agree.
+//!
+//! Always compiled; only the sanitized run entry points call it.
+
+use crate::layout::{CompressedSlices, Workload};
+use crate::scheme::SchemeConfig;
+use spzip_compress::sanitize::{check_region, ConservationError};
+use spzip_compress::Codec;
+use spzip_graph::VertexId;
+use spzip_sim::sanitize::{Code, Violation};
+
+/// Report at most this many conservation violations per run; one corrupt
+/// region tends to fail every chunk after it.
+const MAX_REPORTS: usize = 16;
+
+fn conservation_violation(err: &ConservationError, what: &str, site: String) -> Violation {
+    let code = match err {
+        ConservationError::Length { .. } => Code::FramedLength,
+        _ => Code::RoundtripMismatch,
+    };
+    Violation::new(code, format!("{what}: {err}"), site)
+}
+
+/// Checks every compressed region `w` carries under `cfg`: the static
+/// adjacency plus the vertex slices. Only valid at a point where the
+/// vertex-slice contract holds (e.g. a freshly built workload); the
+/// sanitized runtime uses the two phase-scoped halves below instead.
+pub fn check_workload_conservation(w: &Workload, cfg: &SchemeConfig) -> Vec<Violation> {
+    let mut out = check_adjacency_conservation(w, cfg);
+    out.extend(check_vertex_conservation(w, cfg));
+    out.truncate(MAX_REPORTS);
+    out
+}
+
+/// Checks compress∘decompress identity on the static compressed
+/// adjacency: each group must decode to its rows' neighbor lists. Valid
+/// at any time (the adjacency is never rewritten). Returns at most
+/// `MAX_REPORTS` (16) violations.
+pub fn check_adjacency_conservation(w: &Workload, cfg: &SchemeConfig) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if let Some(cadj) = &w.cadj {
+        let codec = cfg.adjacency_codec.build();
+        let mut row = 0usize;
+        for gidx in 0..cadj.offsets.len().saturating_sub(1) {
+            let lo = cadj.offsets[gidx] as usize;
+            let hi = cadj.offsets[gidx + 1] as usize;
+            let row_hi = (row + cadj.group_rows as usize).min(w.n());
+            let blob = w.img.read_bytes(cadj.bytes_addr + lo as u64, hi - lo);
+            let expect: Vec<u64> = (row..row_hi)
+                .flat_map(|v| w.g.neighbors(v as VertexId).iter().map(|&d| d as u64))
+                .collect();
+            if let Err(e) = check_region(&*codec, &blob, hi - lo, &expect, false) {
+                out.push(conservation_violation(
+                    &e,
+                    "compressed adjacency group does not conserve its rows",
+                    format!(
+                        "cadj group {gidx} (rows {row}..{row_hi}, addr {:#x})",
+                        cadj.bytes_addr + lo as u64
+                    ),
+                ));
+                if out.len() >= MAX_REPORTS {
+                    return out;
+                }
+            }
+            row = row_hi;
+        }
+    }
+    out
+}
+
+/// Checks the vertex-slice conservation contract: every `cdst`/`csrc`
+/// chunk must decode to the raw array's current contents. Only valid at
+/// a recompression sync point (see module docs). Returns at most
+/// `MAX_REPORTS` (16) violations.
+pub fn check_vertex_conservation(w: &Workload, cfg: &SchemeConfig) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let vertex_codec = cfg.vertex_codec.build();
+    if let Some(cdst) = &w.cdst {
+        check_slices(
+            w,
+            &*vertex_codec,
+            cdst,
+            w.dst_addr,
+            "cdst",
+            "compressed destination slice does not conserve the raw array",
+            &mut out,
+        );
+    }
+    if let Some(csrc) = &w.csrc {
+        check_slices(
+            w,
+            &*vertex_codec,
+            csrc,
+            w.src_addr,
+            "csrc",
+            "compressed source chunk does not conserve the raw array",
+            &mut out,
+        );
+    }
+    out
+}
+
+fn check_slices(
+    w: &Workload,
+    codec: &dyn Codec,
+    slices: &CompressedSlices,
+    array_addr: u64,
+    name: &str,
+    what: &str,
+    out: &mut Vec<Violation>,
+) {
+    for (i, &len) in slices.lens.iter().enumerate() {
+        if out.len() >= MAX_REPORTS {
+            return;
+        }
+        let lo = i * slices.chunk_elems as usize;
+        let hi = ((i + 1) * slices.chunk_elems as usize).min(w.n());
+        let expect: Vec<u64> = (lo..hi)
+            .map(|v| w.img.read_u32(array_addr + v as u64 * 4) as u64)
+            .collect();
+        let blob = w.img.read_bytes(slices.chunk_addr(i), len as usize);
+        if let Err(e) = check_region(codec, &blob, len as usize, &expect, false) {
+            out.push(conservation_violation(
+                &e,
+                what,
+                format!(
+                    "{name} chunk {i} (elements {lo}..{hi}, addr {:#x})",
+                    slices.chunk_addr(i)
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::Scheme;
+    use spzip_graph::gen::{community, CommunityParams};
+    use std::sync::Arc;
+
+    fn workload() -> (Workload, SchemeConfig) {
+        let g = Arc::new(community(&CommunityParams::web_crawl(1 << 9, 6), 11));
+        let cfg = Scheme::UbSpzip.config();
+        let mut w = Workload::build(g, &cfg, 4, 32 * 1024, true);
+        let chunks = w.cdst.as_ref().unwrap().lens.len();
+        for i in 0..chunks {
+            w.recompress_dst_chunk(cfg.vertex_codec, i);
+        }
+        let chunks = w.csrc.as_ref().unwrap().lens.len();
+        for i in 0..chunks {
+            w.recompress_src_chunk(cfg.vertex_codec, i);
+        }
+        (w, cfg)
+    }
+
+    #[test]
+    fn freshly_built_workload_conserves() {
+        let (w, cfg) = workload();
+        let v = check_workload_conservation(&w, &cfg);
+        assert!(v.is_empty(), "{}", spzip_sim::sanitize::render(&v));
+    }
+
+    #[test]
+    fn corrupting_a_compressed_byte_is_detected() {
+        let (mut w, cfg) = workload();
+        let cadj = w.cadj.as_ref().unwrap();
+        let addr = cadj.bytes_addr + 3;
+        let byte = w.img.read_bytes(addr, 1)[0];
+        w.img.write_bytes(addr, &[byte ^ 0xff]);
+        let v = check_workload_conservation(&w, &cfg);
+        assert!(!v.is_empty());
+        assert!(
+            matches!(v[0].code, Code::RoundtripMismatch | Code::FramedLength),
+            "{:?}",
+            v[0].code
+        );
+        assert!(v[0].site.contains("cadj group 0"), "{}", v[0].site);
+    }
+
+    #[test]
+    fn desynced_raw_array_is_detected() {
+        let (mut w, cfg) = workload();
+        // Write the raw destination array without recompressing: the
+        // compressed slice no longer conserves it.
+        let old = w.img.read_u32(w.dst_addr);
+        w.img.write_u32(w.dst_addr, old.wrapping_add(41));
+        let v = check_workload_conservation(&w, &cfg);
+        assert!(v.iter().any(|x| x.site.contains("cdst chunk 0")));
+    }
+
+    #[test]
+    fn reports_are_capped() {
+        let (mut w, cfg) = workload();
+        // Truncate every cdst length to force a violation per chunk.
+        for l in &mut w.cdst.as_mut().unwrap().lens {
+            *l = (*l).saturating_sub(1);
+        }
+        let cadj = w.cadj.as_ref().unwrap();
+        let addr = cadj.bytes_addr;
+        let byte = w.img.read_bytes(addr, 1)[0];
+        w.img.write_bytes(addr, &[byte ^ 0xff]);
+        let v = check_workload_conservation(&w, &cfg);
+        assert!(!v.is_empty());
+        assert!(v.len() <= MAX_REPORTS);
+    }
+}

@@ -113,11 +113,21 @@ impl RunSpec {
     /// Uses derived `Debug` for the scheme/machine structs: it prints
     /// every field, so any parameter change (including the silent kind —
     /// a new knob, a retuned constant) changes the fingerprint and
-    /// invalidates stale cached results.
+    /// invalidates stale cached results. The codec and DCL-linter format
+    /// versions are folded in for the same reason: a codec bitstream
+    /// change or a lint-driven pipeline change alters simulated behaviour
+    /// without touching any spec field.
     pub fn fingerprint(&self) -> String {
         format!(
-            "v1;app={};input={};prep={:?};scale={:?};scheme={:?};machine={:?}",
-            self.app, self.input, self.prep, self.scale, self.scheme, self.machine
+            "v1;codec={};lint={};app={};input={};prep={:?};scale={:?};scheme={:?};machine={:?}",
+            spzip_compress::CODEC_VERSION,
+            spzip_core::lint::LINT_VERSION,
+            self.app,
+            self.input,
+            self.prep,
+            self.scale,
+            self.scheme,
+            self.machine
         )
     }
 
@@ -144,6 +154,20 @@ impl RunSpec {
     /// (input, prep, scale).
     pub fn run(&self, g: &Arc<Csr>) -> RunOutcome {
         run_app_full(
+            self.app,
+            g,
+            &self.scheme,
+            self.machine.config,
+            self.machine.fetcher_scratchpad,
+            self.machine.cmh,
+        )
+    }
+
+    /// Executes this cell with the SimSanitizer enabled. Sanitized runs
+    /// are never cached (the verdict, not the numbers, is the product).
+    #[cfg(feature = "sanitize")]
+    pub fn run_sanitized(&self, g: &Arc<Csr>) -> (RunOutcome, spzip_sim::sanitize::SanitizeReport) {
+        crate::run::run_app_sanitized(
             self.app,
             g,
             &self.scheme,

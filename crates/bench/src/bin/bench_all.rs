@@ -8,6 +8,10 @@
 //! `--only fig15ab,fig07` restricts the outputs; `--jobs N`, `--fresh`,
 //! `--scale`, `--cache-dir`, and `--out-dir` behave as in every other
 //! binary (`--preprocess` is ignored: both variants are rendered).
+//!
+//! `--sanitize` (requires building with `--features sanitize`) runs every
+//! cell under the SimSanitizer, bypassing the results cache, and exits
+//! non-zero if any run reports a violation.
 
 use spzip_bench::driver::Driver;
 use spzip_bench::{cli, figures};
@@ -15,6 +19,13 @@ use std::fs;
 
 fn main() {
     let args = cli::parse();
+    if args.sanitize && !spzip_bench::sanitize_supported() {
+        eprintln!(
+            "error: --sanitize needs the SimSanitizer compiled in; rebuild with\n  \
+             cargo run --release --features sanitize --bin bench_all -- --sanitize"
+        );
+        std::process::exit(2);
+    }
     let outputs: Vec<_> = figures::all_outputs()
         .into_iter()
         .filter(|o| {
@@ -55,4 +66,22 @@ fn main() {
         st.simulated,
         st.cache_hits
     );
+    if args.sanitize {
+        let findings = driver.sanitize_findings();
+        if findings.is_empty() {
+            println!("sanitizer: {} run(s), all clean", st.sanitized);
+        } else {
+            let total: usize = findings.iter().map(|f| f.violations).sum();
+            for f in &findings {
+                eprintln!("sanitizer: {} ({} violation(s))", f.label, f.violations);
+                eprint!("{}", f.rendered);
+            }
+            eprintln!(
+                "sanitizer: {total} violation(s) across {} of {} run(s)",
+                findings.len(),
+                st.sanitized
+            );
+            std::process::exit(1);
+        }
+    }
 }

@@ -4,10 +4,12 @@
 //! dcl-lint examples/dcl/*.dcl        # lint text files
 //! dcl-lint --all-builtin             # lint every built-in app pipeline
 //! dcl-lint --dot fig2.dcl            # also print Graphviz dot
+//! dcl-lint --deny-warnings fig2.dcl  # warnings fail the run too
 //! ```
 //!
-//! Exits 0 when every linted pipeline is free of error-severity
-//! diagnostics, 1 when any error is found, and 2 when given nothing to do.
+//! Exits 0 when every linted pipeline passes (warnings allowed unless
+//! `--deny-warnings`), 1 when any diagnostic fails the run, and 2 when the
+//! tool could not do its job — an unreadable file or nothing to lint.
 
 fn main() {
     let args = spzip_bench::cli::parse();

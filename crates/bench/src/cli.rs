@@ -7,12 +7,15 @@
 //! * `--apps PR,BFS` / `--inputs arb,ukl` — restrict sweep figures.
 //! * `--jobs N` — worker threads for cache misses (default: all cores).
 //! * `--fresh` — ignore memoized outcomes and re-simulate everything.
+//! * `--sanitize` — run every cell under the SimSanitizer (requires the
+//!   `sanitize` feature; sanitized runs bypass the results cache).
 //! * `--cache-dir DIR` — memoization directory (default `results/cache`).
 //! * `--out-dir DIR` — where `bench_all` writes figure text (default
 //!   `results`).
 //! * `--only fig15ab,fig07` — restrict `bench_all` to named outputs.
 //! * `--all-builtin` — `dcl-lint`: also lint every built-in app pipeline.
 //! * `--dot` — `dcl-lint`: print each linted pipeline as Graphviz dot.
+//! * `--deny-warnings` — `dcl-lint`: exit non-zero on warnings too.
 //!
 //! Positional arguments (paths for `dcl-lint`) are collected separately.
 
@@ -38,6 +41,8 @@ pub struct CommonArgs {
     pub jobs: usize,
     /// Ignore the outcome cache (`--fresh`).
     pub fresh: bool,
+    /// Run cells under the SimSanitizer (`--sanitize`).
+    pub sanitize: bool,
     /// Memoization directory (`--cache-dir`).
     pub cache_dir: PathBuf,
     /// `bench_all` output directory (`--out-dir`).
@@ -46,6 +51,8 @@ pub struct CommonArgs {
     pub all_builtin: bool,
     /// Emit Graphviz dot for linted pipelines (`--dot`, `dcl-lint`).
     pub dot: bool,
+    /// Treat lint warnings as fatal (`--deny-warnings`, `dcl-lint`).
+    pub deny_warnings: bool,
     /// Positional arguments: `.dcl` files for `dcl-lint`.
     pub paths: Vec<PathBuf>,
 }
@@ -67,10 +74,12 @@ pub fn parse_from(args: &[String]) -> CommonArgs {
             .map(|n| n.get())
             .unwrap_or(1),
         fresh: false,
+        sanitize: false,
         cache_dir: PathBuf::from("results/cache"),
         out_dir: PathBuf::from("results"),
         all_builtin: false,
         dot: false,
+        deny_warnings: false,
         paths: Vec::new(),
     };
     let value = |i: usize| args.get(i + 1).map(|s| s.as_str());
@@ -126,6 +135,14 @@ pub fn parse_from(args: &[String]) -> CommonArgs {
                 parsed.fresh = true;
                 consumed[i] = true;
             }
+            "--sanitize" => {
+                parsed.sanitize = true;
+                consumed[i] = true;
+            }
+            "--deny-warnings" => {
+                parsed.deny_warnings = true;
+                consumed[i] = true;
+            }
             "--all-builtin" => {
                 parsed.all_builtin = true;
                 consumed[i] = true;
@@ -167,6 +184,7 @@ impl CommonArgs {
         DriverOptions {
             jobs: self.jobs,
             fresh: self.fresh,
+            sanitize: self.sanitize,
             cache_dir: Some(self.cache_dir.clone()),
             quiet: false,
         }
@@ -195,7 +213,7 @@ mod tests {
     fn parses_every_flag() {
         let a = parse_from(&argv(
             "--scale tiny --preprocess --apps PR,BFS --inputs arb --only fig07 \
-             --jobs 3 --fresh --cache-dir /tmp/c --out-dir /tmp/o",
+             --jobs 3 --fresh --sanitize --deny-warnings --cache-dir /tmp/c --out-dir /tmp/o",
         ));
         assert_eq!(a.scale, Scale::Tiny);
         assert!(a.preprocess);
@@ -207,6 +225,8 @@ mod tests {
         assert_eq!(a.only.as_deref(), Some(&["fig07".to_string()][..]));
         assert_eq!(a.jobs, 3);
         assert!(a.fresh);
+        assert!(a.sanitize);
+        assert!(a.deny_warnings);
         assert_eq!(a.cache_dir, PathBuf::from("/tmp/c"));
         assert_eq!(a.out_dir, PathBuf::from("/tmp/o"));
     }

@@ -7,9 +7,13 @@
 //! [`spzip_core::lint`] and prints the rustc-style report. `--all-builtin`
 //! lints the full enumeration from [`spzip_apps::pipelines::all_builtin`]:
 //! every workload x scheme pipeline the figures load. `--dot` additionally
-//! prints each clean pipeline as Graphviz dot. The process exits non-zero
-//! iff any error-severity diagnostic (or unreadable/unparseable file) is
-//! found, which is what CI gates on.
+//! prints each clean pipeline as Graphviz dot.
+//!
+//! Exit codes distinguish *what kind* of failure CI is looking at: 0 when
+//! every pipeline is clean (warnings allowed unless `--deny-warnings`),
+//! 1 when any diagnostic fails the run (error-severity, a parse failure,
+//! or a warning under `--deny-warnings`), 2 when the tool itself could
+//! not do its job (an unreadable file, or nothing to lint at all).
 
 use crate::cli::CommonArgs;
 use spzip_core::lint::{self, Severity};
@@ -26,6 +30,8 @@ pub struct LintReport {
     pub errors: usize,
     /// Warning-severity diagnostics.
     pub warnings: usize,
+    /// Files the tool could not read (exit code 2, not a lint verdict).
+    pub io_errors: usize,
     /// Human-readable report.
     pub output: String,
 }
@@ -108,7 +114,7 @@ pub fn run(args: &CommonArgs) -> i32 {
             Ok(text) => lint_text(&path.display().to_string(), &text, args.dot, &mut report),
             Err(e) => {
                 report.checked += 1;
-                report.errors += 1;
+                report.io_errors += 1;
                 let _ = writeln!(report.output, "{}: {e}", path.display());
             }
         }
@@ -117,16 +123,35 @@ pub fn run(args: &CommonArgs) -> i32 {
         lint_builtins(args.dot, &mut report);
     }
     if report.checked == 0 {
-        println!("usage: dcl-lint [--all-builtin] [--dot] [file.dcl ...]");
+        println!("usage: dcl-lint [--all-builtin] [--dot] [--deny-warnings] [file.dcl ...]");
         return 2;
     }
     let _ = writeln!(
         report.output,
-        "checked {} pipeline(s): {} error(s), {} warning(s)",
-        report.checked, report.errors, report.warnings
+        "checked {} pipeline(s): {} error(s), {} warning(s){}",
+        report.checked,
+        report.errors,
+        report.warnings,
+        if report.io_errors > 0 {
+            format!(", {} unreadable", report.io_errors)
+        } else {
+            String::new()
+        }
     );
     print!("{}", report.output);
-    i32::from(report.errors > 0)
+    exit_code(&report, args.deny_warnings)
+}
+
+/// The process exit code for `report`: unreadable inputs dominate (2),
+/// then failing diagnostics (1), then success (0).
+pub fn exit_code(report: &LintReport, deny_warnings: bool) -> i32 {
+    if report.io_errors > 0 {
+        2
+    } else if report.errors > 0 || (deny_warnings && report.warnings > 0) {
+        1
+    } else {
+        0
+    }
 }
 
 #[cfg(test)]
@@ -192,6 +217,49 @@ mod tests {
         let mut r = LintReport::default();
         lint_text("p", text, true, &mut r);
         assert!(r.output.contains("digraph dcl {"), "{}", r.output);
+    }
+
+    #[test]
+    fn exit_codes_distinguish_io_from_diagnostics() {
+        let clean = LintReport {
+            checked: 1,
+            ..Default::default()
+        };
+        assert_eq!(exit_code(&clean, false), 0);
+        assert_eq!(exit_code(&clean, true), 0);
+        let warny = LintReport {
+            checked: 1,
+            warnings: 2,
+            ..Default::default()
+        };
+        assert_eq!(exit_code(&warny, false), 0);
+        assert_eq!(exit_code(&warny, true), 1, "--deny-warnings promotes");
+        let bad = LintReport {
+            checked: 1,
+            errors: 1,
+            ..Default::default()
+        };
+        assert_eq!(exit_code(&bad, false), 1);
+        let unreadable = LintReport {
+            checked: 2,
+            errors: 1,
+            io_errors: 1,
+            ..Default::default()
+        };
+        assert_eq!(exit_code(&unreadable, false), 2, "I/O dominates");
+    }
+
+    #[test]
+    fn unreadable_file_is_an_io_error_not_a_diagnostic() {
+        let args = crate::cli::parse_from(&["/nonexistent/definitely-missing.dcl".to_string()]);
+        let mut report = LintReport::default();
+        match std::fs::read_to_string(&args.paths[0]) {
+            Ok(_) => panic!("path should not exist"),
+            Err(_) => report.io_errors += 1,
+        }
+        report.checked += 1;
+        assert_eq!(exit_code(&report, false), 2);
+        assert_eq!(report.errors, 0);
     }
 
     #[test]

@@ -9,6 +9,12 @@
 //! thread-safe [`InputCache`]. Every simulated outcome is serialized back
 //! to the cache directory, so re-running any figure — or `bench_all` —
 //! is free until a spec's fingerprint changes.
+//!
+//! With [`DriverOptions::sanitize`] set (the `--sanitize` flag, `sanitize`
+//! feature), every cell instead runs under the SimSanitizer: the cache is
+//! bypassed in both directions (the verdict is the product, and a cached
+//! outcome has no trace to check), and each dirty run's rendered report is
+//! collected for [`Driver::sanitize_findings`].
 
 use crate::RANDOMIZE_SEED;
 use spzip_apps::{RunOutcome, RunSpec};
@@ -75,6 +81,9 @@ pub struct DriverOptions {
     pub jobs: usize,
     /// Ignore existing cache entries and re-simulate (`--fresh`).
     pub fresh: bool,
+    /// Run every cell under the SimSanitizer (`--sanitize`). Requires the
+    /// `sanitize` feature; sanitized runs never read or write the cache.
+    pub sanitize: bool,
     /// Where memoized outcomes live; `None` disables disk memoization.
     pub cache_dir: Option<PathBuf>,
     /// Suppress per-run progress lines on stderr.
@@ -89,6 +98,7 @@ impl DriverOptions {
                 .map(|n| n.get())
                 .unwrap_or(1),
             fresh: false,
+            sanitize: false,
             cache_dir: Some(PathBuf::from("results/cache")),
             quiet: false,
         }
@@ -152,6 +162,19 @@ pub struct DriverStats {
     pub simulated: usize,
     /// Cells served from the disk cache.
     pub cache_hits: usize,
+    /// Cells run under the SimSanitizer.
+    pub sanitized: usize,
+}
+
+/// The verdict of one dirty sanitized run.
+#[derive(Debug, Clone)]
+pub struct SanitizeFinding {
+    /// Which cell ([`RunSpec::label`]).
+    pub label: String,
+    /// Number of violations the sanitizer reported.
+    pub violations: usize,
+    /// The rendered rustc-style report.
+    pub rendered: String,
 }
 
 /// The parallel cached experiment driver.
@@ -162,6 +185,8 @@ pub struct Driver {
     unique: AtomicUsize,
     simulated: AtomicUsize,
     cache_hits: AtomicUsize,
+    sanitized: AtomicUsize,
+    findings: Mutex<Vec<SanitizeFinding>>,
 }
 
 impl Driver {
@@ -174,6 +199,8 @@ impl Driver {
             unique: AtomicUsize::new(0),
             simulated: AtomicUsize::new(0),
             cache_hits: AtomicUsize::new(0),
+            sanitized: AtomicUsize::new(0),
+            findings: Mutex::new(Vec::new()),
         }
     }
 
@@ -189,7 +216,36 @@ impl Driver {
             unique: self.unique.load(Ordering::Relaxed),
             simulated: self.simulated.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            sanitized: self.sanitized.load(Ordering::Relaxed),
         }
+    }
+
+    /// Reports from dirty sanitized runs so far, in completion order.
+    /// Empty means every sanitized run was clean.
+    pub fn sanitize_findings(&self) -> Vec<SanitizeFinding> {
+        self.findings.lock().unwrap().clone()
+    }
+
+    /// Simulates one cell, under the sanitizer when so configured.
+    fn run_spec(&self, spec: &RunSpec, g: &Arc<Csr>) -> RunOutcome {
+        if self.opts.sanitize {
+            #[cfg(feature = "sanitize")]
+            {
+                let (out, san) = spec.run_sanitized(g);
+                self.sanitized.fetch_add(1, Ordering::Relaxed);
+                if !san.clean() {
+                    self.findings.lock().unwrap().push(SanitizeFinding {
+                        label: spec.label(),
+                        violations: san.violations.len(),
+                        rendered: san.render(),
+                    });
+                }
+                return out;
+            }
+            #[cfg(not(feature = "sanitize"))]
+            panic!("DriverOptions::sanitize requires a build with the `sanitize` feature");
+        }
+        spec.run(g)
     }
 
     /// Executes `specs`: dedup, load memoized outcomes, simulate misses
@@ -233,7 +289,7 @@ impl Driver {
                         break;
                     };
                     let g = self.inputs.get(&spec.input, spec.prep, spec.scale);
-                    let out = spec.run(&g);
+                    let out = self.run_spec(spec, &g);
                     self.simulated.fetch_add(1, Ordering::Relaxed);
                     self.store_cached(key, spec, &out);
                     let n = finished.fetch_add(1, Ordering::Relaxed) + 1;
@@ -263,7 +319,7 @@ impl Driver {
     }
 
     fn load_cached(&self, key: &str, spec: &RunSpec) -> Option<RunOutcome> {
-        if self.opts.fresh {
+        if self.opts.fresh || self.opts.sanitize {
             return None;
         }
         let path = self.cache_path(key)?;
@@ -283,6 +339,11 @@ impl Driver {
     }
 
     fn store_cached(&self, key: &str, spec: &RunSpec, out: &RunOutcome) {
+        // A sanitized outcome is deliberately never memoized: the verdict,
+        // not the numbers, is the product of a `--sanitize` run.
+        if self.opts.sanitize {
+            return;
+        }
         let Some(path) = self.cache_path(key) else {
             return;
         };

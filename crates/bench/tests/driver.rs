@@ -33,6 +33,7 @@ fn opts(jobs: usize, cache_dir: Option<PathBuf>) -> DriverOptions {
     DriverOptions {
         jobs,
         fresh: false,
+        sanitize: false,
         cache_dir,
         quiet: true,
     }
@@ -159,6 +160,35 @@ fn corrupt_cache_entries_are_resimulated() {
     assert_eq!(
         memo1.get(&base).to_kv(&base.fingerprint()),
         memo2.get(&base).to_kv(&base.fingerprint())
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[cfg(feature = "sanitize")]
+#[test]
+fn sanitized_runs_bypass_the_cache_and_come_back_clean() {
+    let dir = temp_dir("sanitize");
+    let specs = specs();
+    // Prime the cache with unsanitized outcomes.
+    Driver::new(opts(2, Some(dir.clone()))).execute(&specs);
+
+    let mut san_opts = opts(2, Some(dir.clone()));
+    san_opts.sanitize = true;
+    let driver = Driver::new(san_opts);
+    driver.execute(&specs);
+    let s = driver.stats();
+    assert_eq!(s.cache_hits, 0, "--sanitize must not read the cache");
+    assert_eq!(s.simulated, specs.len());
+    assert_eq!(s.sanitized, specs.len());
+    assert!(
+        driver.sanitize_findings().is_empty(),
+        "built-in cells must sanitize clean:\n{}",
+        driver
+            .sanitize_findings()
+            .iter()
+            .map(|f| f.rendered.clone())
+            .collect::<String>()
     );
 
     let _ = fs::remove_dir_all(&dir);

@@ -45,12 +45,19 @@ pub mod bdi;
 pub mod bpc;
 pub mod delta;
 pub mod rle;
+pub mod sanitize;
 pub mod sorted;
 pub mod stats;
 pub mod varint;
 
 use std::error::Error;
 use std::fmt;
+
+/// Version of the codec implementations, bumped whenever any codec's
+/// encoded format or behaviour changes. Included in the bench driver's
+/// cache fingerprint so cached simulation results invalidate when a codec
+/// changes underneath them.
+pub const CODEC_VERSION: u32 = 1;
 
 /// Number of elements per compression chunk used throughout the crate.
 ///

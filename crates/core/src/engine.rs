@@ -81,6 +81,22 @@ struct Pending {
     uses_au: bool,
 }
 
+/// One engine-side queue movement, recorded for SimSanitizer trace
+/// replay: engine firings pop their input queue when they fire and push
+/// their outputs when the firing's latency elapses. Core-side pushes and
+/// pops are recorded by the machine, which knows the core's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueLogEntry {
+    /// Queue operated on.
+    pub q: QueueId,
+    /// Quarter-words moved.
+    pub quarters: u32,
+    /// True for a push (occupancy increase), false for a pop.
+    pub push: bool,
+    /// Cycle at which the movement became visible.
+    pub cycle: u64,
+}
+
 /// Why the engine could not fire on a given tick (diagnostics).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Stall {
@@ -111,6 +127,11 @@ pub struct EngineModel {
     pub fired: u64,
     /// Ticks on which no operator could fire.
     pub stalled_ticks: u64,
+    /// SimSanitizer queue-op log; filled only while logging is enabled.
+    #[cfg(feature = "sanitize")]
+    queue_log: Vec<QueueLogEntry>,
+    #[cfg(feature = "sanitize")]
+    log_queue_ops: bool,
 }
 
 impl EngineModel {
@@ -128,7 +149,23 @@ impl EngineModel {
             ready_at: 0,
             fired: 0,
             stalled_ticks: 0,
+            #[cfg(feature = "sanitize")]
+            queue_log: Vec::new(),
+            #[cfg(feature = "sanitize")]
+            log_queue_ops: false,
         }
+    }
+
+    /// Turns SimSanitizer queue-op logging on or off.
+    #[cfg(feature = "sanitize")]
+    pub fn set_queue_logging(&mut self, on: bool) {
+        self.log_queue_ops = on;
+    }
+
+    /// Takes the accumulated queue-op log.
+    #[cfg(feature = "sanitize")]
+    pub fn take_queue_log(&mut self) -> Vec<QueueLogEntry> {
+        std::mem::take(&mut self.queue_log)
     }
 
     /// The engine configuration.
@@ -259,6 +296,15 @@ impl EngineModel {
                     let qs = &mut self.queues[q as usize];
                     qs.reserved_q -= p.produced_q as u32;
                     qs.occupancy_q += p.produced_q as u32;
+                    #[cfg(feature = "sanitize")]
+                    if self.log_queue_ops && p.produced_q > 0 {
+                        self.queue_log.push(QueueLogEntry {
+                            q,
+                            quarters: p.produced_q as u32,
+                            push: true,
+                            cycle: p.complete_at,
+                        });
+                    }
                 }
             } else {
                 i += 1;
@@ -299,6 +345,15 @@ impl EngineModel {
             // Fire.
             self.traces[op].pop_front();
             self.queues[self.inputs[op] as usize].occupancy_q -= f.consumed_q as u32;
+            #[cfg(feature = "sanitize")]
+            if self.log_queue_ops && f.consumed_q > 0 {
+                self.queue_log.push(QueueLogEntry {
+                    q: self.inputs[op],
+                    quarters: f.consumed_q as u32,
+                    push: false,
+                    cycle: t,
+                });
+            }
             for &q in &self.outputs[op] {
                 self.queues[q as usize].reserved_q += f.produced_q as u32;
             }

@@ -182,6 +182,24 @@ impl FuncEngine {
         &self.states[idx]
     }
 
+    /// Operators still holding an open (not marker-terminated) chunk, as
+    /// `(operator index, buffered items)`. After a well-formed phase —
+    /// closing markers enqueued, or [`Self::flush`] called — every entry
+    /// is drained; leftovers mean buffered data would be silently lost,
+    /// which is SimSanitizer's S004 drain-discipline violation (the
+    /// dynamic twin of the linter's marker E-codes).
+    pub fn open_chunks(&self) -> Vec<(usize, usize)> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                let buffered =
+                    s.chunk.len() + s.bin_counts.iter().map(|&c| c as usize).sum::<usize>();
+                (buffered > 0).then_some((i, buffered))
+            })
+            .collect()
+    }
+
     /// Processes all operators until no further progress is possible.
     /// Queue contents destined for the core remain in their queues.
     pub fn run(&mut self, img: &mut MemoryImage) {

@@ -35,7 +35,7 @@
 //!   transforms with no outputs compute chunks nobody reads.
 //! * **Scratchpad budget** (`W003`): declared queue words are checked
 //!   against the per-engine scratchpad
-//!   ([`DEFAULT_SCRATCHPAD_BYTES`](crate::dcl::DEFAULT_SCRATCHPAD_BYTES));
+//!   ([`DEFAULT_SCRATCHPAD_BYTES`]);
 //!   the engine rescales on load, so oversubscription is a warning, not an
 //!   error.
 //! * **Traffic-class consistency** (`W004`): one base address tagged with
@@ -54,6 +54,11 @@ use crate::QueueId;
 use spzip_mem::DataClass;
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// Version of the linter's rule set, bumped whenever a check is added,
+/// removed, or its semantics change. Included in the bench driver's cache
+/// fingerprint so cached results invalidate when analysis changes.
+pub const LINT_VERSION: u32 = 1;
 
 /// Largest payload one firing can move, in quarter-words (32 bytes —
 /// `func::FIRE_BYTES`).
@@ -1496,6 +1501,70 @@ mod tests {
             vec![q2],
         );
         assert!(codes(&b).contains(&"W004"));
+    }
+
+    #[test]
+    fn every_w_warning_renders_with_hint() {
+        // One minimal pipeline per warning path; each must render in the
+        // rustc style with its code, a site line, and a help hint.
+        let mut dangling = PipelineBuilder::new();
+        let q0 = dangling.queue(8);
+        let q1 = dangling.queue(16);
+        dangling.queue(8);
+        dangling.operator(range8(0, None), q0, vec![q1]);
+
+        let mut discarded = PipelineBuilder::new();
+        let q0 = discarded.queue(8);
+        discarded.operator(
+            OperatorKind::Compress {
+                codec: CodecKind::Delta,
+                elem_bytes: 4,
+                sort_chunks: false,
+            },
+            q0,
+            vec![],
+        );
+
+        let mut oversubscribed = PipelineBuilder::new();
+        let q0 = oversubscribed.queue(300);
+        let q1 = oversubscribed.queue(300);
+        oversubscribed.operator(range8(0, None), q0, vec![q1]);
+
+        let mut conflicted = PipelineBuilder::new();
+        let q0 = conflicted.queue(8);
+        let q1 = conflicted.queue(16);
+        let q2 = conflicted.queue(16);
+        conflicted.operator(range8(0x1000, None), q0, vec![q1]);
+        conflicted.operator(
+            OperatorKind::Indirect {
+                base: 0x1000,
+                elem_bytes: 8,
+                pair: false,
+                class: DataClass::DestinationVertex,
+            },
+            q1,
+            vec![q2],
+        );
+
+        for (code, b) in [
+            ("W001", &dangling),
+            ("W002", &discarded),
+            ("W003", &oversubscribed),
+            ("W004", &conflicted),
+        ] {
+            let diags = b.lint();
+            let d = diags
+                .iter()
+                .find(|d| d.code.as_str() == code)
+                .unwrap_or_else(|| panic!("{code} did not fire: {:?}", codes(b)));
+            assert_eq!(d.severity(), Severity::Warning);
+            assert!(d.hint.is_some(), "{code} must carry a hint");
+            let out = render(std::slice::from_ref(d));
+            assert!(out.contains(&format!("warning[{code}]")), "{out}");
+            assert!(out.contains("  --> "), "{out}");
+            assert!(out.contains("   = help: "), "{out}");
+            assert!(out.contains("1 warning(s)"), "{out}");
+        }
     }
 
     #[test]

@@ -145,6 +145,9 @@ pub struct MemorySystem {
     stats: TrafficStats,
     /// Compressed-memory-hierarchy baseline state, when enabled.
     cmh: Option<CmhState>,
+    /// SimSanitizer probe, when a sanitized run is active.
+    #[cfg(feature = "sanitize")]
+    probe: Option<crate::sanitize::Probe>,
 }
 
 impl MemorySystem {
@@ -164,7 +167,34 @@ impl MemorySystem {
             directory: HashMap::new(),
             stats: TrafficStats::new(),
             cmh: None,
+            #[cfg(feature = "sanitize")]
+            probe: None,
             cfg,
+        }
+    }
+
+    /// Starts collecting sanitizer records (watched accesses, DRAM line
+    /// counts). Idempotent; keeps an existing probe's records.
+    #[cfg(feature = "sanitize")]
+    pub fn enable_probe(&mut self) {
+        if self.probe.is_none() {
+            self.probe = Some(crate::sanitize::Probe::default());
+        }
+    }
+
+    /// Takes the probe, ending collection.
+    #[cfg(feature = "sanitize")]
+    pub fn take_probe(&mut self) -> Option<crate::sanitize::Probe> {
+        self.probe.take()
+    }
+
+    /// Drains the watched-access records collected so far, in issue order.
+    /// The line counters stay on the probe. Empty when no probe is active.
+    #[cfg(feature = "sanitize")]
+    pub fn drain_probe_records(&mut self) -> Vec<crate::sanitize::MemRecord> {
+        match &mut self.probe {
+            Some(p) => std::mem::take(&mut p.records),
+            None => Vec::new(),
         }
     }
 
@@ -208,6 +238,10 @@ impl MemorySystem {
     /// Panics if `core >= cores`.
     pub fn issue(&mut self, core: usize, port: Port, access: &Access, now: u64) -> u64 {
         assert!(core < self.cfg.cores, "core {core} out of range");
+        #[cfg(feature = "sanitize")]
+        if let Some(p) = &mut self.probe {
+            p.record_access(port, core, access, now);
+        }
         let mut done = now;
         for line in access.lines() {
             let r = self.access_line(core, port, line, access.op, access.class, now);
@@ -303,6 +337,10 @@ impl MemorySystem {
             let ready = now + latency;
             let complete = self.dram.request_line(channel, ready);
             self.stats.record_read(class, LINE_BYTES);
+            #[cfg(feature = "sanitize")]
+            if let Some(p) = &mut self.probe {
+                p.dram_fetch_lines += 1;
+            }
             self.fill_llc(line_addr, false, class);
             let cline = self.dram_line_bytes(line_addr);
             if (cline as u64) < LINE_BYTES {
@@ -464,6 +502,10 @@ impl MemorySystem {
             let at = self.dram.busy_until(channel);
             self.dram.request_line(channel, at);
             self.stats.record_write(ev.class, LINE_BYTES);
+            #[cfg(feature = "sanitize")]
+            if let Some(p) = &mut self.probe {
+                p.dram_writeback_lines += 1;
+            }
         }
     }
 
@@ -483,6 +525,10 @@ impl MemorySystem {
                 }
             }
             self.stats.record_write(class, LINE_BYTES);
+            #[cfg(feature = "sanitize")]
+            if let Some(p) = &mut self.probe {
+                p.flushed_lines += 1;
+            }
         }
     }
 

@@ -31,6 +31,7 @@ pub mod dram;
 pub mod hierarchy;
 pub mod noc;
 pub mod phi;
+pub mod sanitize;
 pub mod stats;
 
 use std::fmt;

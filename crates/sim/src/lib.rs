@@ -18,6 +18,7 @@
 pub mod event;
 pub mod machine;
 pub mod report;
+pub mod sanitize;
 
 pub use event::Event;
 pub use machine::{CoreWork, Machine, MachineConfig, WorkSource};

@@ -10,12 +10,23 @@
 
 use crate::event::Event;
 use crate::report::RunReport;
+#[cfg(feature = "sanitize")]
+use crate::sanitize::{RunContext, SanitizeReport, Trace, TraceEvent, Violation};
 use spzip_core::dcl::Pipeline;
 use spzip_core::engine::{EngineConfig, EngineModel};
 use spzip_core::func::Firing;
 use spzip_mem::hierarchy::{MemConfig, MemorySystem};
+#[cfg(feature = "sanitize")]
+use spzip_mem::sanitize::Actor;
 use spzip_mem::Port;
 use std::collections::VecDeque;
+
+/// The sanitizer trace slot threaded through the core step. A unit type
+/// in default builds, so the hot path carries no state and no branches.
+#[cfg(feature = "sanitize")]
+type SanitizeSlot = Option<Trace>;
+#[cfg(not(feature = "sanitize"))]
+type SanitizeSlot = ();
 
 /// Machine-level configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -96,6 +107,11 @@ pub struct Machine {
     fetchers: Vec<EngineModel>,
     compressors: Vec<EngineModel>,
     now: u64,
+    /// SimSanitizer trace; `Some` only while a sanitized run is active.
+    sanitize: SanitizeSlot,
+    /// Violations noted by outer layers (codec checks, drain discipline).
+    #[cfg(feature = "sanitize")]
+    external_violations: Vec<Violation>,
 }
 
 impl Machine {
@@ -110,8 +126,41 @@ impl Machine {
                 .map(|i| EngineModel::new(cfg.compressor, i))
                 .collect(),
             now: 0,
+            sanitize: Default::default(),
+            #[cfg(feature = "sanitize")]
+            external_violations: Vec::new(),
             cfg,
         }
+    }
+
+    /// Turns on SimSanitizer collection: the memory probe, engine
+    /// queue-op logs, and the synchronization trace. Idempotent. Call
+    /// before the first phase; end the run with [`Machine::finish_sanitized`].
+    #[cfg(feature = "sanitize")]
+    pub fn enable_sanitizer(&mut self) {
+        self.mem.enable_probe();
+        for f in &mut self.fetchers {
+            f.set_queue_logging(true);
+        }
+        for c in &mut self.compressors {
+            c.set_queue_logging(true);
+        }
+        if self.sanitize.is_none() {
+            self.sanitize = Some(Trace::new(self.cfg.mem.cores));
+        }
+    }
+
+    /// Whether a sanitized run is active.
+    #[cfg(feature = "sanitize")]
+    pub fn sanitizing(&self) -> bool {
+        self.sanitize.is_some()
+    }
+
+    /// Records a violation found by an outer layer (codec conservation,
+    /// functional drain discipline) for inclusion in the final report.
+    #[cfg(feature = "sanitize")]
+    pub fn note_violation(&mut self, v: Violation) {
+        self.external_violations.push(v);
     }
 
     /// The configuration.
@@ -164,10 +213,16 @@ impl Machine {
     /// sensitivity sweep). Takes effect at the next program load.
     pub fn set_fetcher_scratchpad(&mut self, bytes: u32) {
         self.cfg.fetcher.scratchpad_bytes = bytes;
+        #[cfg(feature = "sanitize")]
+        let relog = self.sanitize.is_some();
         for (i, f) in self.fetchers.iter_mut().enumerate() {
             let mut cfg = self.cfg.fetcher;
             cfg.scratchpad_bytes = bytes;
             *f = EngineModel::new(cfg, i);
+            #[cfg(feature = "sanitize")]
+            if relog {
+                f.set_queue_logging(true);
+            }
         }
     }
 
@@ -219,11 +274,26 @@ impl Machine {
                     &mut self.mem,
                     self.now,
                     quantum,
+                    &mut self.sanitize,
                 );
             }
             for i in 0..self.cores.len() {
                 progressed |= self.fetchers[i].tick(self.now, quantum, &mut self.mem) > 0;
+                #[cfg(feature = "sanitize")]
+                drain_engine_events(
+                    &mut self.sanitize,
+                    &mut self.mem,
+                    &mut self.fetchers[i],
+                    Actor::Fetcher(i),
+                );
                 progressed |= self.compressors[i].tick(self.now, quantum, &mut self.mem) > 0;
+                #[cfg(feature = "sanitize")]
+                drain_engine_events(
+                    &mut self.sanitize,
+                    &mut self.mem,
+                    &mut self.compressors[i],
+                    Actor::Compressor(i),
+                );
             }
             self.now += quantum;
             if progressed {
@@ -233,6 +303,12 @@ impl Machine {
                 let report = self.stall_report();
                 panic!("machine deadlock at cycle {at}: {report}");
             }
+        }
+        // A phase ends only once every core and engine is quiescent: a
+        // global barrier in happens-before terms.
+        #[cfg(feature = "sanitize")]
+        if let Some(tr) = self.sanitize.as_mut() {
+            tr.record(TraceEvent::Barrier { cycle: self.now });
         }
         self.now - start
     }
@@ -271,6 +347,51 @@ impl Machine {
 
     /// Flushes dirty cached data to DRAM and produces the run report.
     pub fn finish(mut self) -> RunReport {
+        self.build_report()
+    }
+
+    /// Ends a sanitized run: produces the timing report plus the
+    /// sanitizer's verdict (built-in checkers over the recorded trace,
+    /// then any externally noted violations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Machine::enable_sanitizer`] was never called.
+    #[cfg(feature = "sanitize")]
+    pub fn finish_sanitized(mut self) -> (RunReport, SanitizeReport) {
+        let trace = self
+            .sanitize
+            .take()
+            .expect("finish_sanitized without enable_sanitizer");
+        let report = self.build_report();
+        let probe = self.mem.take_probe().unwrap_or_default();
+        let now = self.now;
+        let context = RunContext {
+            cores: self.cores.len(),
+            core_mlp: self.cfg.core_mlp,
+            outstanding: self
+                .cores
+                .iter()
+                .map(|c| c.window.iter().filter(|&&done| done > now).count())
+                .collect(),
+            traffic: report.traffic.clone(),
+            dram_fetch_lines: probe.dram_fetch_lines,
+            dram_writeback_lines: probe.dram_writeback_lines,
+            flushed_lines: probe.flushed_lines,
+        };
+        let mut violations = crate::sanitize::analyze(&trace, &context);
+        violations.append(&mut self.external_violations);
+        (
+            report,
+            SanitizeReport {
+                violations,
+                trace,
+                context,
+            },
+        )
+    }
+
+    fn build_report(&mut self) -> RunReport {
         self.mem.flush_dirty();
         let fetcher_fired: u64 = self.fetchers.iter().map(|f| f.fired).sum();
         let compressor_fired: u64 = self.compressors.iter().map(|c| c.fired).sum();
@@ -287,6 +408,47 @@ impl Machine {
     }
 }
 
+/// Merges an engine's freshly collected queue-op log and memory records
+/// into the trace. Both streams are internally in processing order;
+/// merging by `(cycle, rank)` (stable) reconstructs the engine's
+/// processing order across them: pending pushes commit first each cycle,
+/// then a firing pops its input and touches memory.
+#[cfg(feature = "sanitize")]
+fn drain_engine_events(
+    slot: &mut SanitizeSlot,
+    mem: &mut MemorySystem,
+    engine: &mut EngineModel,
+    who: Actor,
+) {
+    let Some(tr) = slot.as_mut() else { return };
+    let mut evs: Vec<TraceEvent> = engine
+        .take_queue_log()
+        .into_iter()
+        .map(|e| {
+            if e.push {
+                TraceEvent::Push {
+                    actor: who,
+                    engine: who,
+                    q: e.q,
+                    quarters: e.quarters,
+                    cycle: e.cycle,
+                }
+            } else {
+                TraceEvent::Pop {
+                    actor: who,
+                    engine: who,
+                    q: e.q,
+                    quarters: e.quarters,
+                    cycle: e.cycle,
+                }
+            }
+        })
+        .collect();
+    evs.extend(mem.drain_probe_records().into_iter().map(TraceEvent::Mem));
+    evs.sort_by_key(|e| (e.cycle(), e.rank()));
+    tr.events.extend(evs);
+}
+
 /// Advances one core through `[now, now+quantum)`. Returns whether it made
 /// progress.
 #[allow(clippy::too_many_arguments)]
@@ -299,11 +461,14 @@ fn advance_core(
     mem: &mut MemorySystem,
     now: u64,
     quantum: u64,
+    sanitize: &mut SanitizeSlot,
 ) -> bool {
     let deadline = now + quantum;
     if core.t < now {
         core.t = now;
     }
+    #[cfg(not(feature = "sanitize"))]
+    let _ = sanitize;
     let mut progressed = false;
     while core.t < deadline {
         let Some(&ev) = core.events.front() else {
@@ -329,6 +494,11 @@ fn advance_core(
                     core.window.retain(|&c| c > core.t);
                 }
                 let done = mem.issue(core_id, Port::Core, &acc, core.t);
+                #[cfg(feature = "sanitize")]
+                if let Some(tr) = sanitize.as_mut() {
+                    tr.events
+                        .extend(mem.drain_probe_records().into_iter().map(TraceEvent::Mem));
+                }
                 if acc.op == spzip_mem::MemOp::Atomic {
                     // Locked read-modify-writes serialize the core (store
                     // buffer drain): no overlap with younger accesses.
@@ -352,6 +522,16 @@ fn advance_core(
             Event::FetcherEnqueue { q, quarters } => {
                 if fetcher.can_enqueue(q, quarters) {
                     fetcher.enqueue(q, quarters);
+                    #[cfg(feature = "sanitize")]
+                    if let Some(tr) = sanitize.as_mut() {
+                        tr.record(TraceEvent::Push {
+                            actor: Actor::Core(core_id),
+                            engine: Actor::Fetcher(core_id),
+                            q,
+                            quarters: quarters as u32,
+                            cycle: core.t,
+                        });
+                    }
                     core.t += cfg.queue_op_cycles as u64;
                     core.events.pop_front();
                     core.retired_events += 1;
@@ -364,6 +544,16 @@ fn advance_core(
             Event::FetcherDequeue { q, quarters } => {
                 if fetcher.can_dequeue(q, quarters) {
                     fetcher.dequeue(q, quarters);
+                    #[cfg(feature = "sanitize")]
+                    if let Some(tr) = sanitize.as_mut() {
+                        tr.record(TraceEvent::Pop {
+                            actor: Actor::Core(core_id),
+                            engine: Actor::Fetcher(core_id),
+                            q,
+                            quarters: quarters as u32,
+                            cycle: core.t,
+                        });
+                    }
                     core.t += cfg.queue_op_cycles as u64;
                     core.events.pop_front();
                     core.retired_events += 1;
@@ -376,6 +566,16 @@ fn advance_core(
             Event::CompressorEnqueue { q, quarters } => {
                 if compressor.can_enqueue(q, quarters) {
                     compressor.enqueue(q, quarters);
+                    #[cfg(feature = "sanitize")]
+                    if let Some(tr) = sanitize.as_mut() {
+                        tr.record(TraceEvent::Push {
+                            actor: Actor::Core(core_id),
+                            engine: Actor::Compressor(core_id),
+                            q,
+                            quarters: quarters as u32,
+                            cycle: core.t,
+                        });
+                    }
                     core.t += cfg.queue_op_cycles as u64;
                     core.events.pop_front();
                     core.retired_events += 1;
@@ -387,6 +587,14 @@ fn advance_core(
             }
             Event::CompressorDrain => {
                 if compressor.idle() {
+                    #[cfg(feature = "sanitize")]
+                    if let Some(tr) = sanitize.as_mut() {
+                        tr.record(TraceEvent::Drain {
+                            actor: Actor::Core(core_id),
+                            engine: Actor::Compressor(core_id),
+                            cycle: core.t,
+                        });
+                    }
                     core.events.pop_front();
                     core.retired_events += 1;
                     progressed = true;
@@ -397,6 +605,14 @@ fn advance_core(
             }
             Event::FetcherDrain => {
                 if fetcher.idle() {
+                    #[cfg(feature = "sanitize")]
+                    if let Some(tr) = sanitize.as_mut() {
+                        tr.record(TraceEvent::Drain {
+                            actor: Actor::Core(core_id),
+                            engine: Actor::Fetcher(core_id),
+                            cycle: core.t,
+                        });
+                    }
                     core.events.pop_front();
                     core.retired_events += 1;
                     progressed = true;
@@ -526,6 +742,45 @@ mod tests {
         let c2 = m.run_phase(&mut mk());
         assert!(c1 >= 500 && c2 >= 500);
         assert!(m.now() >= 1000);
+    }
+
+    #[cfg(feature = "sanitize")]
+    #[test]
+    fn sanitized_run_is_clean_and_accounts_all_lines() {
+        let mut m = Machine::new(tiny_config());
+        m.enable_sanitizer();
+        assert!(m.sanitizing());
+        // Same-core scattered frontier loads: watched, but race-free.
+        let events: Vec<Event> = (0..64u64)
+            .map(|i| Event::load(0x40000 + i * 64, 8, DataClass::Frontier))
+            .collect();
+        let mut src = ListSource {
+            batches: vec![
+                VecDeque::from([CoreWork {
+                    events,
+                    ..Default::default()
+                }]),
+                VecDeque::new(),
+            ],
+        };
+        m.run_phase(&mut src);
+        let (report, san) = m.finish_sanitized();
+        assert!(san.clean(), "{}", san.render());
+        assert!(
+            san.trace
+                .events
+                .iter()
+                .any(|e| matches!(e, crate::sanitize::TraceEvent::Mem(_))),
+            "watched accesses should be traced"
+        );
+        assert!(
+            san.trace
+                .events
+                .iter()
+                .any(|e| matches!(e, crate::sanitize::TraceEvent::Barrier { .. })),
+            "phase end should record a barrier"
+        );
+        assert_eq!(report.traffic.read_bytes(DataClass::Frontier), 64 * 64);
     }
 
     #[test]
