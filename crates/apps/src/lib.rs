@@ -31,6 +31,7 @@ pub mod alg;
 pub mod apps;
 pub mod cost;
 pub mod layout;
+pub mod perf;
 pub mod pipelines;
 pub mod run;
 pub mod runtime;

@@ -1,0 +1,429 @@
+//! Static per-cell traffic prediction: the application-level half of the
+//! `dcl-perf` cross-check gate.
+//!
+//! [`crate::pipelines`] wires DCL programs; `spzip_core::perf` analyzes a
+//! single pipeline's steady state. This module predicts what the *whole
+//! simulated run* of an app × scheme cell should move per traffic class —
+//! composing the workload layout (compressed adjacency, bin geometry),
+//! the algorithm's statically-known trajectory (iteration count, vertex
+//! phases, update payloads), and the real codecs applied to statically
+//! derivable streams. The bench driver's cross-check mode compares these
+//! predictions against the simulator's measured
+//! [`TrafficStats`](spzip_mem::stats::TrafficStats) and fails when relative
+//! error exceeds a per-class tolerance.
+//!
+//! The model intentionally predicts only *format-driven* traffic — bytes
+//! whose volume is fixed by data layout and codec behaviour. Classes
+//! whose DRAM traffic is dominated by LLC residency (destination-vertex
+//! atomics, PHI's cache-coalesced bins, frontiers) are predicted roughly
+//! for share context but carry no checks; the per-class policy and
+//! tolerances are documented in `EXPERIMENTS.md`.
+
+use crate::alg::EndIter;
+use crate::layout::{Workload, ADJ_GROUP_ROWS, CHUNK_VERTICES};
+use crate::run::AppName;
+use crate::scheme::{SchemeConfig, Strategy};
+use spzip_graph::Csr;
+use spzip_mem::DataClass;
+use std::sync::Arc;
+
+/// Streaming-overhead factor for software traversal: conflict and
+/// replacement noise a 4-core interleaved scan adds over the sequential
+/// lower bound (calibrated on the cross-check matrix).
+pub const SW_STREAM_FACTOR: f64 = 1.15;
+
+/// Test-only perturbations of the model, threaded through the gate to
+/// prove it non-vacuous.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelScale {
+    /// Multiplier on every codec-derived byte prediction (compressed
+    /// adjacency, compressed bins). `1.0` is the honest model; the gate
+    /// must *fail* when this is meaningfully wrong.
+    pub codec_ratio_scale: f64,
+}
+
+impl Default for ModelScale {
+    fn default() -> Self {
+        ModelScale {
+            codec_ratio_scale: 1.0,
+        }
+    }
+}
+
+/// One gate check: a class+direction the model claims to predict, with
+/// its documented relative-error tolerance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassCheck {
+    /// Traffic class under check.
+    pub class: DataClass,
+    /// `true` checks write bytes, `false` read bytes.
+    pub write: bool,
+    /// Predicted bytes for the whole run.
+    pub predicted: f64,
+    /// Maximum tolerated `|predicted - measured| / measured`.
+    pub tolerance: f64,
+}
+
+/// Predicted traffic for one app × scheme cell, plus the checks the
+/// cross-check gate enforces on it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellPrediction {
+    /// Predicted read bytes by [`DataClass::index`].
+    pub read: [f64; 6],
+    /// Predicted write bytes by [`DataClass::index`].
+    pub write: [f64; 6],
+    /// The classes this cell's model stands behind.
+    pub checks: Vec<ClassCheck>,
+}
+
+/// Whether the predictor supports this app: the model replays the
+/// algorithm's all-active trajectory; frontier-driven apps would need the
+/// frontier evolution, which is not statically tractable.
+pub fn supports(app: AppName) -> bool {
+    app.build().all_active()
+}
+
+/// Predicts per-class traffic for one cell.
+///
+/// `cores` and `llc_bytes` must match the simulated machine — they shape
+/// the bin layout and source-chunk assignment. The heavy lifting is
+/// static preprocessing: building the workload layout (which compresses
+/// the real adjacency), and replaying the algorithm's pure value
+/// trajectory to derive update streams for the bin-compression model.
+///
+/// # Panics
+///
+/// Panics if [`supports`]`(app)` is false.
+pub fn predict_cell(
+    app: AppName,
+    g: &Arc<Csr>,
+    cfg: &SchemeConfig,
+    cores: usize,
+    llc_bytes: u64,
+    scale: ModelScale,
+) -> CellPrediction {
+    let mut alg = app.build();
+    assert!(
+        alg.all_active(),
+        "traffic prediction requires an all-active app"
+    );
+    let reads_source = alg.reads_source();
+    let mut w = Workload::build(g.clone(), cfg, cores, llc_bytes, true);
+    let n = g.num_vertices() as f64;
+    let e = g.num_edges() as f64;
+    let has_values = g.values_flat().is_some();
+    let rs = scale.codec_ratio_scale;
+
+    // --- replay the algorithm's value trajectory -----------------------
+    // Pure math over the workload image: exact iteration count, vertex
+    // phases, and (for UB) the per-(core,bin) update streams the binning
+    // compressor will see.
+    let trajectory = replay(&mut *alg, &mut w, cfg, cores);
+
+    let iters = trajectory.iterations as f64;
+    let vphases = trajectory.vertex_phases as f64;
+
+    let mut read = [0.0f64; 6];
+    let mut write = [0.0f64; 6];
+    let mut checks = Vec::new();
+
+    // --- adjacency ------------------------------------------------------
+    let adj = DataClass::AdjacencyMatrix.index();
+    if let Some(cadj) = &w.cadj {
+        // Compressed traversal: the group streams plus the group-offset
+        // directory, re-read every iteration (group-granular fetches defeat
+        // caching at these sizes).
+        let groups = (n / f64::from(ADJ_GROUP_ROWS)).ceil();
+        read[adj] = iters * (rs * cadj.total_bytes as f64 + 8.0 * (groups + 1.0));
+        checks.push(ClassCheck {
+            class: DataClass::AdjacencyMatrix,
+            write: false,
+            predicted: read[adj],
+            tolerance: 0.10,
+        });
+    } else {
+        // Raw CSR scan: offsets + neighbors (+ per-edge values), per
+        // iteration; software cores add interleaving noise.
+        let seq = 8.0 * (n + 1.0) + 4.0 * e + if has_values { 4.0 * e } else { 0.0 };
+        let factor = if cfg.uses_engines() {
+            1.0
+        } else {
+            SW_STREAM_FACTOR
+        };
+        read[adj] = iters * seq * factor;
+        checks.push(ClassCheck {
+            class: DataClass::AdjacencyMatrix,
+            write: false,
+            predicted: read[adj],
+            tolerance: if cfg.uses_engines() { 0.15 } else { 0.25 },
+        });
+    }
+
+    // --- source vertex data ---------------------------------------------
+    if reads_source {
+        let src = DataClass::SourceVertex.index();
+        // One sequential pass per traversal, plus a write pass (with
+        // write-allocate reads) per vertex phase.
+        read[src] = iters * 4.0 * n + vphases * 4.0 * n;
+        write[src] = vphases * 4.0 * n;
+        if !cfg.compress_vertex {
+            // With vertex compression the source data moves as compressed
+            // slices whose residency the cache decides; only the plain
+            // layout is checkable.
+            checks.push(ClassCheck {
+                class: DataClass::SourceVertex,
+                write: false,
+                predicted: read[src],
+                tolerance: 0.30,
+            });
+            if write[src] > 0.0 {
+                checks.push(ClassCheck {
+                    class: DataClass::SourceVertex,
+                    write: true,
+                    predicted: write[src],
+                    tolerance: 0.15,
+                });
+            }
+        }
+    }
+
+    // --- updates --------------------------------------------------------
+    if let Some(bins) = &trajectory.bins {
+        let upd = DataClass::Updates.index();
+        // The binning compressor appends `stored` compressed bytes plus an
+        // 8 B tail-pointer update per chunk; accumulation reads the stored
+        // bytes back.
+        read[upd] = rs * bins.stored_bytes;
+        write[upd] = rs * bins.stored_bytes + 8.0 * bins.chunks;
+        checks.push(ClassCheck {
+            class: DataClass::Updates,
+            write: false,
+            predicted: read[upd],
+            tolerance: 0.25,
+        });
+        checks.push(ClassCheck {
+            class: DataClass::Updates,
+            write: true,
+            predicted: write[upd],
+            tolerance: 0.25,
+        });
+    }
+
+    // --- unchecked context classes --------------------------------------
+    // Destination atomics and accumulation sweeps: order-of-magnitude
+    // share context only (LLC residency decides the real traffic).
+    let dst = DataClass::DestinationVertex.index();
+    read[dst] = 4.0 * n;
+    write[dst] = 4.0 * n * iters.max(vphases + 1.0);
+
+    CellPrediction {
+        read,
+        write,
+        checks,
+    }
+}
+
+/// Result of replaying the algorithm's pure value trajectory.
+struct Trajectory {
+    iterations: usize,
+    vertex_phases: usize,
+    bins: Option<BinModel>,
+}
+
+/// Compressed-bin model output for UB cells.
+struct BinModel {
+    stored_bytes: f64,
+    chunks: f64,
+}
+
+/// Replays the algorithm functionally: sources in each core's chunk
+/// order, payload/apply per edge, `end_iteration` per pass. For UB+SpZip
+/// cells, the per-(core,bin) update streams are chunked and encoded with
+/// the real update codec — the same bytes the MQU + compressor pipeline
+/// will store.
+fn replay(
+    alg: &mut dyn crate::alg::Algorithm,
+    w: &mut Workload,
+    cfg: &SchemeConfig,
+    cores: usize,
+) -> Trajectory {
+    let init = alg.init(w);
+    debug_assert!(init.is_none(), "all-active apps have no initial frontier");
+    let track_bins = cfg.strategy == Strategy::Ub && cfg.spzip && w.bins.is_some();
+    let codec = cfg.update_codec.build();
+    let (num_bins, slice_vertices) = w
+        .bins
+        .as_ref()
+        .map_or((0, u32::MAX), |b| (b.num_bins as usize, b.slice_vertices));
+
+    let n = w.g.num_vertices();
+    let g = w.g.clone();
+    let mut vertex_phases = 0usize;
+    let mut iterations = 0usize;
+    let mut stored_bytes = 0.0f64;
+    let mut chunks = 0.0f64;
+
+    for iter in 0..alg.max_iterations() {
+        iterations += 1;
+        // Pending chunk per (core, bin), matching the buffer MQUs.
+        let mut pending: Vec<Vec<u64>> = vec![Vec::new(); cores * num_bins.max(1)];
+        let mut flush = |chunk: &mut Vec<u64>| {
+            if chunk.is_empty() {
+                return;
+            }
+            if cfg.sort_chunks {
+                chunk.sort_unstable();
+            }
+            stored_bytes += codec.compressed_len(chunk) as f64;
+            chunks += 1.0;
+            chunk.clear();
+        };
+        for src in 0..n as u32 {
+            let core = (src / CHUNK_VERTICES) as usize % cores;
+            let (elo, ehi) = g.row_range(src);
+            for ei in elo..ehi {
+                let dst = g.neighbors_flat()[ei];
+                let payload = alg.payload(w, src, ei);
+                if track_bins {
+                    let bin = (dst / slice_vertices) as usize;
+                    let chunk = &mut pending[core * num_bins + bin];
+                    chunk.push((u64::from(dst) << 32) | u64::from(payload));
+                    if chunk.len() >= 32 {
+                        flush(chunk);
+                    }
+                }
+                alg.apply(w, dst, payload);
+            }
+        }
+        for chunk in &mut pending {
+            flush(chunk);
+        }
+        match alg.end_iteration(w, iter) {
+            EndIter::Done => break,
+            EndIter::ContinueWithVertexPhase => vertex_phases += 1,
+            EndIter::Continue => {}
+        }
+    }
+
+    Trajectory {
+        iterations,
+        vertex_phases,
+        bins: track_bins.then_some(BinModel {
+            stored_bytes,
+            chunks,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::Scheme;
+    use spzip_graph::gen::{community, CommunityParams};
+
+    fn tiny() -> Arc<Csr> {
+        Arc::new(community(&CommunityParams::web_crawl(512, 6), 17))
+    }
+
+    #[test]
+    fn all_active_apps_are_supported() {
+        assert!(supports(AppName::Pr));
+        assert!(supports(AppName::Dc));
+        assert!(supports(AppName::Sp));
+        assert!(!supports(AppName::Cc));
+        assert!(!supports(AppName::Bfs));
+    }
+
+    #[test]
+    fn compressed_cells_check_adjacency_tightly() {
+        let g = tiny();
+        let cell = predict_cell(
+            AppName::Pr,
+            &g,
+            &Scheme::PushSpzip.config(),
+            4,
+            32 * 1024,
+            ModelScale::default(),
+        );
+        let adj = cell
+            .checks
+            .iter()
+            .find(|c| c.class == DataClass::AdjacencyMatrix && !c.write)
+            .expect("adjacency is always checked");
+        assert!(adj.tolerance <= 0.10);
+        assert!(adj.predicted > 0.0);
+    }
+
+    #[test]
+    fn ub_cells_check_updates_both_ways() {
+        let g = tiny();
+        let cell = predict_cell(
+            AppName::Dc,
+            &g,
+            &Scheme::UbSpzip.config(),
+            4,
+            32 * 1024,
+            ModelScale::default(),
+        );
+        let dirs: Vec<bool> = cell
+            .checks
+            .iter()
+            .filter(|c| c.class == DataClass::Updates)
+            .map(|c| c.write)
+            .collect();
+        assert!(dirs.contains(&true) && dirs.contains(&false));
+    }
+
+    #[test]
+    fn codec_scale_moves_codec_driven_predictions_only() {
+        let g = tiny();
+        let base = predict_cell(
+            AppName::Pr,
+            &g,
+            &Scheme::UbSpzip.config(),
+            4,
+            32 * 1024,
+            ModelScale::default(),
+        );
+        let scaled = predict_cell(
+            AppName::Pr,
+            &g,
+            &Scheme::UbSpzip.config(),
+            4,
+            32 * 1024,
+            ModelScale {
+                codec_ratio_scale: 2.0,
+            },
+        );
+        let adj = DataClass::AdjacencyMatrix.index();
+        let upd = DataClass::Updates.index();
+        let src = DataClass::SourceVertex.index();
+        assert!(scaled.read[adj] > 1.8 * base.read[adj] * 0.9);
+        assert!(scaled.read[upd] > 1.9 * base.read[upd]);
+        assert_eq!(scaled.read[src], base.read[src]);
+    }
+
+    #[test]
+    fn software_and_engine_models_diverge_on_adjacency() {
+        let g = tiny();
+        let sw = predict_cell(
+            AppName::Dc,
+            &g,
+            &Scheme::Push.config(),
+            4,
+            32 * 1024,
+            ModelScale::default(),
+        );
+        let hw = predict_cell(
+            AppName::Dc,
+            &g,
+            &Scheme::PushSpzip.config(),
+            4,
+            32 * 1024,
+            ModelScale::default(),
+        );
+        let adj = DataClass::AdjacencyMatrix.index();
+        // Compression should predict materially less adjacency traffic.
+        assert!(hw.read[adj] < 0.7 * sw.read[adj]);
+    }
+}

@@ -113,15 +113,17 @@ impl RunSpec {
     /// Uses derived `Debug` for the scheme/machine structs: it prints
     /// every field, so any parameter change (including the silent kind —
     /// a new knob, a retuned constant) changes the fingerprint and
-    /// invalidates stale cached results. The codec and DCL-linter format
-    /// versions are folded in for the same reason: a codec bitstream
-    /// change or a lint-driven pipeline change alters simulated behaviour
-    /// without touching any spec field.
+    /// invalidates stale cached results. The codec, DCL-linter, and
+    /// performance-model versions are folded in for the same reason: a
+    /// codec bitstream change, a lint-driven pipeline change, or a
+    /// retuned analytical model alters simulated behaviour or its
+    /// cross-checked interpretation without touching any spec field.
     pub fn fingerprint(&self) -> String {
         format!(
-            "v1;codec={};lint={};app={};input={};prep={:?};scale={:?};scheme={:?};machine={:?}",
+            "v1;codec={};lint={};perf={};app={};input={};prep={:?};scale={:?};scheme={:?};machine={:?}",
             spzip_compress::CODEC_VERSION,
             spzip_core::lint::LINT_VERSION,
+            spzip_core::perf::PERF_VERSION,
             self.app,
             self.input,
             self.prep,
@@ -351,6 +353,17 @@ mod tests {
         let mut machine = base.clone();
         machine.machine.config.core_mlp += 1;
         assert_ne!(base.cache_key(), machine.cache_key());
+
+        // Tool-version components: bumping any of them must invalidate
+        // every cached outcome.
+        let fp = base.fingerprint();
+        for component in [
+            format!("codec={}", spzip_compress::CODEC_VERSION),
+            format!("lint={}", spzip_core::lint::LINT_VERSION),
+            format!("perf={}", spzip_core::perf::PERF_VERSION),
+        ] {
+            assert!(fp.contains(&component), "{fp} missing {component}");
+        }
     }
 
     #[test]

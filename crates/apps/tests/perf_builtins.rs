@@ -1,0 +1,38 @@
+//! Every built-in pipeline must be free of `P0xx` performance findings:
+//! the static performance analyzer endorses the shipped configurations.
+
+use spzip_apps::pipelines::all_builtin;
+use spzip_core::perf::{analyze, BindingResource, PerfInput};
+
+#[test]
+fn builtin_pipelines_are_p_clean() {
+    let mut failures = String::new();
+    for (name, p) in all_builtin() {
+        let report = analyze(&PerfInput::new(&p));
+        if !report.diagnostics.is_empty() {
+            failures.push_str(&format!(
+                "{name}:\n{}",
+                spzip_core::lint::render(&report.diagnostics)
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "\n{failures}");
+}
+
+#[test]
+fn builtin_traversals_are_memory_bound() {
+    // The decoupling argument of the paper: fetcher pipelines should be
+    // bound by DRAM bandwidth, not by their own service rate.
+    for (name, p) in all_builtin() {
+        if !name.contains("traversal") {
+            continue;
+        }
+        let report = analyze(&PerfInput::new(&p));
+        assert_eq!(
+            report.binding,
+            BindingResource::DramBandwidth,
+            "{name} predicted binding {:?}",
+            report.binding
+        );
+    }
+}

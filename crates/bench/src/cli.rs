@@ -13,9 +13,18 @@
 //! * `--out-dir DIR` — where `bench_all` writes figure text (default
 //!   `results`).
 //! * `--only fig15ab,fig07` — restrict `bench_all` to named outputs.
-//! * `--all-builtin` — `dcl-lint`: also lint every built-in app pipeline.
+//! * `--all-builtin` — `dcl-lint`/`dcl-perf`: also analyze every
+//!   built-in app pipeline.
 //! * `--dot` — `dcl-lint`: print each linted pipeline as Graphviz dot.
-//! * `--deny-warnings` — `dcl-lint`: exit non-zero on warnings too.
+//! * `--deny-warnings` — `dcl-lint`/`dcl-perf`: exit non-zero on
+//!   warnings too.
+//! * `--format text|json` — `dcl-lint`/`dcl-perf`: report format
+//!   (default text; both tools share the JSON diagnostic shape).
+//! * `--crosscheck` — `dcl-perf`: run the model-vs-simulator traffic
+//!   gate over the built-in cell matrix.
+//! * `--perturb-ratio X` — `dcl-perf --crosscheck`: scale every
+//!   codec-derived byte prediction by `X` (sanity check that the gate
+//!   catches a mis-modeled codec; `1.0` is the honest model).
 //!
 //! Positional arguments (paths for `dcl-lint`) are collected separately.
 
@@ -23,6 +32,17 @@ use crate::driver::DriverOptions;
 use crate::figures::SweepOpts;
 use spzip_graph::datasets::Scale;
 use std::path::PathBuf;
+
+/// Report format for the analysis tools (`--format`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Human-readable rustc-style text (the default).
+    #[default]
+    Text,
+    /// Machine-readable JSON; `dcl-lint` and `dcl-perf` share the
+    /// diagnostic element shape ([`spzip_core::lint::render_json`]).
+    Json,
+}
 
 /// Parsed common flags.
 #[derive(Debug, Clone)]
@@ -53,7 +73,13 @@ pub struct CommonArgs {
     pub dot: bool,
     /// Treat lint warnings as fatal (`--deny-warnings`, `dcl-lint`).
     pub deny_warnings: bool,
-    /// Positional arguments: `.dcl` files for `dcl-lint`.
+    /// Report format (`--format text|json`).
+    pub format: OutputFormat,
+    /// Run the model-vs-simulator gate (`--crosscheck`, `dcl-perf`).
+    pub crosscheck: bool,
+    /// Perturb codec-derived predictions (`--perturb-ratio`, `dcl-perf`).
+    pub perturb_ratio: Option<f64>,
+    /// Positional arguments: `.dcl` files for `dcl-lint`/`dcl-perf`.
     pub paths: Vec<PathBuf>,
 }
 
@@ -80,6 +106,9 @@ pub fn parse_from(args: &[String]) -> CommonArgs {
         all_builtin: false,
         dot: false,
         deny_warnings: false,
+        format: OutputFormat::Text,
+        crosscheck: false,
+        perturb_ratio: None,
         paths: Vec::new(),
     };
     let value = |i: usize| args.get(i + 1).map(|s| s.as_str());
@@ -150,6 +179,26 @@ pub fn parse_from(args: &[String]) -> CommonArgs {
             "--dot" => {
                 parsed.dot = true;
                 consumed[i] = true;
+            }
+            "--crosscheck" => {
+                parsed.crosscheck = true;
+                consumed[i] = true;
+            }
+            "--format" => {
+                if value(i) == Some("json") {
+                    parsed.format = OutputFormat::Json;
+                }
+                consumed[i] = true;
+                if i + 1 < consumed.len() {
+                    consumed[i + 1] = true;
+                }
+            }
+            "--perturb-ratio" => {
+                parsed.perturb_ratio = value(i).and_then(|s| s.parse::<f64>().ok());
+                consumed[i] = true;
+                if i + 1 < consumed.len() {
+                    consumed[i + 1] = true;
+                }
             }
             _ => {}
         }
@@ -229,6 +278,26 @@ mod tests {
         assert!(a.deny_warnings);
         assert_eq!(a.cache_dir, PathBuf::from("/tmp/c"));
         assert_eq!(a.out_dir, PathBuf::from("/tmp/o"));
+    }
+
+    #[test]
+    fn parses_format_and_crosscheck_flags() {
+        let a = parse_from(&argv("--format json --crosscheck --perturb-ratio 1.5"));
+        assert_eq!(a.format, OutputFormat::Json);
+        assert!(a.crosscheck);
+        assert_eq!(a.perturb_ratio, Some(1.5));
+        let b = parse_from(&argv("--format text"));
+        assert_eq!(b.format, OutputFormat::Text);
+        assert_eq!(b.perturb_ratio, None);
+        assert!(!b.crosscheck);
+    }
+
+    #[test]
+    fn format_and_perturb_values_are_not_paths() {
+        let a = parse_from(&argv("--format json pipe.dcl --perturb-ratio 2.0"));
+        assert_eq!(a.paths, vec![PathBuf::from("pipe.dcl")]);
+        assert_eq!(a.format, OutputFormat::Json);
+        assert_eq!(a.perturb_ratio, Some(2.0));
     }
 
     #[test]

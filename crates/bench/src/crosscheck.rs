@@ -1,0 +1,385 @@
+//! Model-vs-simulator cross-check gate (`dcl-perf --crosscheck`).
+//!
+//! The static performance model ([`spzip_apps::perf`]) predicts absolute
+//! per-class DRAM traffic for an app × scheme cell. This module holds the
+//! model to account: it simulates a fixed matrix of built-in cells and
+//! compares the predictions against the machine's measured
+//! [`TrafficStats`](spzip_mem::stats::TrafficStats), class by class, against
+//! documented relative-error tolerances (see EXPERIMENTS.md).
+//!
+//! The matrix is {PR, DC, SP} × {Push, Push+SpZip, UB+SpZip, PHI+SpZip}:
+//! twelve cells spanning software streaming, compressed-adjacency
+//! fetching, and compressed update binning, on two graph shapes (a
+//! power-law community graph and a 27-point stencil matrix). A cell
+//! *fails* when any checked class misses its tolerance — and the gate is
+//! proven non-vacuous by re-evaluating the same measurements under a
+//! deliberately mis-modeled codec ratio (`--perturb-ratio`), which must
+//! fail.
+//!
+//! Simulation is the expensive half, so measurements are taken once and
+//! re-used across evaluations (the honest and perturbed scales share one
+//! simulated matrix).
+
+use crate::cli::OutputFormat;
+use spzip_apps::perf::{predict_cell, supports, ModelScale};
+use spzip_apps::run::{run_app, AppName};
+use spzip_apps::Scheme;
+use spzip_graph::gen::{community, grid3d, CommunityParams};
+use spzip_graph::Csr;
+use spzip_mem::cache::{CacheConfig, Replacement};
+use spzip_mem::DataClass;
+use spzip_sim::MachineConfig;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// The apps of the gate matrix: the all-active workloads the static
+/// model supports (frontier-driven apps are excluded by
+/// [`supports`]).
+pub const MATRIX_APPS: [AppName; 3] = [AppName::Pr, AppName::Dc, AppName::Sp];
+
+/// The schemes of the gate matrix: software streaming plus every SpZip
+/// engine configuration with a distinct traffic shape.
+pub const MATRIX_SCHEMES: [Scheme; 4] = [
+    Scheme::Push,
+    Scheme::PushSpzip,
+    Scheme::UbSpzip,
+    Scheme::PhiSpzip,
+];
+
+/// The gate machine: the scaled Table II configuration shrunk to 4 cores
+/// and a 32 KiB LLC, so cache capacity genuinely pressures the vertex
+/// data (the tolerances are calibrated at this size).
+pub fn gate_machine() -> MachineConfig {
+    let mut cfg = MachineConfig::paper_scaled();
+    cfg.mem.cores = 4;
+    cfg.mem.llc = CacheConfig::new(32 * 1024, 16, Replacement::Drrip);
+    cfg
+}
+
+/// The gate inputs: a 4096-vertex power-law community graph for the
+/// vertex apps and a 16x16x16 27-point stencil matrix for SpMV.
+pub fn gate_graphs() -> (Arc<Csr>, Arc<Csr>) {
+    (
+        Arc::new(community(&CommunityParams::web_crawl(4096, 8), 17)),
+        Arc::new(grid3d(16, 1, 3)),
+    )
+}
+
+/// Simulator-measured per-class traffic for one cell.
+#[derive(Debug, Clone)]
+pub struct MeasuredCell {
+    /// `"{app} x {scheme}"`.
+    pub name: String,
+    /// The application.
+    pub app: AppName,
+    /// The scheme.
+    pub scheme: Scheme,
+    /// Read bytes by [`DataClass::index`].
+    pub read: [u64; 6],
+    /// Write bytes by [`DataClass::index`].
+    pub write: [u64; 6],
+}
+
+/// One evaluated check: a (cell, class, direction) the model stands
+/// behind, with the prediction and the simulator's measurement.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// The cell's `"{app} x {scheme}"` name.
+    pub cell: String,
+    /// Traffic class under check.
+    pub class: DataClass,
+    /// `true` compares write bytes, `false` read bytes.
+    pub write: bool,
+    /// Model-predicted bytes.
+    pub predicted: f64,
+    /// Simulator-measured bytes.
+    pub measured: f64,
+    /// Maximum tolerated relative error.
+    pub tolerance: f64,
+}
+
+impl CheckOutcome {
+    /// Signed relative error of the prediction.
+    pub fn rel_error(&self) -> f64 {
+        (self.predicted - self.measured) / self.measured.max(1.0)
+    }
+
+    /// Whether the prediction lands within tolerance.
+    pub fn passes(&self) -> bool {
+        self.rel_error().abs() <= self.tolerance
+    }
+}
+
+/// All evaluated checks of one gate run.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Cells evaluated.
+    pub cells: usize,
+    /// Every (cell, class, direction) check.
+    pub outcomes: Vec<CheckOutcome>,
+}
+
+impl GateReport {
+    /// Number of failing checks.
+    pub fn failures(&self) -> usize {
+        self.outcomes.iter().filter(|o| !o.passes()).count()
+    }
+
+    /// Renders the gate table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<16} {:<12} {:>5} {:>12} {:>12} {:>8} {:>6}",
+            "cell", "class", "dir", "predicted", "measured", "error", "tol"
+        );
+        for o in &self.outcomes {
+            let _ = writeln!(
+                out,
+                "{:<16} {:<12} {:>5} {:>12.0} {:>12.0} {:>+7.1}% {:>5.0}%{}",
+                o.cell,
+                format!("{:?}", o.class),
+                if o.write { "write" } else { "read" },
+                o.predicted,
+                o.measured,
+                100.0 * o.rel_error(),
+                100.0 * o.tolerance,
+                if o.passes() { "" } else { "  FAIL" }
+            );
+        }
+        let _ = writeln!(
+            out,
+            "cross-check: {} cell(s), {} check(s), {} failure(s)",
+            self.cells,
+            self.outcomes.len(),
+            self.failures()
+        );
+        out
+    }
+
+    /// Renders the gate as JSON (stable keys, append-only).
+    pub fn render_json(&self) -> String {
+        let mut out = format!(
+            "{{\"cells\":{},\"checks\":{},\"failures\":{},\"outcomes\":[",
+            self.cells,
+            self.outcomes.len(),
+            self.failures()
+        );
+        for (i, o) in self.outcomes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n{{\"cell\":\"{}\",\"class\":\"{:?}\",\"direction\":\"{}\",\
+                 \"predicted\":{:.1},\"measured\":{:.1},\"rel_error\":{:.4},\
+                 \"tolerance\":{:.2},\"pass\":{}}}",
+                spzip_core::lint::json_escape(&o.cell),
+                o.class,
+                if o.write { "write" } else { "read" },
+                o.predicted,
+                o.measured,
+                o.rel_error(),
+                o.tolerance,
+                o.passes()
+            );
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+/// The graph each app runs on: the stencil matrix for SpMV, the
+/// community graph otherwise.
+fn input_for<'a>(app: AppName, g: &'a Arc<Csr>, m: &'a Arc<Csr>) -> &'a Arc<Csr> {
+    if app.is_matrix() {
+        m
+    } else {
+        g
+    }
+}
+
+/// Simulates the full matrix once, recording per-class traffic.
+pub fn measure_matrix(g: &Arc<Csr>, m: &Arc<Csr>) -> Vec<MeasuredCell> {
+    let mut cells = Vec::new();
+    for app in MATRIX_APPS {
+        debug_assert!(supports(app));
+        let input = input_for(app, g, m);
+        for scheme in MATRIX_SCHEMES {
+            let cfg = scheme.config();
+            let out = run_app(app, input, &cfg, gate_machine());
+            let mut read = [0u64; 6];
+            let mut write = [0u64; 6];
+            for c in DataClass::all() {
+                read[c.index()] = out.report.traffic.read_bytes(c);
+                write[c.index()] = out.report.traffic.write_bytes(c);
+            }
+            cells.push(MeasuredCell {
+                name: format!("{app} x {scheme}"),
+                app,
+                scheme,
+                read,
+                write,
+            });
+        }
+    }
+    cells
+}
+
+/// Evaluates the model at `scale` against previously measured cells.
+pub fn evaluate(
+    measured: &[MeasuredCell],
+    g: &Arc<Csr>,
+    m: &Arc<Csr>,
+    scale: ModelScale,
+) -> GateReport {
+    let machine = gate_machine();
+    let mut report = GateReport {
+        cells: measured.len(),
+        ..Default::default()
+    };
+    for cell in measured {
+        let input = input_for(cell.app, g, m);
+        let pred = predict_cell(
+            cell.app,
+            input,
+            &cell.scheme.config(),
+            machine.mem.cores,
+            machine.mem.llc.size_bytes,
+            scale,
+        );
+        for c in pred.checks {
+            let measured_bytes = if c.write {
+                cell.write[c.class.index()]
+            } else {
+                cell.read[c.class.index()]
+            } as f64;
+            report.outcomes.push(CheckOutcome {
+                cell: cell.name.clone(),
+                class: c.class,
+                write: c.write,
+                predicted: c.predicted,
+                measured: measured_bytes,
+                tolerance: c.tolerance,
+            });
+        }
+    }
+    report
+}
+
+/// Runs the full gate: simulate the matrix, evaluate at the honest (or
+/// `--perturb-ratio`) scale, print the table, and return the process
+/// exit code (0 iff every check passes).
+pub fn run_gate(perturb_ratio: Option<f64>, format: OutputFormat) -> i32 {
+    let (g, m) = gate_graphs();
+    let measured = measure_matrix(&g, &m);
+    let scale = ModelScale {
+        codec_ratio_scale: perturb_ratio.unwrap_or(1.0),
+    };
+    let report = evaluate(&measured, &g, &m, scale);
+    match format {
+        OutputFormat::Json => print!("{}", report.render_json()),
+        OutputFormat::Text => print!("{}", report.render()),
+    }
+    if report.failures() > 0 {
+        1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_has_at_least_twelve_cells() {
+        assert!(MATRIX_APPS.len() * MATRIX_SCHEMES.len() >= 12);
+        for app in MATRIX_APPS {
+            assert!(supports(app), "{app} must be statically predictable");
+        }
+    }
+
+    #[test]
+    fn check_outcome_pass_logic() {
+        let mut o = CheckOutcome {
+            cell: "PR x Push".into(),
+            class: DataClass::AdjacencyMatrix,
+            write: false,
+            predicted: 110.0,
+            measured: 100.0,
+            tolerance: 0.15,
+        };
+        assert!(o.passes(), "{:+.3}", o.rel_error());
+        o.predicted = 130.0;
+        assert!(!o.passes());
+        o.predicted = 70.0;
+        assert!(!o.passes(), "undershoot fails too");
+    }
+
+    #[test]
+    fn report_counts_failures_and_renders_them() {
+        let report = GateReport {
+            cells: 1,
+            outcomes: vec![
+                CheckOutcome {
+                    cell: "PR x Push".into(),
+                    class: DataClass::AdjacencyMatrix,
+                    write: false,
+                    predicted: 100.0,
+                    measured: 100.0,
+                    tolerance: 0.10,
+                },
+                CheckOutcome {
+                    cell: "PR x Push".into(),
+                    class: DataClass::SourceVertex,
+                    write: true,
+                    predicted: 200.0,
+                    measured: 100.0,
+                    tolerance: 0.10,
+                },
+            ],
+        };
+        assert_eq!(report.failures(), 1);
+        let text = report.render();
+        assert!(text.contains("FAIL"), "{text}");
+        assert!(text.contains("1 failure(s)"), "{text}");
+        let json = report.render_json();
+        assert!(json.contains("\"failures\":1"), "{json}");
+        assert!(json.contains("\"pass\":false"), "{json}");
+    }
+
+    #[test]
+    fn perturbed_scale_moves_compressed_predictions() {
+        // Pure prediction (no simulation): scaling the codec ratio must
+        // move the compressed-adjacency prediction proportionally, which
+        // is what makes the perturbation gate non-vacuous.
+        let (g, _) = gate_graphs();
+        let machine = gate_machine();
+        let honest = predict_cell(
+            AppName::Pr,
+            &g,
+            &Scheme::PushSpzip.config(),
+            machine.mem.cores,
+            machine.mem.llc.size_bytes,
+            ModelScale::default(),
+        );
+        let perturbed = predict_cell(
+            AppName::Pr,
+            &g,
+            &Scheme::PushSpzip.config(),
+            machine.mem.cores,
+            machine.mem.llc.size_bytes,
+            ModelScale {
+                codec_ratio_scale: 1.5,
+            },
+        );
+        let adj = DataClass::AdjacencyMatrix.index();
+        assert!(
+            perturbed.read[adj] > 1.3 * honest.read[adj],
+            "perturbed {} vs honest {}",
+            perturbed.read[adj],
+            honest.read[adj]
+        );
+    }
+}

@@ -34,10 +34,14 @@ pub struct LintReport {
     pub io_errors: usize,
     /// Human-readable report.
     pub output: String,
+    /// Per-pipeline diagnostics, kept structured for `--format json`.
+    pub results: Vec<(String, Vec<lint::Diagnostic>)>,
+    /// Parse/read failures with no structured diagnostic (name, error).
+    pub failures: Vec<(String, String)>,
 }
 
 impl LintReport {
-    fn absorb(&mut self, name: &str, diags: &[lint::Diagnostic]) {
+    fn absorb(&mut self, name: &str, diags: Vec<lint::Diagnostic>) {
         self.checked += 1;
         let errors = diags
             .iter()
@@ -49,9 +53,46 @@ impl LintReport {
             let _ = writeln!(self.output, "{name}: clean");
         } else {
             let _ = writeln!(self.output, "{name}:");
-            self.output.push_str(&lint::render(diags));
+            self.output.push_str(&lint::render(&diags));
         }
+        self.results.push((name.to_string(), diags));
     }
+}
+
+/// Renders a report as one JSON object: summary counters plus the
+/// per-pipeline diagnostic arrays (each element in the same shape as
+/// [`lint::render_json`], so `dcl-lint` and `dcl-perf` emit identical
+/// diagnostic records).
+pub fn render_json_report(report: &LintReport) -> String {
+    let mut out = format!(
+        "{{\"checked\":{},\"errors\":{},\"warnings\":{},\"io_errors\":{},\"pipelines\":[",
+        report.checked, report.errors, report.warnings, report.io_errors
+    );
+    for (i, (name, diags)) in report.results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n{{\"name\":\"{}\",\"diagnostics\":{}}}",
+            lint::json_escape(name),
+            lint::render_json(diags).trim_end()
+        );
+    }
+    out.push_str("],\"failures\":[");
+    for (i, (name, err)) in report.failures.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n{{\"name\":\"{}\",\"error\":\"{}\"}}",
+            lint::json_escape(name),
+            lint::json_escape(err)
+        );
+    }
+    out.push_str("]}\n");
+    out
 }
 
 /// Builds a placeholder symbol table for a `.dcl` text: every symbolic
@@ -82,7 +123,7 @@ pub fn lint_text(name: &str, text: &str, dot: bool, report: &mut LintReport) {
     let symbols = synthetic_symbols(text);
     match parser::parse(text, &symbols) {
         Ok(p) => {
-            report.absorb(name, &lint::lint(&p));
+            report.absorb(name, lint::lint(&p));
             if dot {
                 report.output.push_str(&parser::to_dot(&p));
             }
@@ -91,6 +132,7 @@ pub fn lint_text(name: &str, text: &str, dot: bool, report: &mut LintReport) {
             report.checked += 1;
             report.errors += 1;
             let _ = writeln!(report.output, "{name}: {e}");
+            report.failures.push((name.to_string(), e.to_string()));
         }
     }
 }
@@ -98,7 +140,7 @@ pub fn lint_text(name: &str, text: &str, dot: bool, report: &mut LintReport) {
 /// Lints every built-in application pipeline (all workloads x schemes).
 pub fn lint_builtins(dot: bool, report: &mut LintReport) {
     for (name, p) in spzip_apps::pipelines::all_builtin() {
-        report.absorb(&name, &lint::lint(&p));
+        report.absorb(&name, lint::lint(&p));
         if dot {
             report.output.push_str(&parser::to_dot(&p));
         }
@@ -116,6 +158,9 @@ pub fn run(args: &CommonArgs) -> i32 {
                 report.checked += 1;
                 report.io_errors += 1;
                 let _ = writeln!(report.output, "{}: {e}", path.display());
+                report
+                    .failures
+                    .push((path.display().to_string(), e.to_string()));
             }
         }
     }
@@ -123,22 +168,30 @@ pub fn run(args: &CommonArgs) -> i32 {
         lint_builtins(args.dot, &mut report);
     }
     if report.checked == 0 {
-        println!("usage: dcl-lint [--all-builtin] [--dot] [--deny-warnings] [file.dcl ...]");
+        println!(
+            "usage: dcl-lint [--all-builtin] [--dot] [--deny-warnings] \
+             [--format text|json] [file.dcl ...]"
+        );
         return 2;
     }
-    let _ = writeln!(
-        report.output,
-        "checked {} pipeline(s): {} error(s), {} warning(s){}",
-        report.checked,
-        report.errors,
-        report.warnings,
-        if report.io_errors > 0 {
-            format!(", {} unreadable", report.io_errors)
-        } else {
-            String::new()
+    match args.format {
+        crate::cli::OutputFormat::Json => print!("{}", render_json_report(&report)),
+        crate::cli::OutputFormat::Text => {
+            let _ = writeln!(
+                report.output,
+                "checked {} pipeline(s): {} error(s), {} warning(s){}",
+                report.checked,
+                report.errors,
+                report.warnings,
+                if report.io_errors > 0 {
+                    format!(", {} unreadable", report.io_errors)
+                } else {
+                    String::new()
+                }
+            );
+            print!("{}", report.output);
         }
-    );
-    print!("{}", report.output);
+    }
     exit_code(&report, args.deny_warnings)
 }
 
@@ -260,6 +313,26 @@ mod tests {
         report.checked += 1;
         assert_eq!(exit_code(&report, false), 2);
         assert_eq!(report.errors, 0);
+    }
+
+    #[test]
+    fn json_report_carries_diagnostics_and_failures() {
+        let mut r = LintReport::default();
+        lint_text(
+            "warny",
+            "queue a 8\nqueue b 16\nqueue unused 8\nrange a -> b base=0x0 elem=8",
+            false,
+            &mut r,
+        );
+        lint_text("broken", "queue a", false, &mut r);
+        let json = render_json_report(&r);
+        assert!(json.contains("\"checked\":2"), "{json}");
+        assert!(json.contains("\"name\":\"warny\""), "{json}");
+        assert!(
+            json.contains("\"code\":\"W001\""),
+            "shares the render_json element shape: {json}"
+        );
+        assert!(json.contains("\"name\":\"broken\",\"error\":"), "{json}");
     }
 
     #[test]

@@ -1,0 +1,301 @@
+//! The `dcl-perf` tool: static traffic/throughput analysis over `.dcl`
+//! text files and every built-in application pipeline.
+//!
+//! File mode parses each path against the same synthetic symbol table as
+//! `dcl-lint`, then runs [`spzip_core::perf::analyze`]: the analytical
+//! footprint/critical-path model that predicts per-class bytes per
+//! delivered element, the steady-state cycles-per-element, and the
+//! binding resource (DRAM bandwidth, an operator's service rate, or a
+//! scaled-down queue). Model findings surface as stable `P0xx`
+//! diagnostics through the shared [`spzip_core::lint`] machinery, so
+//! `--format json` emits the exact diagnostic records `dcl-lint` does.
+//!
+//! `--crosscheck` instead runs the model-vs-simulator gate in
+//! [`crate::crosscheck`]: predicted per-class traffic against simulated
+//! [`TrafficStats`](spzip_mem::stats::TrafficStats) over the built-in cell
+//! matrix.
+//!
+//! Exit codes mirror `dcl-lint`: 0 clean (warnings allowed unless
+//! `--deny-warnings`), 1 when any diagnostic — or any cross-check cell —
+//! fails the run, 2 when the tool could not do its job.
+
+use crate::cli::{CommonArgs, OutputFormat};
+use crate::dcl_lint::synthetic_symbols;
+use spzip_core::lint::{self, Severity};
+use spzip_core::parser;
+use spzip_core::perf::{analyze, BindingResource, PerfInput, PerfReport};
+use std::fmt::Write as _;
+
+/// Short per-class labels, in [`spzip_mem::DataClass::index`] order.
+pub const CLASS_LABELS: [&str; 6] = ["Adj", "Src", "Dst", "Upd", "Fro", "Oth"];
+
+/// Outcome of analyzing one batch of pipelines.
+#[derive(Debug, Default)]
+pub struct PerfToolReport {
+    /// Pipelines (or files) examined.
+    pub checked: usize,
+    /// Error-severity diagnostics plus parse failures.
+    pub errors: usize,
+    /// Warning-severity diagnostics.
+    pub warnings: usize,
+    /// Files the tool could not read (exit code 2, not a model verdict).
+    pub io_errors: usize,
+    /// Human-readable report.
+    pub output: String,
+    /// Per-pipeline analysis results, kept for `--format json`.
+    pub results: Vec<(String, PerfReport)>,
+    /// Parse/read failures with no structured diagnostic (name, error).
+    pub failures: Vec<(String, String)>,
+}
+
+/// Renders the binding resource as a short stable token.
+pub fn binding_label(b: &BindingResource) -> String {
+    match b {
+        BindingResource::DramBandwidth => "dram-bandwidth".to_string(),
+        BindingResource::OperatorService(i) => format!("operator-service({i})"),
+        BindingResource::QueueCapacity(q) => format!("queue-capacity(q{q})"),
+    }
+}
+
+impl PerfToolReport {
+    fn absorb(&mut self, name: &str, report: PerfReport) {
+        self.checked += 1;
+        let errors = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+            .count();
+        self.errors += errors;
+        self.warnings += report.diagnostics.len() - errors;
+        let elems = report.delivered_elems.max(1.0);
+        let summary = format!(
+            "{} bound, {:.2} cycles/elem, {:.1} B/elem",
+            binding_label(&report.binding),
+            report.cycles_per_unit() / elems,
+            report.total_bytes() / elems
+        );
+        if report.diagnostics.is_empty() {
+            let _ = writeln!(self.output, "{name}: clean ({summary})");
+        } else {
+            let _ = writeln!(self.output, "{name}: {summary}");
+            self.output.push_str(&lint::render(&report.diagnostics));
+        }
+        self.results.push((name.to_string(), report));
+    }
+}
+
+/// Renders a report as one JSON object. The envelope keys match
+/// `dcl-lint --format json` (`checked`/`errors`/`warnings`/`io_errors`/
+/// `pipelines`/`failures`); each pipeline additionally carries the model
+/// summary, and its `diagnostics` array is rendered by
+/// [`lint::render_json`] — byte-identical records across both tools.
+pub fn render_json_report(report: &PerfToolReport) -> String {
+    let mut out = format!(
+        "{{\"checked\":{},\"errors\":{},\"warnings\":{},\"io_errors\":{},\"pipelines\":[",
+        report.checked, report.errors, report.warnings, report.io_errors
+    );
+    for (i, (name, r)) in report.results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let fmt_array = |a: &[f64; 6]| {
+            let vals: Vec<String> = a.iter().map(|v| format!("{v:.1}")).collect();
+            format!("[{}]", vals.join(","))
+        };
+        let _ = write!(
+            out,
+            "\n{{\"name\":\"{}\",\"binding\":\"{}\",\"delivered_elems\":{:.1},\
+             \"cycles_per_element\":{:.4},\"service_cycles\":{:.1},\"dram_cycles\":{:.1},\
+             \"read_bytes\":{},\"write_bytes\":{},\"diagnostics\":{}}}",
+            lint::json_escape(name),
+            binding_label(&r.binding),
+            r.delivered_elems,
+            r.cycles_per_unit() / r.delivered_elems.max(1.0),
+            r.service_cycles,
+            r.dram_cycles,
+            fmt_array(&r.read_bytes),
+            fmt_array(&r.write_bytes),
+            lint::render_json(&r.diagnostics).trim_end()
+        );
+    }
+    out.push_str("],\"failures\":[");
+    for (i, (name, err)) in report.failures.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n{{\"name\":\"{}\",\"error\":\"{}\"}}",
+            lint::json_escape(name),
+            lint::json_escape(err)
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Analyzes one `.dcl` program text under `name`.
+pub fn perf_text(name: &str, text: &str, report: &mut PerfToolReport) {
+    let symbols = synthetic_symbols(text);
+    match parser::parse(text, &symbols) {
+        Ok(p) => report.absorb(name, analyze(&PerfInput::new(&p))),
+        Err(e) => {
+            report.checked += 1;
+            report.errors += 1;
+            let _ = writeln!(report.output, "{name}: {e}");
+            report.failures.push((name.to_string(), e.to_string()));
+        }
+    }
+}
+
+/// Analyzes every built-in application pipeline (all workloads x schemes).
+pub fn perf_builtins(report: &mut PerfToolReport) {
+    for (name, p) in spzip_apps::pipelines::all_builtin() {
+        report.absorb(&name, analyze(&PerfInput::new(&p)));
+    }
+}
+
+/// Runs the tool over parsed arguments; returns the process exit code.
+pub fn run(args: &CommonArgs) -> i32 {
+    if args.crosscheck {
+        return crate::crosscheck::run_gate(args.perturb_ratio, args.format);
+    }
+    let mut report = PerfToolReport::default();
+    for path in &args.paths {
+        match std::fs::read_to_string(path) {
+            Ok(text) => perf_text(&path.display().to_string(), &text, &mut report),
+            Err(e) => {
+                report.checked += 1;
+                report.io_errors += 1;
+                let _ = writeln!(report.output, "{}: {e}", path.display());
+                report
+                    .failures
+                    .push((path.display().to_string(), e.to_string()));
+            }
+        }
+    }
+    if args.all_builtin {
+        perf_builtins(&mut report);
+    }
+    if report.checked == 0 {
+        println!(
+            "usage: dcl-perf [--all-builtin] [--deny-warnings] [--format text|json] \
+             [--crosscheck [--perturb-ratio X]] [file.dcl ...]"
+        );
+        return 2;
+    }
+    match args.format {
+        OutputFormat::Json => print!("{}", render_json_report(&report)),
+        OutputFormat::Text => {
+            let _ = writeln!(
+                report.output,
+                "analyzed {} pipeline(s): {} error(s), {} warning(s){}",
+                report.checked,
+                report.errors,
+                report.warnings,
+                if report.io_errors > 0 {
+                    format!(", {} unreadable", report.io_errors)
+                } else {
+                    String::new()
+                }
+            );
+            print!("{}", report.output);
+        }
+    }
+    exit_code(&report, args.deny_warnings)
+}
+
+/// The process exit code for `report`: unreadable inputs dominate (2),
+/// then failing diagnostics (1), then success (0) — same ladder as
+/// `dcl-lint`.
+pub fn exit_code(report: &PerfToolReport, deny_warnings: bool) -> i32 {
+    if report.io_errors > 0 {
+        2
+    } else if report.errors > 0 || (deny_warnings && report.warnings > 0) {
+        1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRAVERSAL: &str = "
+        queue input 16
+        queue offs 32
+        queue rows 64
+        range input -> offs base=offsets idx=8 elem=8 mode=pairs class=adj
+        range offs -> rows base=rows idx=8 elem=4 mode=consecutive marker=0 class=adj
+    ";
+
+    #[test]
+    fn clean_file_reports_summary() {
+        let mut r = PerfToolReport::default();
+        perf_text("fig2", TRAVERSAL, &mut r);
+        assert_eq!((r.checked, r.errors, r.warnings), (1, 0, 0), "{}", r.output);
+        assert!(r.output.contains("fig2: clean"), "{}", r.output);
+        assert!(r.output.contains("dram-bandwidth bound"), "{}", r.output);
+    }
+
+    #[test]
+    fn parse_failure_is_an_error() {
+        let mut r = PerfToolReport::default();
+        perf_text("broken", "queue a", &mut r);
+        assert_eq!((r.checked, r.errors), (1, 1), "{}", r.output);
+        assert_eq!(r.failures.len(), 1);
+        assert_eq!(exit_code(&r, false), 1);
+    }
+
+    #[test]
+    fn builtins_analyze_p_clean() {
+        let mut r = PerfToolReport::default();
+        perf_builtins(&mut r);
+        assert!(r.checked >= 40, "{}", r.checked);
+        assert_eq!((r.errors, r.warnings), (0, 0), "{}", r.output);
+        assert_eq!(exit_code(&r, true), 0, "clean under --deny-warnings");
+    }
+
+    #[test]
+    fn json_report_shares_diagnostic_shape_with_lint() {
+        let mut r = PerfToolReport::default();
+        perf_text("fig2", TRAVERSAL, &mut r);
+        let json = render_json_report(&r);
+        assert!(json.contains("\"checked\":1"), "{json}");
+        assert!(json.contains("\"binding\":\"dram-bandwidth\""), "{json}");
+        assert!(json.contains("\"cycles_per_element\":"), "{json}");
+        assert!(json.contains("\"diagnostics\":[]"), "{json}");
+
+        // A pipeline with a P-finding embeds the same record fields
+        // dcl-lint's JSON uses (code/severity/site/line/message/hint).
+        let mut warny = PerfToolReport::default();
+        warny.absorb("tiny", {
+            let symbols = synthetic_symbols(TRAVERSAL);
+            let p = parser::parse(TRAVERSAL, &symbols).unwrap();
+            let mut input = PerfInput::new(&p);
+            input.default_range_elems = 1.0;
+            analyze(&input)
+        });
+        let wjson = render_json_report(&warny);
+        assert!(wjson.contains("\"code\":\"P003\""), "{wjson}");
+        assert!(wjson.contains("\"severity\":\"warning\""), "{wjson}");
+        assert!(wjson.contains("\"hint\":"), "{wjson}");
+    }
+
+    #[test]
+    fn binding_labels_are_stable() {
+        assert_eq!(
+            binding_label(&BindingResource::DramBandwidth),
+            "dram-bandwidth"
+        );
+        assert_eq!(
+            binding_label(&BindingResource::OperatorService(3)),
+            "operator-service(3)"
+        );
+        assert_eq!(
+            binding_label(&BindingResource::QueueCapacity(2)),
+            "queue-capacity(q2)"
+        );
+    }
+}

@@ -15,10 +15,15 @@
 //! regenerates everything in one process so overlapping cells (e.g. the
 //! Fig. 15/16/17 sweeps) are simulated exactly once. The [`dcl_lint`]
 //! module backs the `dcl-lint` binary, which statically analyzes `.dcl`
-//! files and every built-in pipeline with [`spzip_core::lint`].
+//! files and every built-in pipeline with [`spzip_core::lint`]; the
+//! [`dcl_perf`] module backs `dcl-perf`, the static traffic/throughput
+//! analyzer ([`spzip_core::perf`]), and [`crosscheck`] is its
+//! model-vs-simulator gate.
 
 pub mod cli;
+pub mod crosscheck;
 pub mod dcl_lint;
+pub mod dcl_perf;
 pub mod driver;
 pub mod figures;
 

@@ -1,0 +1,47 @@
+//! The model-vs-simulator cross-check gate, end to end: simulate the
+//! full 12-cell matrix once, then hold the static traffic model to its
+//! documented tolerances — and prove the gate non-vacuous by showing a
+//! deliberately mis-modeled codec ratio is caught.
+//!
+//! Simulating twelve 4096-vertex cells is release-build work; under a
+//! debug test run the module compiles but the test is skipped.
+
+#![cfg(not(debug_assertions))]
+
+use spzip_apps::perf::ModelScale;
+use spzip_bench::crosscheck::{evaluate, gate_graphs, measure_matrix};
+
+#[test]
+fn gate_passes_honest_model_and_catches_perturbed_codec() {
+    let (g, m) = gate_graphs();
+    let measured = measure_matrix(&g, &m);
+    assert!(measured.len() >= 12, "matrix must cover >= 12 cells");
+
+    // Honest model: every checked class within tolerance, every cell
+    // contributing at least one check.
+    let honest = evaluate(&measured, &g, &m, ModelScale::default());
+    assert_eq!(honest.cells, measured.len());
+    assert!(
+        honest.outcomes.len() >= measured.len(),
+        "every cell must contribute at least one check ({} checks)",
+        honest.outcomes.len()
+    );
+    assert_eq!(honest.failures(), 0, "\n{}", honest.render());
+
+    // Mis-modeled codec: scaling every codec-derived prediction by 1.5x
+    // must blow the compressed-adjacency tolerance in the SpZip cells.
+    // Same measurements — only the model changed.
+    let perturbed = evaluate(
+        &measured,
+        &g,
+        &m,
+        ModelScale {
+            codec_ratio_scale: 1.5,
+        },
+    );
+    assert!(
+        perturbed.failures() >= 3,
+        "a 50% codec-ratio error must be caught:\n{}",
+        perturbed.render()
+    );
+}

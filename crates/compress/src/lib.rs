@@ -44,6 +44,7 @@
 pub mod bdi;
 pub mod bpc;
 pub mod delta;
+pub mod model;
 pub mod rle;
 pub mod sanitize;
 pub mod sorted;

@@ -13,6 +13,10 @@
 //! * [`lint`] — the static analyzer: typed diagnostics (`E0xx`/`W0xx`)
 //!   covering deadlock freedom, chunk-marker discipline, width agreement,
 //!   dead operators, and scratchpad budgets, with a rustc-style renderer.
+//! * [`perf`] — the static *performance* analyzer: analytical per-class
+//!   traffic footprints, a bottleneck pass predicting the binding resource
+//!   (DRAM bandwidth, engine service rate, or a starved queue), and `P0xx`
+//!   diagnostics sharing the lint renderers.
 //! * [`memory`] — a synthetic address space holding the application's real
 //!   data, which the functional engine reads and writes.
 //! * [`func`] — the functional engine: executes a DCL pipeline against a
@@ -37,6 +41,7 @@ pub mod func;
 pub mod lint;
 pub mod memory;
 pub mod parser;
+pub mod perf;
 
 use std::fmt;
 

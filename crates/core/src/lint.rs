@@ -114,6 +114,12 @@ pub enum Code {
     W002,
     W003,
     W004,
+    P001,
+    P002,
+    P003,
+    P004,
+    P005,
+    P006,
 }
 
 impl Code {
@@ -122,7 +128,8 @@ impl Code {
         use Code::*;
         &[
             E001, E002, E003, E004, E005, E006, E007, E008, E009, E010, E011, E012, E013, E014,
-            E015, E016, E017, E018, E019, W001, W002, W003, W004,
+            E015, E016, E017, E018, E019, W001, W002, W003, W004, P001, P002, P003, P004, P005,
+            P006,
         ]
     }
 
@@ -152,10 +159,19 @@ impl Code {
             Code::W002 => "W002",
             Code::W003 => "W003",
             Code::W004 => "W004",
+            Code::P001 => "P001",
+            Code::P002 => "P002",
+            Code::P003 => "P003",
+            Code::P004 => "P004",
+            Code::P005 => "P005",
+            Code::P006 => "P006",
         }
     }
 
-    /// Errors deny `build()`; warnings pass through.
+    /// Errors deny `build()`; warnings pass through. `P0xx` performance
+    /// predictions (emitted by [`perf`](crate::perf), never by [`lint`])
+    /// are warnings: the pipeline runs correctly, just not as fast or as
+    /// small as intended.
     pub fn severity(&self) -> Severity {
         if self.as_str().starts_with('E') {
             Severity::Error
@@ -190,6 +206,12 @@ impl Code {
             Code::W002 => "transform discards its output",
             Code::W003 => "declared queue words exceed the engine scratchpad",
             Code::W004 => "one base address used with different traffic classes",
+            Code::P001 => "queue leaves no slack over producer burst plus consumer demand",
+            Code::P002 => "compression scheme predicted to inflate its stream",
+            Code::P003 => "pipeline predicted no faster than software traversal",
+            Code::P004 => "engine service rate predicted to bottleneck a DRAM-bound pipeline",
+            Code::P005 => "chunk-marker overhead dominates a queue's bandwidth",
+            Code::P006 => "MemQueue chunks predicted far below a cache line",
         }
     }
 }
@@ -237,7 +259,7 @@ pub struct Diagnostic {
 }
 
 impl Diagnostic {
-    fn new(code: Code, site: Site, line: Option<u32>, message: String) -> Self {
+    pub(crate) fn new(code: Code, site: Site, line: Option<u32>, message: String) -> Self {
         Diagnostic {
             code,
             site,
@@ -247,7 +269,7 @@ impl Diagnostic {
         }
     }
 
-    fn hint(mut self, hint: impl Into<String>) -> Self {
+    pub(crate) fn hint(mut self, hint: impl Into<String>) -> Self {
         self.hint = Some(hint.into());
         self
     }
@@ -293,6 +315,59 @@ pub fn render(diags: &[Diagnostic]) -> String {
     } else if warnings > 0 {
         out.push_str(&format!("{warnings} warning(s)\n"));
     }
+    out
+}
+
+/// Escapes `s` for inclusion in a JSON string literal. Public so tools
+/// wrapping [`render_json`] output in named envelopes (`dcl-lint`,
+/// `dcl-perf`) escape their keys the same way.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders diagnostics as a JSON array — the machine-readable form shared
+/// by `dcl-lint --format json` and `dcl-perf --format json`. Each element
+/// carries the stable code, severity, site, optional source line, message,
+/// and optional hint; the field set is append-only so downstream tooling
+/// can match on it.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"code\":\"{}\",\"severity\":\"{}\",\"site\":\"{}\"",
+            d.code,
+            d.severity(),
+            json_escape(&d.site.to_string()),
+        ));
+        match d.line {
+            Some(l) => out.push_str(&format!(",\"line\":{l}")),
+            None => out.push_str(",\"line\":null"),
+        }
+        out.push_str(&format!(",\"message\":\"{}\"", json_escape(&d.message)));
+        match &d.hint {
+            Some(h) => out.push_str(&format!(",\"hint\":\"{}\"}}", json_escape(h))),
+            None => out.push_str(",\"hint\":null}"),
+        }
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
     out
 }
 
@@ -1142,7 +1217,7 @@ mod tests {
             assert!(!c.summary().is_empty());
             match c.as_str().as_bytes()[0] {
                 b'E' => assert_eq!(c.severity(), Severity::Error),
-                b'W' => assert_eq!(c.severity(), Severity::Warning),
+                b'W' | b'P' => assert_eq!(c.severity(), Severity::Warning),
                 _ => panic!("bad code prefix"),
             }
         }

@@ -30,12 +30,21 @@ pub struct RunReport {
 /// set changes so stale cache entries are rejected instead of misparsed.
 pub const REPORT_FORMAT: &str = "spzip-report-v1";
 
+/// Sentinel returned by [`RunReport::speedup_over`] and
+/// [`RunReport::traffic_vs`] when the baseline contributes a zero
+/// denominator (zero cycles, zero traffic): the ratio is undefined, and
+/// NaN poisons any downstream arithmetic instead of a clamped division
+/// silently producing a plausible-looking number. Callers that render
+/// tables test with `f64::is_nan` and print `n/a`.
+pub const UNDEFINED_RATIO: f64 = f64::NAN;
+
 impl RunReport {
     /// Speedup of this run over `baseline` (ratio of cycle counts).
     ///
-    /// Warns on stderr when `baseline` retired zero events — its cycle
-    /// count is then an artifact of an empty run, and the `max(1)` guard
-    /// below would otherwise hide that the ratio is meaningless.
+    /// Returns [`UNDEFINED_RATIO`] when `baseline` simulated zero
+    /// cycles — a ratio over an empty baseline is meaningless. Warns on
+    /// stderr when `baseline` retired zero events, since its cycle count
+    /// is then an artifact of an empty run even when nonzero.
     pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
         if baseline.retired_events == 0 {
             eprintln!(
@@ -44,12 +53,17 @@ impl RunReport {
                 baseline.cycles
             );
         }
+        if baseline.cycles == 0 {
+            return UNDEFINED_RATIO;
+        }
         baseline.cycles as f64 / self.cycles.max(1) as f64
     }
 
     /// This run's traffic as a fraction of `baseline`'s.
     ///
-    /// Warns on stderr when `baseline` retired zero events (see
+    /// Returns [`UNDEFINED_RATIO`] when `baseline` moved zero bytes —
+    /// the denominator is zero and the ratio undefined. Warns on stderr
+    /// when `baseline` retired zero events (see
     /// [`RunReport::speedup_over`]).
     pub fn traffic_vs(&self, baseline: &RunReport) -> f64 {
         if baseline.retired_events == 0 {
@@ -59,7 +73,11 @@ impl RunReport {
                 baseline.traffic.total_bytes()
             );
         }
-        self.traffic.total_bytes() as f64 / baseline.traffic.total_bytes().max(1) as f64
+        let base_bytes = baseline.traffic.total_bytes();
+        if base_bytes == 0 {
+            return UNDEFINED_RATIO;
+        }
+        self.traffic.total_bytes() as f64 / base_bytes as f64
     }
 
     /// Per-class traffic normalized to `denominator` bytes.
@@ -238,6 +256,17 @@ mod tests {
         let fast = report(250, 2000);
         assert_eq!(fast.speedup_over(&base), 4.0);
         assert_eq!(fast.traffic_vs(&base), 0.5);
+    }
+
+    #[test]
+    fn zero_denominator_baselines_yield_undefined_ratio() {
+        let empty = report(0, 0);
+        let run = report(250, 2000);
+        assert!(run.speedup_over(&empty).is_nan(), "zero-cycle baseline");
+        assert!(run.traffic_vs(&empty).is_nan(), "zero-byte baseline");
+        assert!(UNDEFINED_RATIO.is_nan());
+        // A zero-cycle *numerator* is still a defined (clamped) ratio.
+        assert_eq!(empty.speedup_over(&run), 250.0);
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Property-based tests on the `RunReport` `key value` serialization:
+//! `to_kv` → `from_kv` must be lossless for every representable report,
+//! including extreme counter values — results caches persist these files
+//! across sessions, so a single lossy field silently corrupts figures.
+
+use proptest::prelude::*;
+use spzip_mem::cache::CacheStats;
+use spzip_mem::stats::TrafficStats;
+use spzip_mem::DataClass;
+use spzip_sim::report::RunReport;
+
+/// Counters that stress the serialization: zeros, small values, and the
+/// extremes a `u64` can hold.
+fn arb_counter() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        Just(1u64),
+        Just(u64::MAX),
+        Just(u64::MAX - 1),
+        any::<u64>(),
+        0u64..1_000_000,
+    ]
+}
+
+/// Per-class byte counts: extreme, but capped so the 12-way sum in
+/// `total_bytes` cannot overflow (the serialization itself never sums).
+fn arb_bytes() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        Just(1u64),
+        Just(u64::MAX / 16),
+        any::<u64>().prop_map(|v| v >> 4),
+        0u64..1_000_000,
+    ]
+}
+
+fn arb_report() -> impl Strategy<Value = RunReport> {
+    (
+        arb_counter(),
+        proptest::collection::vec(arb_bytes(), 12),
+        (arb_counter(), arb_counter(), arb_counter()),
+        (arb_counter(), arb_counter()),
+        (arb_counter(), arb_counter(), arb_counter(), arb_counter()),
+        // Finite utilizations only: NaN is unrepresentable in a run and
+        // would defeat equality checking. (The vendored proptest has no
+        // float-range strategy, so derive from an integer.)
+        (0u32..=1_000_000).prop_map(|v| f64::from(v) / 1_000_000.0),
+    )
+        .prop_map(
+            |(cycles, class_bytes, (hits, misses, evictions), (inval, atomics), rest, util)| {
+                let mut traffic = TrafficStats::new();
+                for (i, c) in DataClass::all().into_iter().enumerate() {
+                    traffic.record_read(c, class_bytes[2 * i]);
+                    traffic.record_write(c, class_bytes[2 * i + 1]);
+                }
+                traffic.invalidations = inval;
+                traffic.atomics = atomics;
+                let (fetcher_fired, compressor_fired, core_stall_cycles, retired_events) = rest;
+                RunReport {
+                    cycles,
+                    traffic,
+                    llc: CacheStats {
+                        hits,
+                        misses,
+                        evictions,
+                    },
+                    dram_utilization: util,
+                    fetcher_fired,
+                    compressor_fired,
+                    core_stall_cycles,
+                    retired_events,
+                }
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn kv_roundtrip_is_lossless(report in arb_report()) {
+        let kv = report.to_kv();
+        let back = RunReport::from_kv(&kv).expect("serialized report must parse");
+        // `to_kv` covers every field, so byte-identical re-serialization
+        // is full field equality (floats use shortest-roundtrip `{:?}`).
+        prop_assert_eq!(back.to_kv(), kv);
+    }
+
+    #[test]
+    fn kv_roundtrip_preserves_ratios(report in arb_report()) {
+        let back = RunReport::from_kv(&report.to_kv()).unwrap();
+        prop_assert_eq!(back.cycles, report.cycles);
+        prop_assert_eq!(back.traffic.total_bytes(), report.traffic.total_bytes());
+        prop_assert_eq!(back.retired_events, report.retired_events);
+        prop_assert_eq!(
+            back.dram_utilization.to_bits(),
+            report.dram_utilization.to_bits()
+        );
+    }
+}
