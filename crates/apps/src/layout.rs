@@ -9,6 +9,7 @@
 use crate::scheme::SchemeConfig;
 use spzip_compress::CodecKind;
 use spzip_core::memory::MemoryImage;
+use spzip_core::shape::{MemorySchema, RegionSchema};
 use spzip_graph::{Csr, VertexId};
 use spzip_mem::DataClass;
 use std::sync::Arc;
@@ -287,6 +288,143 @@ impl Workload {
     /// Number of vertices.
     pub fn n(&self) -> usize {
         self.g.num_vertices()
+    }
+
+    /// The declared [`MemorySchema`] for this workload under `cfg`: one
+    /// entry per allocated region with its extent, element width, value
+    /// bound, and codec framing. This is the layout-side half of the shape
+    /// verifier's contract — every builtin pipeline constructor pairs its
+    /// program with this schema so [`spzip_core::shape::verify`] can prove
+    /// its indirections in-bounds and its codec framing consistent.
+    pub fn schema(&self, cfg: &SchemeConfig) -> MemorySchema {
+        let n = self.n() as u64;
+        let e = self.g.num_edges() as u64;
+        // Largest vertex id any frontier/neighbor stream can carry.
+        let vmax = n.saturating_sub(1);
+        let mut s = MemorySchema::new();
+        // Offsets hold element offsets into the neighbor array; the
+        // sentinel bounds them by the edge count.
+        s.add_region(RegionSchema::raw_bounded(
+            "offsets",
+            self.offsets_addr,
+            (n + 1) * 8,
+            8,
+            e,
+        ));
+        s.add_region(RegionSchema::raw_bounded(
+            "neighbors",
+            self.neighbors_addr,
+            e * 4,
+            4,
+            vmax,
+        ));
+        if let Some(values_addr) = self.values_addr {
+            s.add_region(RegionSchema::raw("values", values_addr, e * 4, 4));
+        }
+        s.add_region(RegionSchema::raw("src_data", self.src_addr, n * 4, 4));
+        if self.dst_addr != self.src_addr {
+            s.add_region(RegionSchema::raw("dst_data", self.dst_addr, n * 4, 4));
+        }
+        s.add_region(RegionSchema::raw("aux_data", self.aux_addr, n * 4, 4));
+        s.add_region(RegionSchema::raw_bounded(
+            "frontier",
+            self.frontier_addr,
+            n * 4 + 64,
+            4,
+            vmax,
+        ));
+        s.add_region(RegionSchema::raw_bounded(
+            "next_frontier",
+            self.next_frontier_addr,
+            n * 4 + 64,
+            4,
+            vmax,
+        ));
+        s.add_region(RegionSchema::framed(
+            "cfrontier",
+            self.cfrontier_addr,
+            n * 5 + 4096,
+            cfg.vertex_codec,
+            4,
+            Some(vmax),
+        ));
+        if let Some(cadj) = &self.cadj {
+            let groups = n.div_ceil(cadj.group_rows as u64);
+            s.add_region(RegionSchema::raw_bounded(
+                "cadj_offsets",
+                cadj.offsets_addr,
+                (groups + 1) * 8,
+                8,
+                cadj.total_bytes,
+            ));
+            s.add_region(RegionSchema::framed(
+                "cadj_bytes",
+                cadj.bytes_addr,
+                cadj.total_bytes,
+                cfg.adjacency_codec,
+                4,
+                Some(vmax),
+            ));
+        }
+        if let Some(bins) = &self.bins {
+            let update_codec = if cfg.compress_updates {
+                cfg.update_codec
+            } else {
+                CodecKind::None
+            };
+            s.add_region(RegionSchema::framed(
+                "bins",
+                bins.bins_base,
+                bins.core_stride * self.cores as u64,
+                update_codec,
+                8,
+                None,
+            ));
+            s.add_region(RegionSchema::raw(
+                "mqu1_chunks",
+                bins.mqu1_base,
+                bins.mqu1_stride * bins.num_bins as u64 * self.cores as u64,
+                8,
+            ));
+            s.add_region(RegionSchema::raw(
+                "bin_meta",
+                bins.meta_base,
+                self.cores as u64 * bins.num_bins as u64 * 8,
+                8,
+            ));
+        }
+        if let Some(cdst) = &self.cdst {
+            s.add_region(RegionSchema::framed(
+                "cdst",
+                cdst.base,
+                cdst.stride * cdst.lens.len() as u64,
+                cfg.vertex_codec,
+                4,
+                None,
+            ));
+        }
+        if let Some(csrc) = &self.csrc {
+            s.add_region(RegionSchema::framed(
+                "csrc",
+                csrc.base,
+                csrc.stride * csrc.lens.len() as u64,
+                cfg.vertex_codec,
+                4,
+                None,
+            ));
+        }
+        let staging_bytes = self
+            .bins
+            .as_ref()
+            .map_or(VERTEX_CHUNK as u64 * 4, |b| b.slice_vertices as u64 * 4)
+            .max(VERTEX_CHUNK as u64 * 4);
+        s.add_region(RegionSchema::raw(
+            "staging",
+            self.staging_addr,
+            staging_bytes,
+            4,
+        ));
+        s
     }
 
     /// Recompresses destination-data chunk `i` (after an accumulation bin

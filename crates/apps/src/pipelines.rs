@@ -9,8 +9,20 @@ use crate::layout::Workload;
 use crate::scheme::SchemeConfig;
 use spzip_compress::CodecKind;
 use spzip_core::dcl::{MemQueueMode, OperatorKind, Pipeline, PipelineBuilder, RangeInput};
+use spzip_core::shape::{InputDomain, MemorySchema};
 use spzip_core::QueueId;
 use spzip_mem::DataClass;
+
+/// Declares queue `q` as carrying range endpoints into the region of
+/// `schema` that contains `base` — the address the consuming fetch
+/// actually targets, so the declaration survives layout-level address
+/// swaps (e.g. frontier double-buffering).
+fn declare_ranges_into(schema: &mut MemorySchema, q: QueueId, base: u64) {
+    if let Some(r) = schema.region_containing(base) {
+        let region = r.name.clone();
+        schema.declare_input(q, InputDomain::Ranges { region });
+    }
+}
 
 /// The fetcher program for traversal phases (Push traversal, UB/PHI
 /// binning): frontier → offsets → neighbors (→ optional destination
@@ -28,6 +40,8 @@ pub struct TraversalPipe {
     pub neigh_q: QueueId,
     /// Core output: per-source payload data.
     pub contrib_q: Option<QueueId>,
+    /// The declared layout + input shapes this program runs against.
+    pub schema: MemorySchema,
 }
 
 /// Options for [`traversal`].
@@ -312,12 +326,31 @@ pub fn traversal(w: &Workload, cfg: &SchemeConfig, opts: TraversalOpts) -> Trave
     }
 
     let pipeline = b.build().expect("traversal pipeline must validate");
+
+    let mut schema = w.schema(cfg);
+    let in_base = if opts.all_active {
+        w.cadj.as_ref().map_or(w.offsets_addr, |c| c.offsets_addr)
+    } else if opts.frontier_compressed {
+        w.cfrontier_addr
+    } else {
+        w.frontier_addr
+    };
+    declare_ranges_into(&mut schema, in_q, in_base);
+    if let Some(sq) = src_in_q {
+        let src_base = match (cfg.compress_vertex, w.csrc.as_ref()) {
+            (true, Some(csrc)) => csrc.base,
+            _ => w.src_addr,
+        };
+        declare_ranges_into(&mut schema, sq, src_base);
+    }
+
     TraversalPipe {
         pipeline,
         in_q,
         src_in_q,
         neigh_q,
         contrib_q,
+        schema,
     }
 }
 
@@ -330,6 +363,8 @@ pub struct BinningCompPipe {
     /// Core input: alternating (bin id, update) values; `Marker(bin)`
     /// closes a bin.
     pub bin_q: QueueId,
+    /// The declared layout + input shapes this program runs against.
+    pub schema: MemorySchema,
 }
 
 /// Builds `core`'s binning compressor program.
@@ -381,9 +416,18 @@ pub fn binning_compressor(w: &Workload, cfg: &SchemeConfig, core: usize) -> Binn
         cbytes_q,
         vec![],
     );
+    let mut schema = w.schema(cfg);
+    schema.declare_input(
+        bin_q,
+        InputDomain::BinPairs {
+            max_bin: bins.num_bins - 1,
+            elem_bytes: 8,
+        },
+    );
     BinningCompPipe {
         pipeline: b.build().expect("binning pipeline must validate"),
         bin_q,
+        schema,
     }
 }
 
@@ -401,6 +445,8 @@ pub struct AccumFetchPipe {
     pub slice_in_q: Option<QueueId>,
     /// Core output: decompressed vertex values.
     pub slice_val_q: Option<QueueId>,
+    /// The declared layout + input shapes this program runs against.
+    pub schema: MemorySchema,
 }
 
 /// Builds the accumulation fetcher program.
@@ -463,12 +509,19 @@ pub fn accum_fetcher(w: &Workload, cfg: &SchemeConfig) -> AccumFetchPipe {
     } else {
         (None, None)
     };
+    let mut schema = w.schema(cfg);
+    declare_ranges_into(&mut schema, bin_in_q, bins.bins_base);
+    if let Some(sq) = slice_in_q {
+        let base = w.cdst.as_ref().map(|c| c.base).unwrap_or(w.dst_addr);
+        declare_ranges_into(&mut schema, sq, base);
+    }
     AccumFetchPipe {
         pipeline: b.build().expect("accumulation pipeline must validate"),
         bin_in_q,
         upd_q,
         slice_in_q,
         slice_val_q,
+        schema,
     }
 }
 
@@ -481,11 +534,16 @@ pub struct SliceCompPipe {
     pub pipeline: Pipeline,
     /// Core input: element ranges into the source array.
     pub in_q: QueueId,
+    /// The declared layout + input shapes this program runs against.
+    pub schema: MemorySchema,
 }
 
 /// Builds a slice compressor reading 4-byte elements at `src_base` and
-/// writing the compressed stream at `out_base`.
+/// writing the compressed stream at `out_base`; both addresses must lie
+/// in regions of `w`'s layout.
 pub fn slice_compressor(
+    w: &Workload,
+    cfg: &SchemeConfig,
     src_base: u64,
     out_base: u64,
     codec: CodecKind,
@@ -524,9 +582,12 @@ pub fn slice_compressor(
         bytes_q,
         vec![],
     );
+    let mut schema = w.schema(cfg);
+    declare_ranges_into(&mut schema, in_q, src_base);
     SliceCompPipe {
         pipeline: b.build().expect("slice compressor must validate"),
         in_q,
+        schema,
     }
 }
 
@@ -538,10 +599,15 @@ pub struct ValueCompPipe {
     pub pipeline: Pipeline,
     /// Core input: values; a marker closes each compressed chunk.
     pub val_q: QueueId,
+    /// The declared layout + input shapes this program runs against.
+    pub schema: MemorySchema,
 }
 
-/// Builds a single-stream value compressor writing at `out_base`.
+/// Builds a single-stream value compressor writing at `out_base`, which
+/// must lie in a region of `w`'s layout.
 pub fn value_compressor(
+    w: &Workload,
+    cfg: &SchemeConfig,
     out_base: u64,
     codec: CodecKind,
     sort_chunks: bool,
@@ -567,21 +633,41 @@ pub fn value_compressor(
         bytes_q,
         vec![],
     );
+    let mut schema = w.schema(cfg);
+    schema.declare_input(
+        val_q,
+        InputDomain::Values {
+            elem_bytes: 4,
+            max: None,
+        },
+    );
     ValueCompPipe {
         pipeline: b.build().expect("value compressor must validate"),
         val_q,
+        schema,
     }
+}
+
+/// [`all_builtin_checked`] without the schemas, for callers that only
+/// need the programs.
+pub fn all_builtin() -> Vec<(String, Pipeline)> {
+    all_builtin_checked()
+        .into_iter()
+        .map(|(name, p, _)| (name, p))
+        .collect()
 }
 
 /// Every DCL program the built-in applications can load, across all
 /// engine-using schemes (including decoupled-only variants), frontier
-/// modes, and per-pipeline options — paired with a descriptive name.
+/// modes, and per-pipeline options — paired with a descriptive name and
+/// the [`MemorySchema`] its constructor declared.
 ///
 /// This is the enumeration `dcl-lint --all-builtin` checks in CI: each
-/// pipeline the paper's figures exercise must lint clean. A small synthetic
-/// graph stands in for the real inputs; pipeline *structure* only depends
-/// on the scheme configuration and workload layout, not on graph scale.
-pub fn all_builtin() -> Vec<(String, Pipeline)> {
+/// pipeline the paper's figures exercise must lint clean *and* verify
+/// B-clean against its schema. A small synthetic graph stands in for the
+/// real inputs; pipeline *structure* only depends on the scheme
+/// configuration and workload layout, not on graph scale.
+pub fn all_builtin_checked() -> Vec<(String, Pipeline, MemorySchema)> {
     use crate::scheme::{Scheme, Strategy};
     use spzip_graph::gen::{community, CommunityParams};
     use std::sync::Arc;
@@ -620,39 +706,56 @@ pub fn all_builtin() -> Vec<(String, Pipeline)> {
                             "{name}/traversal aa={all_active} pf={prefetch_dst} rs={read_source}"
                         ),
                         t.pipeline,
+                        t.schema,
                     ));
                 }
             }
             if w.bins.is_some() {
+                let bc = binning_compressor(&w, cfg, 0);
                 out.push((
                     format!("{name}/binning_compressor aa={all_active}"),
-                    binning_compressor(&w, cfg, 0).pipeline,
+                    bc.pipeline,
+                    bc.schema,
                 ));
+                let af = accum_fetcher(&w, cfg);
                 out.push((
                     format!("{name}/accum_fetcher aa={all_active}"),
-                    accum_fetcher(&w, cfg).pipeline,
+                    af.pipeline,
+                    af.schema,
                 ));
             }
             if cfg.compress_vertex {
-                out.push((
-                    format!("{name}/slice_compressor aa={all_active}"),
-                    slice_compressor(
-                        w.src_addr,
-                        w.staging_addr,
+                // The slice compressor's real job is writing back a
+                // destination slice as vertex-codec frames; compressing
+                // into `cdst` (not the raw staging buffer) is the wiring
+                // the shape verifier can prove framing-consistent.
+                if let Some(cdst) = &w.cdst {
+                    let sc = slice_compressor(
+                        &w,
+                        cfg,
+                        w.dst_addr,
+                        cdst.base,
                         cfg.vertex_codec,
-                        DataClass::SourceVertex,
-                    )
-                    .pipeline,
-                ));
+                        DataClass::DestinationVertex,
+                    );
+                    out.push((
+                        format!("{name}/slice_compressor aa={all_active}"),
+                        sc.pipeline,
+                        sc.schema,
+                    ));
+                }
+                let vc = value_compressor(
+                    &w,
+                    cfg,
+                    w.cfrontier_addr,
+                    cfg.vertex_codec,
+                    cfg.sort_chunks,
+                    DataClass::Frontier,
+                );
                 out.push((
                     format!("{name}/value_compressor aa={all_active}"),
-                    value_compressor(
-                        w.cfrontier_addr,
-                        cfg.vertex_codec,
-                        cfg.sort_chunks,
-                        DataClass::Frontier,
-                    )
-                    .pipeline,
+                    vc.pipeline,
+                    vc.schema,
                 ));
             }
         }
@@ -747,14 +850,55 @@ mod tests {
 
     #[test]
     fn stream_compressors_validate() {
+        let w = workload(Scheme::UbSpzip, true);
+        let cfg = Scheme::UbSpzip.config();
+        let cdst_base = w.cdst.as_ref().unwrap().base;
         let sc = slice_compressor(
-            0x1000,
-            0x2000,
-            CodecKind::Bpc32,
+            &w,
+            &cfg,
+            w.dst_addr,
+            cdst_base,
+            cfg.vertex_codec,
             DataClass::DestinationVertex,
         );
         assert_eq!(sc.pipeline.operators().len(), 3);
-        let vc = value_compressor(0x3000, CodecKind::Delta, true, DataClass::Frontier);
+        assert!(spzip_core::shape::verify(&sc.pipeline, &sc.schema).is_clean());
+        let vc = value_compressor(
+            &w,
+            &cfg,
+            w.cfrontier_addr,
+            cfg.vertex_codec,
+            cfg.sort_chunks,
+            DataClass::Frontier,
+        );
         assert_eq!(vc.pipeline.operators().len(), 2);
+        assert!(spzip_core::shape::verify(&vc.pipeline, &vc.schema).is_clean());
+    }
+
+    #[test]
+    fn every_builtin_pipeline_verifies_shape_clean() {
+        let all = all_builtin_checked();
+        assert!(all.len() >= 40, "got {}", all.len());
+        for (name, p, schema) in &all {
+            assert!(
+                !schema.regions.is_empty() && !schema.inputs.is_empty(),
+                "{name} declares an empty schema"
+            );
+            let report = spzip_core::shape::verify(p, schema);
+            assert!(
+                report.is_clean(),
+                "{name} has shape errors:\n{}",
+                spzip_core::lint::render(&report.diagnostics)
+            );
+            // Every queue an operator consumes got a domain: the schema is
+            // complete, not just silent.
+            for op in p.operators() {
+                assert!(
+                    report.queue_domains[op.input as usize].is_some(),
+                    "{name}: q{} has no inferred domain",
+                    op.input
+                );
+            }
+        }
     }
 }

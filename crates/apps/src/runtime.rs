@@ -312,6 +312,8 @@ fn compress_frontier_phase(
     let pipes: Vec<pipelines::ValueCompPipe> = (0..cores)
         .map(|c| {
             pipelines::value_compressor(
+                w,
+                cfg,
                 w.cfrontier_addr + c as u64 * region_cap,
                 cfg.vertex_codec,
                 cfg.sort_chunks,

@@ -113,17 +113,19 @@ impl RunSpec {
     /// Uses derived `Debug` for the scheme/machine structs: it prints
     /// every field, so any parameter change (including the silent kind —
     /// a new knob, a retuned constant) changes the fingerprint and
-    /// invalidates stale cached results. The codec, DCL-linter, and
-    /// performance-model versions are folded in for the same reason: a
-    /// codec bitstream change, a lint-driven pipeline change, or a
-    /// retuned analytical model alters simulated behaviour or its
-    /// cross-checked interpretation without touching any spec field.
+    /// invalidates stale cached results. The codec, DCL-linter,
+    /// performance-model, and shape-verifier versions are folded in for
+    /// the same reason: a codec bitstream change, a lint- or shape-driven
+    /// pipeline change, or a retuned analytical model alters simulated
+    /// behaviour or its cross-checked interpretation without touching any
+    /// spec field.
     pub fn fingerprint(&self) -> String {
         format!(
-            "v1;codec={};lint={};perf={};app={};input={};prep={:?};scale={:?};scheme={:?};machine={:?}",
+            "v1;codec={};lint={};perf={};shape={};app={};input={};prep={:?};scale={:?};scheme={:?};machine={:?}",
             spzip_compress::CODEC_VERSION,
             spzip_core::lint::LINT_VERSION,
             spzip_core::perf::PERF_VERSION,
+            spzip_core::shape::SHAPE_VERSION,
             self.app,
             self.input,
             self.prep,
@@ -361,6 +363,7 @@ mod tests {
             format!("codec={}", spzip_compress::CODEC_VERSION),
             format!("lint={}", spzip_core::lint::LINT_VERSION),
             format!("perf={}", spzip_core::perf::PERF_VERSION),
+            format!("shape={}", spzip_core::shape::SHAPE_VERSION),
         ] {
             assert!(fp.contains(&component), "{fp} missing {component}");
         }

@@ -15,7 +15,12 @@
 //! * `--only fig15ab,fig07` — restrict `bench_all` to named outputs.
 //! * `--all-builtin` — `dcl-lint`/`dcl-perf`: also analyze every
 //!   built-in app pipeline.
-//! * `--dot` — `dcl-lint`: print each linted pipeline as Graphviz dot.
+//! * `--dot` — `dcl-lint`: print each linted pipeline as Graphviz dot
+//!   (builtin pipelines annotate edges with the inferred shape domain).
+//! * `--no-shape` — `dcl-lint`: skip the shape-and-bounds verifier
+//!   ([`spzip_core::shape`]) that builtin linting runs by default.
+//! * `--shape-corpus` — `dcl-lint`: run the seeded-miswiring differential
+//!   gate (static B-code vs. dynamic functional-engine confirmation).
 //! * `--deny-warnings` — `dcl-lint`/`dcl-perf`: exit non-zero on
 //!   warnings too.
 //! * `--format text|json` — `dcl-lint`/`dcl-perf`: report format
@@ -71,6 +76,11 @@ pub struct CommonArgs {
     pub all_builtin: bool,
     /// Emit Graphviz dot for linted pipelines (`--dot`, `dcl-lint`).
     pub dot: bool,
+    /// Skip the shape verifier on builtins (`--no-shape`, `dcl-lint`).
+    pub no_shape: bool,
+    /// Run the seeded-miswiring differential gate (`--shape-corpus`,
+    /// `dcl-lint`).
+    pub shape_corpus: bool,
     /// Treat lint warnings as fatal (`--deny-warnings`, `dcl-lint`).
     pub deny_warnings: bool,
     /// Report format (`--format text|json`).
@@ -105,6 +115,8 @@ pub fn parse_from(args: &[String]) -> CommonArgs {
         out_dir: PathBuf::from("results"),
         all_builtin: false,
         dot: false,
+        no_shape: false,
+        shape_corpus: false,
         deny_warnings: false,
         format: OutputFormat::Text,
         crosscheck: false,
@@ -180,6 +192,14 @@ pub fn parse_from(args: &[String]) -> CommonArgs {
                 parsed.dot = true;
                 consumed[i] = true;
             }
+            "--no-shape" => {
+                parsed.no_shape = true;
+                consumed[i] = true;
+            }
+            "--shape-corpus" => {
+                parsed.shape_corpus = true;
+                consumed[i] = true;
+            }
             "--crosscheck" => {
                 parsed.crosscheck = true;
                 consumed[i] = true;
@@ -240,6 +260,70 @@ impl CommonArgs {
     }
 }
 
+/// Summary counters shared by the analysis tools' batch reports
+/// (`dcl-lint` and `dcl-perf` both reduce to these four numbers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ToolCounts {
+    /// Pipelines (or files) examined.
+    pub checked: usize,
+    /// Error-severity diagnostics plus parse failures.
+    pub errors: usize,
+    /// Warning-severity diagnostics.
+    pub warnings: usize,
+    /// Inputs the tool could not read (exit code 2, not a verdict).
+    pub io_errors: usize,
+}
+
+/// The shared process exit-code ladder for the analysis tools:
+/// unreadable inputs dominate (2), then failing diagnostics — errors, or
+/// warnings under `--deny-warnings` — (1), then success (0).
+pub fn tool_exit_code(counts: &ToolCounts, deny_warnings: bool) -> i32 {
+    if counts.io_errors > 0 {
+        2
+    } else if counts.errors > 0 || (deny_warnings && counts.warnings > 0) {
+        1
+    } else {
+        0
+    }
+}
+
+/// Renders the shared `--format json` envelope: summary counters, then a
+/// `pipelines` array whose elements are `{"name":..., <body>}` (the body
+/// is tool-specific — `dcl-lint` emits a `diagnostics` array, `dcl-perf`
+/// prefixes it with model summary fields), then read/parse `failures`.
+pub fn json_envelope(
+    counts: &ToolCounts,
+    pipelines: &[(String, String)],
+    failures: &[(String, String)],
+) -> String {
+    use spzip_core::lint::json_escape;
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "{{\"checked\":{},\"errors\":{},\"warnings\":{},\"io_errors\":{},\"pipelines\":[",
+        counts.checked, counts.errors, counts.warnings, counts.io_errors
+    );
+    for (i, (name, body)) in pipelines.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n{{\"name\":\"{}\",{body}}}", json_escape(name));
+    }
+    out.push_str("],\"failures\":[");
+    for (i, (name, err)) in failures.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n{{\"name\":\"{}\",\"error\":\"{}\"}}",
+            json_escape(name),
+            json_escape(err)
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,6 +382,71 @@ mod tests {
         assert_eq!(a.paths, vec![PathBuf::from("pipe.dcl")]);
         assert_eq!(a.format, OutputFormat::Json);
         assert_eq!(a.perturb_ratio, Some(2.0));
+    }
+
+    #[test]
+    fn parses_shape_flags() {
+        let a = parse_from(&argv("--no-shape --shape-corpus"));
+        assert!(a.no_shape);
+        assert!(a.shape_corpus);
+        let b = parse_from(&[]);
+        assert!(!b.no_shape);
+        assert!(!b.shape_corpus);
+    }
+
+    #[test]
+    fn exit_code_ladder_is_shared() {
+        let clean = ToolCounts {
+            checked: 1,
+            ..Default::default()
+        };
+        assert_eq!(tool_exit_code(&clean, false), 0);
+        assert_eq!(tool_exit_code(&clean, true), 0);
+        let warny = ToolCounts {
+            checked: 1,
+            warnings: 2,
+            ..Default::default()
+        };
+        assert_eq!(tool_exit_code(&warny, false), 0);
+        assert_eq!(tool_exit_code(&warny, true), 1, "--deny-warnings promotes");
+        let bad = ToolCounts {
+            checked: 1,
+            errors: 1,
+            ..Default::default()
+        };
+        assert_eq!(tool_exit_code(&bad, false), 1);
+        let unreadable = ToolCounts {
+            checked: 2,
+            errors: 1,
+            io_errors: 1,
+            ..Default::default()
+        };
+        assert_eq!(tool_exit_code(&unreadable, false), 2, "I/O dominates");
+    }
+
+    #[test]
+    fn json_envelope_escapes_and_joins() {
+        let counts = ToolCounts {
+            checked: 2,
+            errors: 1,
+            ..Default::default()
+        };
+        let json = json_envelope(
+            &counts,
+            &[
+                ("a".to_string(), "\"diagnostics\":[]".to_string()),
+                ("b\"q".to_string(), "\"diagnostics\":[]".to_string()),
+            ],
+            &[("c".to_string(), "no such file".to_string())],
+        );
+        assert!(json.contains("\"checked\":2"), "{json}");
+        assert!(json.contains("\"name\":\"a\",\"diagnostics\":[]"), "{json}");
+        assert!(json.contains("\\\"q\""), "escapes quotes: {json}");
+        assert!(
+            json.contains("\"name\":\"c\",\"error\":\"no such file\""),
+            "{json}"
+        );
+        assert!(json.ends_with("]}\n"), "{json}");
     }
 
     #[test]

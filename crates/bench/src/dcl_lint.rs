@@ -5,9 +5,22 @@
 //! `base=`/`meta=` names resolve to distinct placeholder addresses, so
 //! programs written against runtime-resolved symbols still lint), then runs
 //! [`spzip_core::lint`] and prints the rustc-style report. `--all-builtin`
-//! lints the full enumeration from [`spzip_apps::pipelines::all_builtin`]:
-//! every workload x scheme pipeline the figures load. `--dot` additionally
-//! prints each clean pipeline as Graphviz dot.
+//! lints the full enumeration from
+//! [`spzip_apps::pipelines::all_builtin_checked`]: every workload x scheme
+//! pipeline the figures load, each paired with its declared
+//! [`MemorySchema`](spzip_core::shape::MemorySchema). Builtins additionally
+//! run the shape-and-bounds verifier ([`spzip_core::shape::verify`]) by
+//! default, folding its `B0xx` findings into the same report; `--no-shape`
+//! skips it. File mode cannot shape-check: a `.dcl` text linted against
+//! synthetic placeholder addresses carries no memory schema to verify
+//! against. `--dot` additionally prints each pipeline as Graphviz dot;
+//! for shape-verified builtins the edges are annotated with the inferred
+//! shape domain (region / element width / codec framing).
+//!
+//! `--shape-corpus` instead runs the seeded-miswiring differential gate in
+//! [`crate::shape_corpus`]: each deliberately miswired pipeline must be
+//! rejected statically with the expected B-code AND misbehave dynamically
+//! under the functional engine.
 //!
 //! Exit codes distinguish *what kind* of failure CI is looking at: 0 when
 //! every pipeline is clean (warnings allowed unless `--deny-warnings`),
@@ -59,40 +72,33 @@ impl LintReport {
     }
 }
 
-/// Renders a report as one JSON object: summary counters plus the
-/// per-pipeline diagnostic arrays (each element in the same shape as
+impl LintReport {
+    /// The report's summary counters in the shared tool shape.
+    pub fn counts(&self) -> crate::cli::ToolCounts {
+        crate::cli::ToolCounts {
+            checked: self.checked,
+            errors: self.errors,
+            warnings: self.warnings,
+            io_errors: self.io_errors,
+        }
+    }
+}
+
+/// Renders a report as one JSON object: the shared
+/// [`crate::cli::json_envelope`] summary wrapper around per-pipeline
+/// diagnostic arrays (each element in the same shape as
 /// [`lint::render_json`], so `dcl-lint` and `dcl-perf` emit identical
 /// diagnostic records).
 pub fn render_json_report(report: &LintReport) -> String {
-    let mut out = format!(
-        "{{\"checked\":{},\"errors\":{},\"warnings\":{},\"io_errors\":{},\"pipelines\":[",
-        report.checked, report.errors, report.warnings, report.io_errors
-    );
-    for (i, (name, diags)) in report.results.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(
-            out,
-            "\n{{\"name\":\"{}\",\"diagnostics\":{}}}",
-            lint::json_escape(name),
-            lint::render_json(diags).trim_end()
-        );
-    }
-    out.push_str("],\"failures\":[");
-    for (i, (name, err)) in report.failures.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(
-            out,
-            "\n{{\"name\":\"{}\",\"error\":\"{}\"}}",
-            lint::json_escape(name),
-            lint::json_escape(err)
-        );
-    }
-    out.push_str("]}\n");
-    out
+    let pipelines: Vec<(String, String)> = report
+        .results
+        .iter()
+        .map(|(name, diags)| {
+            let body = format!("\"diagnostics\":{}", lint::render_json(diags).trim_end());
+            (name.clone(), body)
+        })
+        .collect();
+    crate::cli::json_envelope(&report.counts(), &pipelines, &report.failures)
 }
 
 /// Builds a placeholder symbol table for a `.dcl` text: every symbolic
@@ -138,11 +144,25 @@ pub fn lint_text(name: &str, text: &str, dot: bool, report: &mut LintReport) {
 }
 
 /// Lints every built-in application pipeline (all workloads x schemes).
-pub fn lint_builtins(dot: bool, report: &mut LintReport) {
-    for (name, p) in spzip_apps::pipelines::all_builtin() {
-        report.absorb(&name, lint::lint(&p));
+/// Unless `no_shape`, each pipeline is also run through the shape
+/// verifier against its constructor-declared schema, and its `B0xx`
+/// findings are folded into the same per-pipeline diagnostic list.
+/// `--dot` output annotates edges with the inferred shape domain.
+pub fn lint_builtins(dot: bool, no_shape: bool, report: &mut LintReport) {
+    for (name, p, schema) in spzip_apps::pipelines::all_builtin_checked() {
+        let mut diags = lint::lint(&p);
+        let shape_report = (!no_shape).then(|| spzip_core::shape::verify(&p, &schema));
+        if let Some(sr) = &shape_report {
+            diags.extend(sr.diagnostics.iter().cloned());
+        }
+        report.absorb(&name, diags);
         if dot {
-            report.output.push_str(&parser::to_dot(&p));
+            match &shape_report {
+                Some(sr) => report
+                    .output
+                    .push_str(&spzip_core::shape::annotated_dot(&p, sr)),
+                None => report.output.push_str(&parser::to_dot(&p)),
+            }
         }
     }
 }
@@ -150,6 +170,9 @@ pub fn lint_builtins(dot: bool, report: &mut LintReport) {
 /// Runs the tool over parsed arguments; returns the process exit code
 /// (0 iff no errors).
 pub fn run(args: &CommonArgs) -> i32 {
+    if args.shape_corpus {
+        return crate::shape_corpus::run_gate(args.format);
+    }
     let mut report = LintReport::default();
     for path in &args.paths {
         match std::fs::read_to_string(path) {
@@ -165,12 +188,12 @@ pub fn run(args: &CommonArgs) -> i32 {
         }
     }
     if args.all_builtin {
-        lint_builtins(args.dot, &mut report);
+        lint_builtins(args.dot, args.no_shape, &mut report);
     }
     if report.checked == 0 {
         println!(
-            "usage: dcl-lint [--all-builtin] [--dot] [--deny-warnings] \
-             [--format text|json] [file.dcl ...]"
+            "usage: dcl-lint [--all-builtin] [--no-shape] [--shape-corpus] [--dot] \
+             [--deny-warnings] [--format text|json] [file.dcl ...]"
         );
         return 2;
     }
@@ -195,16 +218,11 @@ pub fn run(args: &CommonArgs) -> i32 {
     exit_code(&report, args.deny_warnings)
 }
 
-/// The process exit code for `report`: unreadable inputs dominate (2),
-/// then failing diagnostics (1), then success (0).
+/// The process exit code for `report`: the shared
+/// [`crate::cli::tool_exit_code`] ladder (unreadable inputs dominate
+/// with 2, then failing diagnostics 1, then success 0).
 pub fn exit_code(report: &LintReport, deny_warnings: bool) -> i32 {
-    if report.io_errors > 0 {
-        2
-    } else if report.errors > 0 || (deny_warnings && report.warnings > 0) {
-        1
-    } else {
-        0
-    }
+    crate::cli::tool_exit_code(&report.counts(), deny_warnings)
 }
 
 #[cfg(test)]
@@ -336,10 +354,38 @@ mod tests {
     }
 
     #[test]
-    fn all_builtins_lint_error_free() {
+    fn all_builtins_lint_and_shape_error_free() {
         let mut r = LintReport::default();
-        lint_builtins(false, &mut r);
+        lint_builtins(false, false, &mut r);
         assert!(r.checked >= 40, "{}", r.checked);
         assert_eq!(r.errors, 0, "{}", r.output);
+    }
+
+    #[test]
+    fn no_shape_skips_the_verifier_but_still_lints() {
+        let mut with = LintReport::default();
+        lint_builtins(false, false, &mut with);
+        let mut without = LintReport::default();
+        lint_builtins(false, true, &mut without);
+        assert_eq!(with.checked, without.checked);
+        // Both are clean today; the distinction is observable in the dot
+        // annotation test below and in the corpus gate, where only the
+        // shape pass produces B-codes.
+        assert_eq!(without.errors, 0, "{}", without.output);
+    }
+
+    #[test]
+    fn builtin_dot_is_annotated_with_shape_domains() {
+        let mut r = LintReport::default();
+        lint_builtins(true, false, &mut r);
+        assert!(r.output.contains("digraph dcl {"), "{}", r.output);
+        // Edge labels carry the inferred domain: raw widths and codec
+        // framings both appear somewhere across the builtin set.
+        assert!(r.output.contains("raw w"), "domain labels: {}", r.output);
+        assert!(r.output.contains("frames("), "framed labels missing");
+        // With --no-shape the plain queue labels come back.
+        let mut plain = LintReport::default();
+        lint_builtins(true, true, &mut plain);
+        assert!(!plain.output.contains("frames("), "unexpected annotation");
     }
 }

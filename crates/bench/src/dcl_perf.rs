@@ -84,54 +84,50 @@ impl PerfToolReport {
     }
 }
 
-/// Renders a report as one JSON object. The envelope keys match
+impl PerfToolReport {
+    /// The report's summary counters in the shared tool shape.
+    pub fn counts(&self) -> crate::cli::ToolCounts {
+        crate::cli::ToolCounts {
+            checked: self.checked,
+            errors: self.errors,
+            warnings: self.warnings,
+            io_errors: self.io_errors,
+        }
+    }
+}
+
+/// Renders a report as one JSON object: the shared
+/// [`crate::cli::json_envelope`] wrapper, with keys matching
 /// `dcl-lint --format json` (`checked`/`errors`/`warnings`/`io_errors`/
 /// `pipelines`/`failures`); each pipeline additionally carries the model
 /// summary, and its `diagnostics` array is rendered by
 /// [`lint::render_json`] — byte-identical records across both tools.
 pub fn render_json_report(report: &PerfToolReport) -> String {
-    let mut out = format!(
-        "{{\"checked\":{},\"errors\":{},\"warnings\":{},\"io_errors\":{},\"pipelines\":[",
-        report.checked, report.errors, report.warnings, report.io_errors
-    );
-    for (i, (name, r)) in report.results.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let fmt_array = |a: &[f64; 6]| {
-            let vals: Vec<String> = a.iter().map(|v| format!("{v:.1}")).collect();
-            format!("[{}]", vals.join(","))
-        };
-        let _ = write!(
-            out,
-            "\n{{\"name\":\"{}\",\"binding\":\"{}\",\"delivered_elems\":{:.1},\
-             \"cycles_per_element\":{:.4},\"service_cycles\":{:.1},\"dram_cycles\":{:.1},\
-             \"read_bytes\":{},\"write_bytes\":{},\"diagnostics\":{}}}",
-            lint::json_escape(name),
-            binding_label(&r.binding),
-            r.delivered_elems,
-            r.cycles_per_unit() / r.delivered_elems.max(1.0),
-            r.service_cycles,
-            r.dram_cycles,
-            fmt_array(&r.read_bytes),
-            fmt_array(&r.write_bytes),
-            lint::render_json(&r.diagnostics).trim_end()
-        );
-    }
-    out.push_str("],\"failures\":[");
-    for (i, (name, err)) in report.failures.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(
-            out,
-            "\n{{\"name\":\"{}\",\"error\":\"{}\"}}",
-            lint::json_escape(name),
-            lint::json_escape(err)
-        );
-    }
-    out.push_str("]}\n");
-    out
+    let fmt_array = |a: &[f64; 6]| {
+        let vals: Vec<String> = a.iter().map(|v| format!("{v:.1}")).collect();
+        format!("[{}]", vals.join(","))
+    };
+    let pipelines: Vec<(String, String)> = report
+        .results
+        .iter()
+        .map(|(name, r)| {
+            let body = format!(
+                "\"binding\":\"{}\",\"delivered_elems\":{:.1},\
+                 \"cycles_per_element\":{:.4},\"service_cycles\":{:.1},\"dram_cycles\":{:.1},\
+                 \"read_bytes\":{},\"write_bytes\":{},\"diagnostics\":{}",
+                binding_label(&r.binding),
+                r.delivered_elems,
+                r.cycles_per_unit() / r.delivered_elems.max(1.0),
+                r.service_cycles,
+                r.dram_cycles,
+                fmt_array(&r.read_bytes),
+                fmt_array(&r.write_bytes),
+                lint::render_json(&r.diagnostics).trim_end()
+            );
+            (name.clone(), body)
+        })
+        .collect();
+    crate::cli::json_envelope(&report.counts(), &pipelines, &report.failures)
 }
 
 /// Analyzes one `.dcl` program text under `name`.
@@ -205,17 +201,10 @@ pub fn run(args: &CommonArgs) -> i32 {
     exit_code(&report, args.deny_warnings)
 }
 
-/// The process exit code for `report`: unreadable inputs dominate (2),
-/// then failing diagnostics (1), then success (0) — same ladder as
-/// `dcl-lint`.
+/// The process exit code for `report`: the shared
+/// [`crate::cli::tool_exit_code`] ladder — same as `dcl-lint`.
 pub fn exit_code(report: &PerfToolReport, deny_warnings: bool) -> i32 {
-    if report.io_errors > 0 {
-        2
-    } else if report.errors > 0 || (deny_warnings && report.warnings > 0) {
-        1
-    } else {
-        0
-    }
+    crate::cli::tool_exit_code(&report.counts(), deny_warnings)
 }
 
 #[cfg(test)]

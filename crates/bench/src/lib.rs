@@ -15,10 +15,12 @@
 //! regenerates everything in one process so overlapping cells (e.g. the
 //! Fig. 15/16/17 sweeps) are simulated exactly once. The [`dcl_lint`]
 //! module backs the `dcl-lint` binary, which statically analyzes `.dcl`
-//! files and every built-in pipeline with [`spzip_core::lint`]; the
+//! files and every built-in pipeline with [`spzip_core::lint`] and the
+//! shape-and-bounds verifier ([`spzip_core::shape`]); the
 //! [`dcl_perf`] module backs `dcl-perf`, the static traffic/throughput
-//! analyzer ([`spzip_core::perf`]), and [`crosscheck`] is its
-//! model-vs-simulator gate.
+//! analyzer ([`spzip_core::perf`]), [`crosscheck`] is its
+//! model-vs-simulator gate, and [`shape_corpus`] is `dcl-lint`'s
+//! seeded-miswiring differential gate.
 
 pub mod cli;
 pub mod crosscheck;
@@ -26,6 +28,7 @@ pub mod dcl_lint;
 pub mod dcl_perf;
 pub mod driver;
 pub mod figures;
+pub mod shape_corpus;
 
 use spzip_apps::{RunOutcome, Scheme};
 use spzip_mem::DataClass;

@@ -239,6 +239,18 @@ impl CodecKind {
             CodecKind::Rle,
         ]
     }
+
+    /// The element width this codec is defined over, when it is
+    /// width-specific: the bit-plane codecs transpose fixed-width words,
+    /// so pairing them with any other operator width silently misframes
+    /// the stream. Width-agnostic codecs return `None`.
+    pub fn natural_elem_bytes(self) -> Option<u8> {
+        match self {
+            CodecKind::Bpc32 => Some(4),
+            CodecKind::Bpc64 => Some(8),
+            CodecKind::None | CodecKind::Delta | CodecKind::Rle => None,
+        }
+    }
 }
 
 impl fmt::Display for CodecKind {

@@ -17,6 +17,10 @@
 //!   traffic footprints, a bottleneck pass predicting the binding resource
 //!   (DRAM bandwidth, engine service rate, or a starved queue), and `P0xx`
 //!   diagnostics sharing the lint renderers.
+//! * [`shape`] — the shape-and-bounds verifier: abstract interpretation of
+//!   a pipeline against a declared memory layout, proving index streams
+//!   in-bounds and codec framing/widths consistent end-to-end, with `B0xx`
+//!   diagnostics sharing the lint renderers.
 //! * [`memory`] — a synthetic address space holding the application's real
 //!   data, which the functional engine reads and writes.
 //! * [`func`] — the functional engine: executes a DCL pipeline against a
@@ -42,6 +46,7 @@ pub mod lint;
 pub mod memory;
 pub mod parser;
 pub mod perf;
+pub mod shape;
 
 use std::fmt;
 

@@ -86,8 +86,9 @@ impl fmt::Display for Severity {
     }
 }
 
-/// Stable diagnostic codes. `E0xx` are hard errors, `W0xx` warnings; codes
-/// are never renumbered so tools can match on them.
+/// Stable diagnostic codes. `E0xx` are hard errors, `W0xx` warnings,
+/// `P0xx` performance predictions, `B0xx` shape-and-bounds violations;
+/// codes are never renumbered so tools can match on them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)] // each code is documented via `summary()` and DESIGN.md
 pub enum Code {
@@ -120,6 +121,14 @@ pub enum Code {
     P004,
     P005,
     P006,
+    B001,
+    B002,
+    B003,
+    B004,
+    B005,
+    B006,
+    B007,
+    B008,
 }
 
 impl Code {
@@ -129,7 +138,7 @@ impl Code {
         &[
             E001, E002, E003, E004, E005, E006, E007, E008, E009, E010, E011, E012, E013, E014,
             E015, E016, E017, E018, E019, W001, W002, W003, W004, P001, P002, P003, P004, P005,
-            P006,
+            P006, B001, B002, B003, B004, B005, B006, B007, B008,
         ]
     }
 
@@ -165,15 +174,27 @@ impl Code {
             Code::P004 => "P004",
             Code::P005 => "P005",
             Code::P006 => "P006",
+            Code::B001 => "B001",
+            Code::B002 => "B002",
+            Code::B003 => "B003",
+            Code::B004 => "B004",
+            Code::B005 => "B005",
+            Code::B006 => "B006",
+            Code::B007 => "B007",
+            Code::B008 => "B008",
         }
     }
 
     /// Errors deny `build()`; warnings pass through. `P0xx` performance
     /// predictions (emitted by [`perf`](crate::perf), never by [`lint`])
     /// are warnings: the pipeline runs correctly, just not as fast or as
-    /// small as intended.
+    /// small as intended. `B0xx` shape violations (emitted by
+    /// [`shape`](crate::shape), never by [`lint`]) are errors — the
+    /// pipeline reads or writes memory its declared layout does not give
+    /// it — but since they need a [`MemorySchema`](crate::shape::MemorySchema)
+    /// they cannot be raised by `build()` itself.
     pub fn severity(&self) -> Severity {
-        if self.as_str().starts_with('E') {
+        if matches!(self.as_str().as_bytes()[0], b'E' | b'B') {
             Severity::Error
         } else {
             Severity::Warning
@@ -212,6 +233,14 @@ impl Code {
             Code::P004 => "engine service rate predicted to bottleneck a DRAM-bound pipeline",
             Code::P005 => "chunk-marker overhead dominates a queue's bandwidth",
             Code::P006 => "MemQueue chunks predicted far below a cache line",
+            Code::B001 => "operator base address lies outside every declared region",
+            Code::B002 => "index or bin stream can exceed its target's declared extent",
+            Code::B003 => "operator element width disagrees with the region's declared width",
+            Code::B004 => "codec framing disagrees between stream and region",
+            Code::B005 => "framed/raw stream kind mismatches its consumer",
+            Code::B006 => "decoded element width disagrees across a queue edge",
+            Code::B007 => "core input or index stream has no declared shape",
+            Code::B008 => "MemQueue footprint exceeds its region's extent",
         }
     }
 }
@@ -1216,7 +1245,7 @@ mod tests {
             assert_eq!(c.as_str().len(), 4);
             assert!(!c.summary().is_empty());
             match c.as_str().as_bytes()[0] {
-                b'E' => assert_eq!(c.severity(), Severity::Error),
+                b'E' | b'B' => assert_eq!(c.severity(), Severity::Error),
                 b'W' | b'P' => assert_eq!(c.severity(), Severity::Warning),
                 _ => panic!("bad code prefix"),
             }

@@ -343,6 +343,13 @@ pub fn to_text(pipeline: &Pipeline) -> String {
 /// the paper's pipeline figures: one node per operator, one labeled edge
 /// per queue, diamond nodes for the core-facing endpoints.
 pub fn to_dot(pipeline: &Pipeline) -> String {
+    to_dot_with(pipeline, &|q| format!("q{q}"))
+}
+
+/// [`to_dot`] with a caller-supplied edge label per queue — used by
+/// [`shape::annotated_dot`](crate::shape::annotated_dot) to annotate each
+/// edge with its inferred shape domain.
+pub fn to_dot_with(pipeline: &Pipeline, edge_label: &dyn Fn(crate::QueueId) -> String) -> String {
     let mut out = String::from("digraph dcl {\n  rankdir=LR;\n  node [shape=box];\n");
     for (i, op) in pipeline.operators().iter().enumerate() {
         out.push_str(&format!("  op{i} [label=\"{}\"];\n", op.kind.name()));
@@ -360,14 +367,21 @@ pub fn to_dot(pipeline: &Pipeline) -> String {
             .position(|op| op.outputs.contains(&q))
     };
     for (i, op) in pipeline.operators().iter().enumerate() {
+        let label = edge_label(op.input);
         match producer_of(op.input) {
-            Some(p) => out.push_str(&format!("  op{p} -> op{i} [label=\"q{}\"];\n", op.input)),
-            None => out.push_str(&format!("  in{0} -> op{i} [label=\"q{0}\"];\n", op.input)),
+            Some(p) => out.push_str(&format!("  op{p} -> op{i} [label=\"{label}\"];\n")),
+            None => out.push_str(&format!(
+                "  in{0} -> op{i} [label=\"{label}\"];\n",
+                op.input
+            )),
         }
     }
     for q in pipeline.core_output_queues() {
         if let Some(p) = producer_of(q) {
-            out.push_str(&format!("  op{p} -> out{q} [label=\"q{q}\"];\n"));
+            out.push_str(&format!(
+                "  op{p} -> out{q} [label=\"{}\"];\n",
+                edge_label(q)
+            ));
         }
     }
     out.push_str("}\n");
