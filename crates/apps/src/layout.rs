@@ -7,7 +7,7 @@
 //! vertex-slice regions used when vertex data is compressed.
 
 use crate::scheme::SchemeConfig;
-use spzip_compress::CodecKind;
+use spzip_compress::{CodecCtx, CodecKind};
 use spzip_core::memory::MemoryImage;
 use spzip_core::shape::{MemorySchema, RegionSchema};
 use spzip_graph::{Csr, VertexId};
@@ -156,6 +156,13 @@ pub struct Workload {
     pub staging_addr: u64,
     /// Number of cores (bin regions are per core).
     pub cores: usize,
+    /// Cached codec context for host-side vertex recompression, rebuilt
+    /// only when the requested codec kind changes.
+    codec_ctx: Option<CodecCtx>,
+    /// Staging for recompression input values, reused across chunks.
+    recompress_values: Vec<u64>,
+    /// Staging for recompressed bytes, reused across chunks.
+    recompress_bytes: Vec<u8>,
 }
 
 impl std::fmt::Debug for Workload {
@@ -282,6 +289,9 @@ impl Workload {
             csrc,
             staging_addr,
             cores,
+            codec_ctx: None,
+            recompress_values: Vec::new(),
+            recompress_bytes: Vec::new(),
         }
     }
 
@@ -435,18 +445,24 @@ impl Workload {
         let chunk = cdst.chunk_elems as usize;
         let lo = i * chunk;
         let hi = ((i + 1) * chunk).min(self.n());
-        let values: Vec<u64> = (lo..hi)
-            .map(|v| self.img.read_u32(self.dst_addr + v as u64 * 4) as u64)
-            .collect();
-        let mut bytes = Vec::new();
-        codec.build().compress(&values, &mut bytes);
         let addr = cdst.chunk_addr(i);
+        // Reuse the workload's codec context and staging buffers: this
+        // runs once per touched chunk per iteration.
+        let mut values = std::mem::take(&mut self.recompress_values);
+        values.clear();
+        values.extend((lo..hi).map(|v| self.img.read_u32(self.dst_addr + v as u64 * 4) as u64));
+        let mut bytes = std::mem::take(&mut self.recompress_bytes);
+        bytes.clear();
+        CodecCtx::ensure(&mut self.codec_ctx, codec).compress(&values, &mut bytes);
+        self.recompress_values = values;
+        let cdst = self.cdst.as_ref().expect("checked above");
         assert!(
             (bytes.len() as u64) < cdst.stride,
             "compressed vertex chunk overflows its region"
         );
         self.img.write_bytes(addr, &bytes);
         let len = bytes.len() as u32;
+        self.recompress_bytes = bytes;
         self.cdst.as_mut().unwrap().lens[i] = len;
         len
     }
@@ -457,18 +473,22 @@ impl Workload {
         let chunk = csrc.chunk_elems as usize;
         let lo = i * chunk;
         let hi = ((i + 1) * chunk).min(self.n());
-        let values: Vec<u64> = (lo..hi)
-            .map(|v| self.img.read_u32(self.src_addr + v as u64 * 4) as u64)
-            .collect();
-        let mut bytes = Vec::new();
-        codec.build().compress(&values, &mut bytes);
         let addr = csrc.chunk_addr(i);
+        let mut values = std::mem::take(&mut self.recompress_values);
+        values.clear();
+        values.extend((lo..hi).map(|v| self.img.read_u32(self.src_addr + v as u64 * 4) as u64));
+        let mut bytes = std::mem::take(&mut self.recompress_bytes);
+        bytes.clear();
+        CodecCtx::ensure(&mut self.codec_ctx, codec).compress(&values, &mut bytes);
+        self.recompress_values = values;
+        let csrc = self.csrc.as_ref().expect("checked above");
         assert!(
             (bytes.len() as u64) < csrc.stride,
             "compressed source chunk overflow"
         );
         self.img.write_bytes(addr, &bytes);
         let len = bytes.len() as u32;
+        self.recompress_bytes = bytes;
         self.csrc.as_mut().unwrap().lens[i] = len;
         len
     }
@@ -499,17 +519,17 @@ fn build_compressed_adj(
     codec: CodecKind,
     group_rows: u32,
 ) -> CompressedAdj {
-    let codec = codec.build();
+    let mut ctx = CodecCtx::new(codec);
     let n = g.num_vertices();
     let mut bytes = Vec::new();
     let mut offsets = vec![0u64];
+    let mut stream: Vec<u64> = Vec::new();
     let mut row = 0usize;
     while row < n {
         let hi = (row + group_rows as usize).min(n);
-        let stream: Vec<u64> = (row..hi)
-            .flat_map(|v| g.neighbors(v as VertexId).iter().map(|&d| d as u64))
-            .collect();
-        codec.compress(&stream, &mut bytes);
+        stream.clear();
+        stream.extend((row..hi).flat_map(|v| g.neighbors(v as VertexId).iter().map(|&d| d as u64)));
+        ctx.compress(&stream, &mut bytes);
         offsets.push(bytes.len() as u64);
         row = hi;
     }

@@ -29,6 +29,7 @@ use crate::cost::CostModel;
 use crate::layout::{Workload, CHUNK_VERTICES};
 use crate::pipelines::{self, TraversalOpts};
 use crate::scheme::{SchemeConfig, Strategy};
+use spzip_compress::CodecCtx;
 use spzip_core::func::FuncEngine;
 use spzip_core::memory::MemoryImage;
 use spzip_core::QueueItem;
@@ -260,16 +261,19 @@ fn compress_frontier_host(
     ids: &[VertexId],
     cores: usize,
 ) -> Vec<CFrontierChunk> {
-    let codec = cfg.vertex_codec.build();
+    let mut ctx = CodecCtx::new(cfg.vertex_codec);
     let region_cap = region_capacity(w, cores);
     let mut chunks = Vec::new();
     let mut core = 0usize;
     let mut cursors = vec![0u64; cores];
+    let mut values: Vec<u64> = Vec::new();
+    let mut bytes: Vec<u8> = Vec::new();
     for (ci, chunk_ids) in ids.chunks(CHUNK_VERTICES as usize).enumerate() {
         let _ = ci;
-        let values: Vec<u64> = chunk_ids.iter().map(|&v| v as u64).collect();
-        let mut bytes = Vec::new();
-        codec.compress(&values, &mut bytes);
+        values.clear();
+        values.extend(chunk_ids.iter().map(|&v| v as u64));
+        bytes.clear();
+        ctx.compress(&values, &mut bytes);
         let pos = core as u64 * region_cap + cursors[core];
         assert!(
             cursors[core] + bytes.len() as u64 <= region_cap,

@@ -1,61 +1,22 @@
 //! Criterion microbenchmarks for the compression codecs: encode/decode
 //! throughput on the data shapes the engines actually see (neighbor sets,
 //! update bins, vertex slices).
+//!
+//! Streams and codec arms come from [`spzip_bench::codec_bench`], so these
+//! benches and the `BENCH_codecs.json` trajectory report on identical
+//! inputs, with the scalar `reference` oracle measured alongside each
+//! batch `kernel` implementation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use spzip_compress::{
-    bpc::BpcCodec, delta::DeltaCodec, rle::RleCodec, sorted::SortedChunks, Codec, CodecKind,
-    ElemWidth,
-};
-
-fn datasets() -> Vec<(&'static str, Vec<u64>)> {
-    // Clustered neighbor ids (preprocessed adjacency).
-    let clustered: Vec<u64> = (0..4096u64).map(|i| 1_000_000 + (i * 7) % 512).collect();
-    // Scattered neighbor ids (randomized adjacency).
-    let scattered: Vec<u64> = (0..4096u64)
-        .map(|i| {
-            let mut h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            h ^= h >> 31;
-            h % (1 << 17)
-        })
-        .collect();
-    // Update tuples (dst << 32 | payload) within one bin slice.
-    let updates: Vec<u64> = (0..4096u64)
-        .map(|i| {
-            let dst = (i.wrapping_mul(2654435761) >> 7) % 8192;
-            (dst << 32) | (i & 0xFFFF)
-        })
-        .collect();
-    // Small integers (degree counts).
-    let counts: Vec<u64> = (0..4096u64).map(|i| (i * i) % 40).collect();
-    vec![
-        ("clustered_ids", clustered),
-        ("scattered_ids", scattered),
-        ("update_tuples", updates),
-        ("degree_counts", counts),
-    ]
-}
-
-fn codecs() -> Vec<(&'static str, Box<dyn Codec>)> {
-    vec![
-        ("delta", Box::new(DeltaCodec::new())),
-        ("bpc32", Box::new(BpcCodec::new(ElemWidth::W32))),
-        ("bpc64", Box::new(BpcCodec::new(ElemWidth::W64))),
-        ("rle", Box::new(RleCodec::new())),
-        (
-            "delta_sorted",
-            Box::new(SortedChunks::new(DeltaCodec::new())),
-        ),
-        ("identity", CodecKind::None.build() as Box<dyn Codec>),
-    ]
-}
+use spzip_bench::codec_bench::{arms, builtin_streams};
 
 fn bench_compress(c: &mut Criterion) {
     let mut group = c.benchmark_group("compress");
-    for (data_name, data) in datasets() {
+    for (data_name, data) in builtin_streams() {
         group.throughput(Throughput::Bytes(data.len() as u64 * 8));
-        for (codec_name, codec) in codecs() {
-            group.bench_with_input(BenchmarkId::new(codec_name, data_name), &data, |b, data| {
+        for (codec_name, implementation, codec) in arms() {
+            let id = BenchmarkId::new(format!("{codec_name}/{implementation}"), data_name);
+            group.bench_with_input(id, &data, |b, data| {
                 let mut out = Vec::with_capacity(data.len() * 9);
                 b.iter(|| {
                     out.clear();
@@ -70,25 +31,22 @@ fn bench_compress(c: &mut Criterion) {
 
 fn bench_decompress(c: &mut Criterion) {
     let mut group = c.benchmark_group("decompress");
-    for (data_name, data) in datasets() {
+    for (data_name, data) in builtin_streams() {
         group.throughput(Throughput::Bytes(data.len() as u64 * 8));
-        for (codec_name, codec) in codecs() {
+        for (codec_name, implementation, codec) in arms() {
             let mut compressed = Vec::new();
             codec.compress(&data, &mut compressed);
-            group.bench_with_input(
-                BenchmarkId::new(codec_name, data_name),
-                &compressed,
-                |b, compressed| {
-                    let mut out = Vec::with_capacity(data.len());
-                    b.iter(|| {
-                        out.clear();
-                        codec
-                            .decompress(std::hint::black_box(compressed), &mut out)
-                            .unwrap();
-                        out.len()
-                    })
-                },
-            );
+            let id = BenchmarkId::new(format!("{codec_name}/{implementation}"), data_name);
+            group.bench_with_input(id, &compressed, |b, compressed| {
+                let mut out = Vec::with_capacity(data.len());
+                b.iter(|| {
+                    out.clear();
+                    codec
+                        .decompress(std::hint::black_box(compressed), &mut out)
+                        .unwrap();
+                    out.len()
+                })
+            });
         }
     }
     group.finish();

@@ -23,6 +23,7 @@
 //! seeded-miswiring differential gate.
 
 pub mod cli;
+pub mod codec_bench;
 pub mod crosscheck;
 pub mod dcl_lint;
 pub mod dcl_perf;

@@ -12,6 +12,8 @@
 //! implicit base of zero so lines mixing small values and pointers still
 //! compress.
 
+use crate::DecodeError;
+
 /// The 64-byte line size BDI operates on.
 pub const LINE_BYTES: usize = 64;
 
@@ -187,20 +189,57 @@ pub fn compress_line(line: &[u8; LINE_BYTES]) -> Vec<u8> {
 /// # Panics
 ///
 /// Panics if `data` is not a valid encoding; the baseline model only ever
-/// decodes its own output.
+/// decodes its own output. Untrusted inputs go through
+/// [`try_decompress_line`] instead.
 pub fn decompress_line(data: &[u8]) -> [u8; LINE_BYTES] {
+    try_decompress_line(data).expect("valid BDI encoding")
+}
+
+/// Decodes a line produced by [`compress_line`], validating the encoding.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if `data` is empty, carries an unknown or
+/// malformed tag, or its length disagrees with the tagged encoding.
+pub fn try_decompress_line(data: &[u8]) -> Result<[u8; LINE_BYTES], DecodeError> {
+    let tag = *data
+        .first()
+        .ok_or_else(|| DecodeError::truncated("BDI tag"))?;
     let mut line = [0u8; LINE_BYTES];
-    match data[0] {
-        0 => {}
+    match tag {
+        0 => {
+            if data.len() != 1 {
+                return Err(DecodeError::new("BDI zeros line with trailing bytes"));
+            }
+        }
         1 => {
+            if data.len() != 9 {
+                return Err(DecodeError::new("BDI repeated line length mismatch"));
+            }
             for chunk in line.chunks_mut(8) {
                 chunk.copy_from_slice(&data[1..9]);
             }
         }
-        0xFF => line.copy_from_slice(&data[1..1 + LINE_BYTES]),
+        0xFF => {
+            if data.len() != 1 + LINE_BYTES {
+                return Err(DecodeError::new("BDI raw line length mismatch"));
+            }
+            line.copy_from_slice(&data[1..1 + LINE_BYTES]);
+        }
         tag => {
-            let base_bytes = 1usize << ((tag >> 2) & 0x3);
-            let delta_bytes = 1usize << (tag & 0x3);
+            // Base-delta tags are 0x10 | log2(base_bytes) << 2 | log2(delta_bytes)
+            // with base ∈ {2, 4, 8} and delta ∈ {1, 2, 4} strictly narrower.
+            let base_log2 = ((tag >> 2) & 0x3) as usize;
+            let delta_log2 = (tag & 0x3) as usize;
+            if tag & !0x1F != 0 || tag & 0x10 == 0 || base_log2 == 0 || delta_log2 >= base_log2 {
+                return Err(DecodeError::new(format!("unknown BDI tag {tag:#x}")));
+            }
+            let base_bytes = 1usize << base_log2;
+            let delta_bytes = 1usize << delta_log2;
+            let words = LINE_BYTES / base_bytes;
+            if data.len() != 1 + base_bytes + 2 + words * delta_bytes {
+                return Err(DecodeError::new("BDI base-delta line length mismatch"));
+            }
             let mut pos = 1;
             let mut base_buf = [0u8; 8];
             base_buf[..base_bytes].copy_from_slice(&data[pos..pos + base_bytes]);
@@ -208,7 +247,6 @@ pub fn decompress_line(data: &[u8]) -> [u8; LINE_BYTES] {
             pos += base_bytes;
             let bitmap = u16::from_le_bytes(data[pos..pos + 2].try_into().unwrap());
             pos += 2;
-            let words = LINE_BYTES / base_bytes;
             for i in 0..words {
                 let mut dbuf = [0u8; 8];
                 dbuf[..delta_bytes].copy_from_slice(&data[pos..pos + delta_bytes]);
@@ -227,7 +265,7 @@ pub fn decompress_line(data: &[u8]) -> [u8; LINE_BYTES] {
             }
         }
     }
-    line
+    Ok(line)
 }
 
 #[cfg(test)]

@@ -23,14 +23,14 @@
 //! BPC needs long chunks to amortize the base, so the paper uses it for
 //! longer streams (update bins, vertex data) and delta byte-code for short
 //! neighbor sets.
+//!
+//! The hot loops live in [`kernel`]: full 32-element chunks
+//! take the batch path, where the delta/plane rotation is a 32×32 bit-matrix
+//! transpose over word lanes instead of per-bit gathers, and partial chunks
+//! take the scalar tail path. The original scalar implementation is
+//! preserved in [`reference`](crate::reference) as the differential oracle.
 
-use crate::{varint, Codec, DecodeError, ElemWidth, CHUNK_ELEMS};
-
-const OP_ZERO_RUN: u8 = 0x00;
-const OP_ALL_ONES: u8 = 0x01;
-const OP_SINGLE_ONE: u8 = 0x02;
-const OP_TWO_CONSEC: u8 = 0x03;
-const OP_RAW: u8 = 0x04;
+use crate::{kernel, varint, Codec, DecodeError, ElemWidth, CHUNK_ELEMS};
 
 /// Bit-Plane Compression codec over 32-element chunks.
 ///
@@ -60,11 +60,6 @@ impl BpcCodec {
         self.width
     }
 
-    /// Number of bit planes: element width + 1 (deltas carry a borrow bit).
-    fn planes(&self) -> u32 {
-        self.width.bits() + 1
-    }
-
     fn write_base(&self, out: &mut Vec<u8>, base: u64) {
         match self.width {
             ElemWidth::W32 => out.extend_from_slice(&(base as u32).to_le_bytes()),
@@ -85,141 +80,6 @@ impl BpcCodec {
         Ok(base)
     }
 
-    /// Computes the DBX planes of a chunk. `chunk.len()` must be >= 2.
-    fn dbx_planes(&self, chunk: &[u64]) -> Vec<u32> {
-        let nbits = self.planes();
-        let ndeltas = chunk.len() - 1;
-        // (width+1)-bit two's-complement deltas, kept in u128 for W64.
-        let modulus_mask: u128 = if nbits >= 128 {
-            u128::MAX
-        } else {
-            (1u128 << nbits) - 1
-        };
-        let deltas: Vec<u128> = chunk
-            .windows(2)
-            .map(|w| ((w[1] as i128 - w[0] as i128) as u128) & modulus_mask)
-            .collect();
-        // DBP: plane p = bit p of each delta.
-        let mut dbp = vec![0u32; nbits as usize];
-        for (i, &d) in deltas.iter().enumerate() {
-            for (p, plane) in dbp.iter_mut().enumerate() {
-                *plane |= (((d >> p) & 1) as u32) << i;
-            }
-        }
-        // DBX: XOR with the plane above; top plane kept as-is.
-        let mut dbx = vec![0u32; nbits as usize];
-        dbx[nbits as usize - 1] = dbp[nbits as usize - 1];
-        for p in 0..nbits as usize - 1 {
-            dbx[p] = dbp[p] ^ dbp[p + 1];
-        }
-        debug_assert!(ndeltas <= 31);
-        dbx
-    }
-
-    fn encode_planes(planes: &[u32], out: &mut Vec<u8>, plane_bits: u32) {
-        let all_ones: u32 = if plane_bits >= 32 {
-            u32::MAX
-        } else {
-            (1 << plane_bits) - 1
-        };
-        let mut p = planes.len();
-        // Encode from the top plane down: correlated data zeroes high planes.
-        while p > 0 {
-            p -= 1;
-            let plane = planes[p];
-            if plane == 0 {
-                // Greedily absorb a run of zero planes.
-                let mut run = 1u32;
-                while p > 0 && planes[p - 1] == 0 && run < 255 {
-                    p -= 1;
-                    run += 1;
-                }
-                out.push(OP_ZERO_RUN);
-                out.push(run as u8);
-            } else if plane == all_ones {
-                out.push(OP_ALL_ONES);
-            } else if plane.count_ones() == 1 {
-                out.push(OP_SINGLE_ONE);
-                out.push(plane.trailing_zeros() as u8);
-            } else if plane.count_ones() == 2 && (plane >> plane.trailing_zeros()) == 0b11 {
-                out.push(OP_TWO_CONSEC);
-                out.push(plane.trailing_zeros() as u8);
-            } else {
-                out.push(OP_RAW);
-                out.extend_from_slice(&plane.to_le_bytes());
-            }
-        }
-    }
-
-    fn decode_planes(
-        input: &[u8],
-        pos: &mut usize,
-        nplanes: usize,
-        plane_bits: u32,
-    ) -> Result<Vec<u32>, DecodeError> {
-        let all_ones: u32 = if plane_bits >= 32 {
-            u32::MAX
-        } else {
-            (1 << plane_bits) - 1
-        };
-        let mut planes = vec![0u32; nplanes];
-        let mut p = nplanes;
-        while p > 0 {
-            let op = *input
-                .get(*pos)
-                .ok_or_else(|| DecodeError::truncated("BPC opcode"))?;
-            *pos += 1;
-            match op {
-                OP_ZERO_RUN => {
-                    let run = *input
-                        .get(*pos)
-                        .ok_or_else(|| DecodeError::truncated("BPC zero-run length"))?
-                        as usize;
-                    *pos += 1;
-                    if run == 0 || run > p {
-                        return Err(DecodeError::new("BPC zero-run out of range"));
-                    }
-                    for _ in 0..run {
-                        p -= 1;
-                        planes[p] = 0;
-                    }
-                }
-                OP_ALL_ONES => {
-                    p -= 1;
-                    planes[p] = all_ones;
-                }
-                OP_SINGLE_ONE | OP_TWO_CONSEC => {
-                    let bit = *input
-                        .get(*pos)
-                        .ok_or_else(|| DecodeError::truncated("BPC bit position"))?
-                        as u32;
-                    *pos += 1;
-                    if bit >= plane_bits || (op == OP_TWO_CONSEC && bit + 1 >= plane_bits) {
-                        return Err(DecodeError::new("BPC bit position out of range"));
-                    }
-                    p -= 1;
-                    planes[p] = if op == OP_SINGLE_ONE {
-                        1 << bit
-                    } else {
-                        0b11 << bit
-                    };
-                }
-                OP_RAW => {
-                    if *pos + 4 > input.len() {
-                        return Err(DecodeError::truncated("BPC raw plane"));
-                    }
-                    p -= 1;
-                    planes[p] = u32::from_le_bytes(input[*pos..*pos + 4].try_into().unwrap());
-                    *pos += 4;
-                }
-                other => {
-                    return Err(DecodeError::new(format!("unknown BPC opcode {other:#x}")));
-                }
-            }
-        }
-        Ok(planes)
-    }
-
     fn compress_chunk(&self, chunk: &[u64], out: &mut Vec<u8>) {
         debug_assert!(!chunk.is_empty() && chunk.len() <= CHUNK_ELEMS);
         out.push(chunk.len() as u8);
@@ -227,8 +87,15 @@ impl BpcCodec {
         if chunk.len() < 2 {
             return;
         }
-        let dbx = self.dbx_planes(chunk);
-        Self::encode_planes(&dbx, out, (chunk.len() - 1) as u32);
+        let mut dbx = [0u32; kernel::MAX_PLANES];
+        // Fast path for full chunks (transpose over word lanes), scalar
+        // tail path for the final partial chunk.
+        let np = if chunk.len() == CHUNK_ELEMS {
+            kernel::bpc_dbx_planes_batch(self.width, chunk, &mut dbx)
+        } else {
+            kernel::bpc_dbx_planes_tail(self.width, chunk, &mut dbx)
+        };
+        kernel::bpc_encode_planes(&dbx[..np], out, (chunk.len() - 1) as u32);
     }
 
     fn decompress_chunk(
@@ -249,30 +116,13 @@ impl BpcCodec {
         if n < 2 {
             return Ok(());
         }
-        let nbits = self.planes() as usize;
-        let dbx = Self::decode_planes(input, pos, nbits, (n - 1) as u32)?;
-        // Invert DBX back to DBP.
-        let mut dbp = vec![0u32; nbits];
-        dbp[nbits - 1] = dbx[nbits - 1];
-        for p in (0..nbits - 1).rev() {
-            dbp[p] = dbx[p] ^ dbp[p + 1];
-        }
-        // Re-assemble the deltas and prefix-sum back to values.
-        let mut prev = base;
-        for i in 0..n - 1 {
-            let mut delta: u128 = 0;
-            for (p, plane) in dbp.iter().enumerate() {
-                delta |= (((plane >> i) & 1) as u128) << p;
-            }
-            // Sign-extend the (width+1)-bit delta.
-            let nb = self.planes();
-            let signed = if delta >> (nb - 1) & 1 == 1 {
-                (delta as i128) - (1i128 << nb)
-            } else {
-                delta as i128
-            };
-            prev = (prev as i128 + signed) as u64 & self.width.mask();
-            out.push(prev);
+        let nplanes = kernel::bpc_nplanes(self.width);
+        let mut dbx = [0u32; kernel::MAX_PLANES];
+        kernel::bpc_decode_planes(input, pos, &mut dbx[..nplanes], (n - 1) as u32)?;
+        if n == CHUNK_ELEMS {
+            kernel::bpc_reconstruct_batch(self.width, base, &dbx[..nplanes], out);
+        } else {
+            kernel::bpc_reconstruct_tail(self.width, base, &dbx[..nplanes], n, out);
         }
         Ok(())
     }

@@ -9,12 +9,14 @@
 //!
 //! Delta encoding is the paper's preferred format for *short* streams such as
 //! individual neighbor sets, because it has no per-chunk minimum size.
+//!
+//! The hot loops live in [`kernel`]: encode runs over
+//! 32-element latent batches with table-driven size classification, decode
+//! resolves whole four-delta groups from one control-byte lookup. The
+//! original scalar implementation is preserved in
+//! [`reference`](crate::reference) as the differential oracle.
 
-use crate::varint::{unzigzag, zigzag};
-use crate::{varint, Codec, DecodeError};
-
-/// Byte-size classes selectable by the two-bit length code.
-const SIZE_CLASSES: [usize; 4] = [1, 2, 4, 8];
+use crate::{kernel, Codec, DecodeError};
 
 /// Delta byte-code codec.
 ///
@@ -39,18 +41,6 @@ impl DeltaCodec {
     pub fn new() -> Self {
         DeltaCodec { _private: () }
     }
-
-    fn size_class(delta: u64) -> u8 {
-        if delta < 1 << 8 {
-            0
-        } else if delta < 1 << 16 {
-            1
-        } else if delta < 1 << 32 {
-            2
-        } else {
-            3
-        }
-    }
 }
 
 impl Codec for DeltaCodec {
@@ -59,27 +49,7 @@ impl Codec for DeltaCodec {
     }
 
     fn compress(&self, input: &[u64], out: &mut Vec<u8>) {
-        varint::write_u64(out, input.len() as u64);
-        let mut prev = 0u64;
-        for group in input.chunks(4) {
-            let deltas: Vec<u64> = group
-                .iter()
-                .map(|&v| {
-                    let d = zigzag(v.wrapping_sub(prev) as i64);
-                    prev = v;
-                    d
-                })
-                .collect();
-            let mut control = 0u8;
-            for (i, &d) in deltas.iter().enumerate() {
-                control |= Self::size_class(d) << (2 * i);
-            }
-            out.push(control);
-            for &d in &deltas {
-                let class = Self::size_class(d) as usize;
-                out.extend_from_slice(&d.to_le_bytes()[..SIZE_CLASSES[class]]);
-            }
-        }
+        kernel::delta_compress(input, out);
     }
 
     fn decode_frame(
@@ -88,33 +58,7 @@ impl Codec for DeltaCodec {
         pos: &mut usize,
         out: &mut Vec<u64>,
     ) -> Result<(), DecodeError> {
-        let n = varint::read_u64(input, pos)? as usize;
-        // Header counts are untrusted input: cap the speculative reserve.
-        out.reserve(n.min(input.len().saturating_mul(4)));
-        let mut prev = 0u64;
-        let mut remaining = n;
-        while remaining > 0 {
-            let control = *input
-                .get(*pos)
-                .ok_or_else(|| DecodeError::truncated("delta control byte"))?;
-            *pos += 1;
-            let in_group = remaining.min(4);
-            for i in 0..in_group {
-                let class = ((control >> (2 * i)) & 0b11) as usize;
-                let len = SIZE_CLASSES[class];
-                if *pos + len > input.len() {
-                    return Err(DecodeError::truncated("delta payload"));
-                }
-                let mut bytes = [0u8; 8];
-                bytes[..len].copy_from_slice(&input[*pos..*pos + len]);
-                *pos += len;
-                let delta = unzigzag(u64::from_le_bytes(bytes));
-                prev = prev.wrapping_add(delta as u64);
-                out.push(prev);
-            }
-            remaining -= in_group;
-        }
-        Ok(())
+        kernel::delta_decode_frame(input, pos, out)
     }
 }
 

@@ -1,0 +1,789 @@
+//! Fixed-size-batch codec kernels: the chunked, branch-free encode/decode
+//! primitives behind every stream codec's hot path.
+//!
+//! The paper's DCL engines assume (de)compression sustains GB/s against the
+//! memory hierarchy; scalar byte-at-a-time loops do not. This module
+//! provides the kernel layer the codecs are built on:
+//!
+//! * **Latent batches** — encoders consume [`BATCH`]-element (32) batches
+//!   of `u64` lanes; [`zigzag_delta_batch`] turns a batch into ZigZag
+//!   deltas in one pass with no per-element branching.
+//! * **Branch-free classification** — the delta byte-code's two-bit size
+//!   classes come from the [`CLASS_BY_BITS`] lookup table (indexed by
+//!   significant bits) instead of a compare chain, and decode offsets for
+//!   a whole four-delta group come from the const-built control-byte
+//!   tables ([`GROUP_OFFSETS`]/[`GROUP_PAYLOAD`]), so one control byte
+//!   resolves all four payload positions with no data-dependent branches.
+//! * **Bit-packing over word lanes** — BPC's bit-plane transform is a
+//!   32×32 bit-matrix transpose ([`transpose_32x32`]) over `u32` plane
+//!   words (two of them side by side form the 64-bit lanes of W64 data),
+//!   replacing the per-bit gather loops of the scalar implementation.
+//! * **Fast/tail split** — every kernel runs an unconditional fast path
+//!   while a full batch (and input slack for unaligned 8-byte loads) is
+//!   available, then finishes with a bounds-checked scalar tail. The tail
+//!   paths live here too; the *original* scalar implementations are
+//!   preserved unmodified in [`reference`](crate::reference) as the
+//!   differential oracle and are never called from this module.
+//!
+//! All kernels are wire-compatible with the scalar reference: encoders
+//! produce byte-identical frames and decoders accept exactly the same
+//! inputs ([`CODEC_VERSION`](crate::CODEC_VERSION) is unchanged). This is
+//! enforced by `tests/differential.rs`.
+
+use crate::varint::{unzigzag, zigzag};
+use crate::{varint, DecodeError, ElemWidth, CHUNK_ELEMS};
+
+/// Elements per latent batch: one compression chunk (32, per Sec. III-C).
+pub const BATCH: usize = CHUNK_ELEMS;
+
+/// Payload byte lengths selected by the delta codec's two-bit size class.
+pub const CLASS_LEN: [usize; 4] = [1, 2, 4, 8];
+
+/// Low-bits masks matching [`CLASS_LEN`]: `CLASS_MASK[c]` keeps the
+/// `CLASS_LEN[c]` low bytes of an unaligned 8-byte load.
+pub const CLASS_MASK: [u64; 4] = [0xFF, 0xFFFF, 0xFFFF_FFFF, u64::MAX];
+
+/// Size class of a ZigZag delta, indexed by significant bit count (0..=64):
+/// ≤8 bits → class 0 (1 byte), ≤16 → 1 (2 bytes), ≤32 → 2 (4 bytes),
+/// else 3 (8 bytes). Replaces the encoder's compare chain with one load.
+pub const CLASS_BY_BITS: [u8; 65] = {
+    let mut t = [0u8; 65];
+    let mut bits = 0;
+    while bits <= 64 {
+        t[bits] = if bits <= 8 {
+            0
+        } else if bits <= 16 {
+            1
+        } else if bits <= 32 {
+            2
+        } else {
+            3
+        };
+        bits += 1;
+    }
+    t
+};
+
+/// Per-control-byte payload offsets of the four deltas in a group. Lets
+/// the decoder issue all four unaligned loads of a group without waiting
+/// on sequentially accumulated lengths.
+pub const GROUP_OFFSETS: [[u8; 4]; 256] = {
+    let mut t = [[0u8; 4]; 256];
+    let mut c = 0usize;
+    while c < 256 {
+        let mut off = 0u8;
+        let mut i = 0;
+        while i < 4 {
+            t[c][i] = off;
+            off += CLASS_LEN[(c >> (2 * i)) & 0b11] as u8;
+            i += 1;
+        }
+        c += 1;
+    }
+    t
+};
+
+/// Total payload bytes of a four-delta group, per control byte.
+pub const GROUP_PAYLOAD: [u8; 256] = {
+    let mut t = [0u8; 256];
+    let mut c = 0usize;
+    while c < 256 {
+        t[c] = (CLASS_LEN[c & 3] + CLASS_LEN[(c >> 2) & 3]) as u8
+            + (CLASS_LEN[(c >> 4) & 3] + CLASS_LEN[(c >> 6) & 3]) as u8;
+        c += 1;
+    }
+    t
+};
+
+/// Size class of one ZigZag delta (branch-free).
+#[inline]
+pub fn class_of(delta: u64) -> usize {
+    CLASS_BY_BITS[(64 - delta.leading_zeros()) as usize] as usize
+}
+
+/// ZigZag deltas of a lane batch: `out[i] = zigzag(values[i] - values[i-1])`
+/// with `prev` seeding the first difference. One pass, no branches.
+#[inline]
+pub fn zigzag_delta_batch(prev: u64, values: &[u64], out: &mut [u64]) {
+    debug_assert_eq!(values.len(), out.len());
+    let mut p = prev;
+    for (o, &v) in out.iter_mut().zip(values) {
+        *o = zigzag(v.wrapping_sub(p) as i64);
+        p = v;
+    }
+}
+
+/// In-place transpose of a 32×32 bit matrix held as 32 row words:
+/// afterwards bit `i` of word `p` is what bit `p` of word `i` was.
+///
+/// This is the bit-packing primitive behind BPC: deltas (rows) become bit
+/// planes (columns) in five butterfly stages instead of 33×31 single-bit
+/// gathers. Transposition is an involution, so the same routine converts
+/// planes back to deltas on decode.
+pub fn transpose_32x32(a: &mut [u32; 32]) {
+    let mut j = 16u32;
+    let mut m = 0x0000_FFFFu32;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 32 {
+            let t = ((a[k] >> j) ^ a[k | j as usize]) & m;
+            a[k | j as usize] ^= t;
+            a[k] ^= t << j;
+            k = (k + j as usize + 1) & !(j as usize);
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Delta byte-code kernels
+// ---------------------------------------------------------------------------
+
+/// Kernel delta byte-code encoder: batch fast path over full 32-element
+/// lane batches, scalar group tail. Byte-identical to
+/// [`reference::delta_compress`](crate::reference::delta_compress).
+pub fn delta_compress(input: &[u64], out: &mut Vec<u8>) {
+    varint::write_u64(out, input.len() as u64);
+    // Worst case: 8 payload bytes/element + 1 control byte per 4.
+    out.reserve(input.len() * 8 + input.len() / 4 + 1);
+    let mut prev = 0u64;
+    let mut zz = [0u64; BATCH];
+    let mut chunks = input.chunks_exact(BATCH);
+    for chunk in chunks.by_ref() {
+        zigzag_delta_batch(prev, chunk, &mut zz);
+        prev = chunk[BATCH - 1];
+        for group in zz.chunks_exact(4) {
+            emit_group(group, out);
+        }
+    }
+    // Tail path: remaining groups of up to four elements.
+    let rem = chunks.remainder();
+    let mut groups = rem.chunks_exact(4);
+    let mut zz4 = [0u64; 4];
+    for group in groups.by_ref() {
+        zigzag_delta_batch(prev, group, &mut zz4);
+        prev = group[3];
+        emit_group(&zz4, out);
+    }
+    let last = groups.remainder();
+    if !last.is_empty() {
+        zigzag_delta_batch(prev, last, &mut zz4[..last.len()]);
+        emit_group(&zz4[..last.len()], out);
+    }
+}
+
+/// Emits one control byte plus payload for up to four ZigZag deltas,
+/// staging the payload in a fixed 32-byte buffer so the output vector is
+/// touched twice per group, not per byte.
+#[inline]
+fn emit_group(deltas: &[u64], out: &mut Vec<u8>) {
+    let mut control = 0u8;
+    let mut buf = [0u8; 32];
+    let mut off = 0usize;
+    for (i, &d) in deltas.iter().enumerate() {
+        let class = class_of(d);
+        control |= (class as u8) << (2 * i);
+        buf[off..off + 8].copy_from_slice(&d.to_le_bytes());
+        off += CLASS_LEN[class];
+    }
+    out.push(control);
+    out.extend_from_slice(&buf[..off]);
+}
+
+/// Kernel delta byte-code frame decoder: while a full four-delta group and
+/// eight bytes of load slack remain, one control-byte lookup resolves all
+/// payload offsets and each delta is one masked unaligned load — no
+/// per-element byte copying. Tail groups decode through the scalar path.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on a malformed frame (same acceptance as the
+/// scalar reference).
+pub fn delta_decode_frame(
+    input: &[u8],
+    pos: &mut usize,
+    out: &mut Vec<u64>,
+) -> Result<(), DecodeError> {
+    let n = varint::read_u64(input, pos)? as usize;
+    // Header counts are untrusted input: cap the speculative reserve.
+    out.reserve(n.min(input.len().saturating_mul(4)));
+    let mut prev = 0u64;
+    let mut remaining = n;
+    // Batched fast path: eight groups (one full latent batch) per flush.
+    // Each group decodes through one 33-byte window (control + worst-case
+    // 32-byte payload), so there is a single bounds check per group and
+    // one `Vec` append per 32 elements. Loads may read up to 7 bytes past
+    // a delta's payload but never past the window.
+    let mut stage = [0u64; BATCH];
+    while remaining >= BATCH && *pos + 8 * 40 <= input.len() {
+        for g in 0..8 {
+            let win: &[u8; 40] = input[*pos..*pos + 40].try_into().unwrap();
+            let control = win[0] as usize;
+            // Uniform control bytes (all four deltas in the same class)
+            // dominate real streams — sorted ids give runs of all-small
+            // groups, incompressible tuples give runs of all-large ones —
+            // and the branch predictor locks onto them. Special-casing
+            // them advances `pos` by a *constant*, collapsing the serial
+            // control-byte→payload-table→position chain that otherwise
+            // bounds decode at ~10 cycles per group.
+            match control {
+                0x00 => {
+                    // Four one-byte deltas: one 4-byte load, lanes peeled
+                    // in registers.
+                    let lanes = u32::from_le_bytes(win[1..5].try_into().unwrap());
+                    for i in 0..4 {
+                        let delta = u64::from((lanes >> (8 * i)) & 0xFF);
+                        prev = prev.wrapping_add(unzigzag(delta) as u64);
+                        stage[g * 4 + i] = prev;
+                    }
+                    *pos += 5;
+                }
+                0x55 => {
+                    // Four two-byte deltas: one 8-byte load.
+                    let lanes = u64::from_le_bytes(win[1..9].try_into().unwrap());
+                    for i in 0..4 {
+                        let delta = (lanes >> (16 * i)) & 0xFFFF;
+                        prev = prev.wrapping_add(unzigzag(delta) as u64);
+                        stage[g * 4 + i] = prev;
+                    }
+                    *pos += 9;
+                }
+                0xAA => {
+                    // Four four-byte deltas.
+                    for i in 0..4 {
+                        let delta =
+                            u32::from_le_bytes(win[1 + 4 * i..5 + 4 * i].try_into().unwrap());
+                        prev = prev.wrapping_add(unzigzag(u64::from(delta)) as u64);
+                        stage[g * 4 + i] = prev;
+                    }
+                    *pos += 17;
+                }
+                0xFF => {
+                    // Four eight-byte deltas.
+                    for i in 0..4 {
+                        let delta =
+                            u64::from_le_bytes(win[1 + 8 * i..9 + 8 * i].try_into().unwrap());
+                        prev = prev.wrapping_add(unzigzag(delta) as u64);
+                        stage[g * 4 + i] = prev;
+                    }
+                    *pos += 33;
+                }
+                _ => {
+                    let offsets = &GROUP_OFFSETS[control];
+                    for i in 0..4 {
+                        // `& 31` proves `9 + off <= 40` to the bounds
+                        // checker (offsets are at most 24), so each delta
+                        // is one masked unaligned load with no per-load
+                        // branch.
+                        let off = (offsets[i] & 31) as usize;
+                        let word = u64::from_le_bytes(win[1 + off..9 + off].try_into().unwrap());
+                        let delta = word & CLASS_MASK[(control >> (2 * i)) & 0b11];
+                        prev = prev.wrapping_add(unzigzag(delta) as u64);
+                        stage[g * 4 + i] = prev;
+                    }
+                    *pos += 1 + GROUP_PAYLOAD[control] as usize;
+                }
+            }
+        }
+        out.extend_from_slice(&stage);
+        remaining -= BATCH;
+    }
+    // Group fast path: same masked-load decode, one group at a time, for
+    // the region where a full eight-group window no longer fits.
+    while remaining >= 4 && *pos + 1 + 32 <= input.len() {
+        let win: &[u8; 33] = input[*pos..*pos + 33].try_into().unwrap();
+        let control = win[0] as usize;
+        let offsets = &GROUP_OFFSETS[control];
+        let mut vals = [0u64; 4];
+        for i in 0..4 {
+            let off = offsets[i] as usize;
+            let word = u64::from_le_bytes(win[1 + off..9 + off].try_into().unwrap());
+            let delta = word & CLASS_MASK[(control >> (2 * i)) & 0b11];
+            prev = prev.wrapping_add(unzigzag(delta) as u64);
+            vals[i] = prev;
+        }
+        out.extend_from_slice(&vals);
+        *pos += 1 + GROUP_PAYLOAD[control] as usize;
+        remaining -= 4;
+    }
+    // Tail path: bounds-checked scalar groups.
+    while remaining > 0 {
+        let control = *input
+            .get(*pos)
+            .ok_or_else(|| DecodeError::truncated("delta control byte"))?;
+        *pos += 1;
+        let in_group = remaining.min(4);
+        for i in 0..in_group {
+            let class = ((control >> (2 * i)) & 0b11) as usize;
+            let len = CLASS_LEN[class];
+            if *pos + len > input.len() {
+                return Err(DecodeError::truncated("delta payload"));
+            }
+            let mut bytes = [0u8; 8];
+            bytes[..len].copy_from_slice(&input[*pos..*pos + len]);
+            *pos += len;
+            let delta = unzigzag(u64::from_le_bytes(bytes));
+            prev = prev.wrapping_add(delta as u64);
+            out.push(prev);
+        }
+        remaining -= in_group;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// BPC kernels
+// ---------------------------------------------------------------------------
+
+const OP_ZERO_RUN: u8 = 0x00;
+const OP_ALL_ONES: u8 = 0x01;
+const OP_SINGLE_ONE: u8 = 0x02;
+const OP_TWO_CONSEC: u8 = 0x03;
+const OP_RAW: u8 = 0x04;
+
+/// Maximum bit planes of any supported width (64-bit deltas + borrow bit).
+pub const MAX_PLANES: usize = 65;
+
+/// Number of bit planes for `width`: element bits + 1 (deltas carry a
+/// borrow bit).
+#[inline]
+pub fn bpc_nplanes(width: ElemWidth) -> usize {
+    width.bits() as usize + 1
+}
+
+/// Computes the DBX planes of a *full* [`BATCH`]-element chunk into `dbx`,
+/// returning the plane count. The delta matrix is built lane-wise with
+/// wrapping `u64` arithmetic (no `u128`), then rotated into planes with
+/// [`transpose_32x32`] — one transpose for W32, two for W64, plus a
+/// borrow-bit plane gathered separately.
+pub fn bpc_dbx_planes_batch(width: ElemWidth, chunk: &[u64], dbx: &mut [u32; MAX_PLANES]) -> usize {
+    debug_assert_eq!(chunk.len(), BATCH);
+    let np = bpc_nplanes(width);
+    let mut dbp = [0u32; MAX_PLANES];
+    match width {
+        ElemWidth::W32 => {
+            let mut rows = [0u32; 32];
+            let mut carries = 0u32;
+            for i in 0..BATCH - 1 {
+                // (width+1)-bit two's-complement delta: low bits and the
+                // borrow bit both come from the wrapping u64 difference.
+                let d = chunk[i + 1].wrapping_sub(chunk[i]);
+                rows[i] = d as u32;
+                carries |= (((d >> 32) & 1) as u32) << i;
+            }
+            transpose_32x32(&mut rows);
+            dbp[..32].copy_from_slice(&rows);
+            dbp[32] = carries;
+        }
+        ElemWidth::W64 => {
+            let mut lo = [0u32; 32];
+            let mut hi = [0u32; 32];
+            let mut carries = 0u32;
+            for i in 0..BATCH - 1 {
+                let (a, b) = (chunk[i], chunk[i + 1]);
+                let d = b.wrapping_sub(a);
+                lo[i] = d as u32;
+                hi[i] = (d >> 32) as u32;
+                // Bit 64 of the 65-bit two's-complement delta is the borrow.
+                carries |= ((b < a) as u32) << i;
+            }
+            transpose_32x32(&mut lo);
+            transpose_32x32(&mut hi);
+            dbp[..32].copy_from_slice(&lo);
+            dbp[32..64].copy_from_slice(&hi);
+            dbp[64] = carries;
+        }
+    }
+    // DBX: XOR with the plane above; top plane kept as-is.
+    dbx[np - 1] = dbp[np - 1];
+    for p in 0..np - 1 {
+        dbx[p] = dbp[p] ^ dbp[p + 1];
+    }
+    np
+}
+
+/// Computes the DBX planes of a *partial* chunk (2..[`BATCH`] elements):
+/// the conditional tail path, bit-gathered scalar-style but allocation
+/// free. Returns the plane count.
+pub fn bpc_dbx_planes_tail(width: ElemWidth, chunk: &[u64], dbx: &mut [u32; MAX_PLANES]) -> usize {
+    debug_assert!(chunk.len() >= 2 && chunk.len() <= BATCH);
+    let np = bpc_nplanes(width);
+    let mut dbp = [0u32; MAX_PLANES];
+    for i in 0..chunk.len() - 1 {
+        let (a, b) = (chunk[i], chunk[i + 1]);
+        let d = b.wrapping_sub(a);
+        for (p, plane) in dbp.iter_mut().enumerate().take(64.min(np)) {
+            *plane |= (((d >> p) & 1) as u32) << i;
+        }
+        if np == MAX_PLANES {
+            // W64 borrow bit (plane 64) is not reachable by u64 shifts.
+            dbp[64] |= ((b < a) as u32) << i;
+        } else {
+            // W32: plane 32 is bit 32 of the u64 difference.
+            dbp[32] |= (((d >> 32) & 1) as u32) << i;
+        }
+    }
+    dbx[np - 1] = dbp[np - 1];
+    for p in 0..np - 1 {
+        dbx[p] = dbp[p] ^ dbp[p + 1];
+    }
+    np
+}
+
+/// Reconstructs the 31 non-base elements of a full chunk from its DBX
+/// planes and pushes them onto `out`: XOR-scan back to DBP, transpose the
+/// planes back into delta lanes, then a branch-free wrapping prefix sum.
+/// Sign extension is unnecessary — additions are modular in the element
+/// width, and the borrow plane only affects bits above it.
+pub fn bpc_reconstruct_batch(width: ElemWidth, base: u64, dbx: &[u32], out: &mut Vec<u64>) {
+    let np = dbx.len();
+    debug_assert_eq!(np, bpc_nplanes(width));
+    let mut dbp = [0u32; MAX_PLANES];
+    dbp[np - 1] = dbx[np - 1];
+    for p in (0..np - 1).rev() {
+        dbp[p] = dbx[p] ^ dbp[p + 1];
+    }
+    let mut vals = [0u64; BATCH - 1];
+    let mut prev = base;
+    match width {
+        ElemWidth::W32 => {
+            let mut rows = [0u32; 32];
+            rows.copy_from_slice(&dbp[..32]);
+            transpose_32x32(&mut rows);
+            for (i, v) in vals.iter_mut().enumerate() {
+                prev = prev.wrapping_add(rows[i] as u64) & 0xFFFF_FFFF;
+                *v = prev;
+            }
+        }
+        ElemWidth::W64 => {
+            let mut lo = [0u32; 32];
+            let mut hi = [0u32; 32];
+            lo.copy_from_slice(&dbp[..32]);
+            hi.copy_from_slice(&dbp[32..64]);
+            transpose_32x32(&mut lo);
+            transpose_32x32(&mut hi);
+            for (i, v) in vals.iter_mut().enumerate() {
+                let d = lo[i] as u64 | ((hi[i] as u64) << 32);
+                prev = prev.wrapping_add(d);
+                *v = prev;
+            }
+        }
+    }
+    out.extend_from_slice(&vals);
+}
+
+/// Reconstructs the `n - 1` non-base elements of a partial chunk from its
+/// DBX planes (tail path): per-element bit gather, allocation free.
+pub fn bpc_reconstruct_tail(
+    width: ElemWidth,
+    base: u64,
+    dbx: &[u32],
+    n: usize,
+    out: &mut Vec<u64>,
+) {
+    let np = dbx.len();
+    debug_assert_eq!(np, bpc_nplanes(width));
+    let mut dbp = [0u32; MAX_PLANES];
+    dbp[np - 1] = dbx[np - 1];
+    for p in (0..np - 1).rev() {
+        dbp[p] = dbx[p] ^ dbp[p + 1];
+    }
+    let mask = width.mask();
+    let mut prev = base;
+    for i in 0..n - 1 {
+        // Gather the low 64 delta bits; higher planes vanish modulo the
+        // element width, so the borrow plane needs no special casing.
+        let mut delta = 0u64;
+        for (p, plane) in dbp.iter().enumerate().take(64.min(np)) {
+            delta |= (((plane >> i) & 1) as u64) << p;
+        }
+        prev = prev.wrapping_add(delta) & mask;
+        out.push(prev);
+    }
+}
+
+/// Encodes DBX planes with the BPC symbol code, top plane first.
+/// Byte-identical to the scalar reference's plane encoder.
+pub fn bpc_encode_planes(planes: &[u32], out: &mut Vec<u8>, plane_bits: u32) {
+    let all_ones: u32 = if plane_bits >= 32 {
+        u32::MAX
+    } else {
+        (1 << plane_bits) - 1
+    };
+    let mut p = planes.len();
+    // Encode from the top plane down: correlated data zeroes high planes.
+    while p > 0 {
+        p -= 1;
+        let plane = planes[p];
+        if plane == 0 {
+            // Greedily absorb a run of zero planes.
+            let mut run = 1u32;
+            while p > 0 && planes[p - 1] == 0 && run < 255 {
+                p -= 1;
+                run += 1;
+            }
+            out.push(OP_ZERO_RUN);
+            out.push(run as u8);
+        } else if plane == all_ones {
+            out.push(OP_ALL_ONES);
+        } else if plane.count_ones() == 1 {
+            out.push(OP_SINGLE_ONE);
+            out.push(plane.trailing_zeros() as u8);
+        } else if plane.count_ones() == 2 && (plane >> plane.trailing_zeros()) == 0b11 {
+            out.push(OP_TWO_CONSEC);
+            out.push(plane.trailing_zeros() as u8);
+        } else {
+            out.push(OP_RAW);
+            out.extend_from_slice(&plane.to_le_bytes());
+        }
+    }
+}
+
+/// Decodes BPC plane symbols into the caller-provided `planes` buffer
+/// (filling all of it), with no allocation. Accepts exactly the inputs the
+/// scalar reference accepts.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on a truncated or malformed symbol stream.
+pub fn bpc_decode_planes(
+    input: &[u8],
+    pos: &mut usize,
+    planes: &mut [u32],
+    plane_bits: u32,
+) -> Result<(), DecodeError> {
+    let all_ones: u32 = if plane_bits >= 32 {
+        u32::MAX
+    } else {
+        (1 << plane_bits) - 1
+    };
+    let mut p = planes.len();
+    while p > 0 {
+        let op = *input
+            .get(*pos)
+            .ok_or_else(|| DecodeError::truncated("BPC opcode"))?;
+        *pos += 1;
+        match op {
+            OP_ZERO_RUN => {
+                let run = *input
+                    .get(*pos)
+                    .ok_or_else(|| DecodeError::truncated("BPC zero-run length"))?
+                    as usize;
+                *pos += 1;
+                if run == 0 || run > p {
+                    return Err(DecodeError::new("BPC zero-run out of range"));
+                }
+                for _ in 0..run {
+                    p -= 1;
+                    planes[p] = 0;
+                }
+            }
+            OP_ALL_ONES => {
+                p -= 1;
+                planes[p] = all_ones;
+            }
+            OP_SINGLE_ONE | OP_TWO_CONSEC => {
+                let bit = *input
+                    .get(*pos)
+                    .ok_or_else(|| DecodeError::truncated("BPC bit position"))?
+                    as u32;
+                *pos += 1;
+                if bit >= plane_bits || (op == OP_TWO_CONSEC && bit + 1 >= plane_bits) {
+                    return Err(DecodeError::new("BPC bit position out of range"));
+                }
+                p -= 1;
+                planes[p] = if op == OP_SINGLE_ONE {
+                    1 << bit
+                } else {
+                    0b11 << bit
+                };
+            }
+            OP_RAW => {
+                if *pos + 4 > input.len() {
+                    return Err(DecodeError::truncated("BPC raw plane"));
+                }
+                p -= 1;
+                planes[p] = u32::from_le_bytes(input[*pos..*pos + 4].try_into().unwrap());
+                *pos += 4;
+            }
+            other => {
+                return Err(DecodeError::new(format!("unknown BPC opcode {other:#x}")));
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Identity kernels
+// ---------------------------------------------------------------------------
+
+/// Kernel identity encoder: reserves once and streams fixed-width words.
+pub fn identity_compress(width: ElemWidth, input: &[u64], out: &mut Vec<u8>) {
+    varint::write_u64(out, input.len() as u64);
+    out.reserve(input.len() * width.bytes());
+    match width {
+        ElemWidth::W32 => {
+            for &v in input {
+                out.extend_from_slice(&(v as u32).to_le_bytes());
+            }
+        }
+        ElemWidth::W64 => {
+            for &v in input {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+}
+
+/// Kernel identity frame decoder: one bounds check for the whole payload,
+/// then exact-chunk word loads the compiler can vectorize.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the payload is truncated.
+pub fn identity_decode_frame(
+    width: ElemWidth,
+    input: &[u8],
+    pos: &mut usize,
+    out: &mut Vec<u64>,
+) -> Result<(), DecodeError> {
+    let n = varint::read_u64(input, pos)? as usize;
+    let need = n
+        .checked_mul(width.bytes())
+        .filter(|need| *pos + need <= input.len())
+        .ok_or_else(|| DecodeError::truncated("identity element"))?;
+    let payload = &input[*pos..*pos + need];
+    out.reserve(n);
+    match width {
+        ElemWidth::W32 => out.extend(
+            payload
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap()) as u64),
+        ),
+        ElemWidth::W64 => out.extend(
+            payload
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap())),
+        ),
+    }
+    *pos += need;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Varint fast path (RLE hot loop)
+// ---------------------------------------------------------------------------
+
+/// Reads an LEB128 varint with a single up-front bounds check when a full
+/// 10-byte window is available, falling back to the bounds-checked scalar
+/// reader near the end of input. Accepts exactly what
+/// [`varint::read_u64`] accepts.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncated or over-long varints.
+#[inline]
+pub fn read_varint_fast(input: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
+    // Single-byte fast path: frame headers, run lengths, and small values
+    // overwhelmingly fit seven bits, so this branch is the hot loop.
+    if let Some(&byte) = input.get(*pos) {
+        if byte & 0x80 == 0 {
+            *pos += 1;
+            return Ok(u64::from(byte));
+        }
+        // Two-byte values are the next most common (runs, short deltas).
+        if let Some(&next) = input.get(*pos + 1) {
+            if next & 0x80 == 0 {
+                *pos += 2;
+                return Ok(u64::from(byte & 0x7F) | u64::from(next) << 7);
+            }
+        }
+    }
+    varint::read_u64(input, pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_tables_match_compare_chain() {
+        for d in [
+            0u64,
+            1,
+            255,
+            256,
+            65_535,
+            65_536,
+            u32::MAX as u64,
+            u32::MAX as u64 + 1,
+            u64::MAX,
+        ] {
+            let expected = if d < 1 << 8 {
+                0
+            } else if d < 1 << 16 {
+                1
+            } else if d < 1 << 32 {
+                2
+            } else {
+                3
+            };
+            assert_eq!(class_of(d), expected, "delta {d:#x}");
+        }
+    }
+
+    #[test]
+    fn group_tables_are_consistent() {
+        for c in 0..256usize {
+            let mut off = 0u8;
+            for i in 0..4 {
+                assert_eq!(GROUP_OFFSETS[c][i], off);
+                off += CLASS_LEN[(c >> (2 * i)) & 3] as u8;
+            }
+            assert_eq!(GROUP_PAYLOAD[c], off);
+        }
+    }
+
+    #[test]
+    fn transpose_matches_naive_and_is_involution() {
+        let mut m = [0u32; 32];
+        for (i, row) in m.iter_mut().enumerate() {
+            *row = (i as u32).wrapping_mul(0x9E37_79B9) ^ (i as u32) << 13;
+        }
+        let original = m;
+        let mut naive = [0u32; 32];
+        for (p, out_row) in naive.iter_mut().enumerate() {
+            for (i, &row) in original.iter().enumerate() {
+                *out_row |= ((row >> p) & 1) << i;
+            }
+        }
+        transpose_32x32(&mut m);
+        assert_eq!(m, naive);
+        transpose_32x32(&mut m);
+        assert_eq!(m, original);
+    }
+
+    #[test]
+    fn varint_fast_matches_reference_reader() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, 1 << 20, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            varint::write_u64(&mut buf, v);
+        }
+        let (mut fast_pos, mut ref_pos) = (0usize, 0usize);
+        for &v in &values {
+            assert_eq!(read_varint_fast(&buf, &mut fast_pos).unwrap(), v);
+            assert_eq!(varint::read_u64(&buf, &mut ref_pos).unwrap(), v);
+            assert_eq!(fast_pos, ref_pos);
+        }
+        // Overlong and truncated inputs fail on both paths.
+        let overlong = [0x80u8; 11];
+        let mut p = 0;
+        assert!(read_varint_fast(&overlong, &mut p).is_err());
+        let truncated = [0x80u8, 0x80];
+        let mut p = 0;
+        assert!(read_varint_fast(&truncated, &mut p).is_err());
+    }
+}

@@ -44,7 +44,9 @@
 pub mod bdi;
 pub mod bpc;
 pub mod delta;
+pub mod kernel;
 pub mod model;
+pub mod reference;
 pub mod rle;
 pub mod sanitize;
 pub mod sorted;
@@ -137,6 +139,28 @@ impl fmt::Display for ElemWidth {
     }
 }
 
+/// Reusable staging buffers for codec hot paths.
+///
+/// Engine call sites compress and decompress thousands of 32-element chunks;
+/// allocating staging vectors per call dominated those loops. A `Scratch`
+/// lives with the call site (usually inside a [`CodecCtx`]) and is handed to
+/// [`Codec::compress_with`], which clears and reuses it instead of
+/// allocating. Buffers only ever grow, so steady state is allocation free.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// Element-value staging (e.g. the sorted copy of a chunk).
+    pub values: Vec<u64>,
+    /// Encoded-byte staging.
+    pub bytes: Vec<u8>,
+}
+
+impl Scratch {
+    /// Creates an empty scratch. Buffers grow on first use.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+}
+
 /// A lossless stream codec over `u64` elements.
 ///
 /// Implementations must round-trip exactly: `decompress(compress(x)) == x`
@@ -148,6 +172,17 @@ pub trait Codec: fmt::Debug {
 
     /// Compresses `input`, appending one self-delimiting *frame* to `out`.
     fn compress(&self, input: &[u64], out: &mut Vec<u8>);
+
+    /// Compresses `input` using caller-provided scratch buffers, appending
+    /// one frame to `out`. Output is identical to [`Codec::compress`]; the
+    /// default implementation simply forwards. Codecs that need internal
+    /// staging (e.g. [`sorted::SortedChunks`]) override this to reuse
+    /// `scratch` instead of allocating per call — engine call sites should
+    /// prefer this entry point (or [`CodecCtx`], which calls it).
+    fn compress_with(&self, input: &[u64], out: &mut Vec<u8>, scratch: &mut Scratch) {
+        let _ = scratch;
+        self.compress(input, out);
+    }
 
     /// Decodes one frame starting at `*pos`, advancing `*pos` past it.
     ///
@@ -266,6 +301,88 @@ impl fmt::Display for CodecKind {
     }
 }
 
+/// A built codec bundled with its reusable [`Scratch`]: the allocation-free
+/// handle engine call sites hold across many per-chunk codec calls.
+///
+/// Building a `Box<dyn Codec>` and fresh staging vectors per chunk was the
+/// dominant overhead at the `sim`/`mem` and apps-runtime call sites; a
+/// `CodecCtx` amortizes both. [`CodecCtx::ensure`] caches a context in an
+/// `Option` slot, rebuilding only when the requested [`CodecKind`] changes.
+#[derive(Debug)]
+pub struct CodecCtx {
+    kind: CodecKind,
+    codec: Box<dyn Codec + Send + Sync>,
+    scratch: Scratch,
+}
+
+impl CodecCtx {
+    /// Builds the codec for `kind` with empty scratch buffers.
+    pub fn new(kind: CodecKind) -> Self {
+        CodecCtx {
+            kind,
+            codec: kind.build(),
+            scratch: Scratch::new(),
+        }
+    }
+
+    /// The kind this context was built for.
+    pub fn kind(&self) -> CodecKind {
+        self.kind
+    }
+
+    /// The underlying codec.
+    pub fn codec(&self) -> &(dyn Codec + Send + Sync) {
+        &*self.codec
+    }
+
+    /// Returns the context in `slot`, (re)building it only if the slot is
+    /// empty or was built for a different kind.
+    pub fn ensure(slot: &mut Option<CodecCtx>, kind: CodecKind) -> &mut CodecCtx {
+        if slot.as_ref().map(CodecCtx::kind) != Some(kind) {
+            *slot = Some(CodecCtx::new(kind));
+        }
+        slot.as_mut().expect("slot populated above")
+    }
+
+    /// Compresses one frame through [`Codec::compress_with`], reusing this
+    /// context's scratch buffers.
+    pub fn compress(&mut self, input: &[u64], out: &mut Vec<u8>) {
+        self.codec.compress_with(input, out, &mut self.scratch);
+    }
+
+    /// Decodes one frame starting at `*pos` (see [`Codec::decode_frame`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the bytes at `*pos` are not a valid frame.
+    pub fn decode_frame(
+        &self,
+        input: &[u8],
+        pos: &mut usize,
+        out: &mut Vec<u64>,
+    ) -> Result<(), DecodeError> {
+        self.codec.decode_frame(input, pos, out)
+    }
+
+    /// Decompresses a single-frame `input` (see [`Codec::decompress`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on a malformed frame or trailing bytes.
+    pub fn decompress(&self, input: &[u8], out: &mut Vec<u64>) -> Result<(), DecodeError> {
+        self.codec.decompress(input, out)
+    }
+
+    /// Decompresses concatenated frames (see [`Codec::decompress_frames`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if any frame is malformed.
+    pub fn decompress_frames(&self, input: &[u8], out: &mut Vec<u64>) -> Result<(), DecodeError> {
+        self.codec.decompress_frames(input, out)
+    }
+}
+
 /// The identity codec: stores elements verbatim at their element width.
 ///
 /// Used as the "no compression" arm of ablation studies (Fig. 20) so that the
@@ -288,13 +405,7 @@ impl Codec for IdentityCodec {
     }
 
     fn compress(&self, input: &[u64], out: &mut Vec<u8>) {
-        varint::write_u64(out, input.len() as u64);
-        for &v in input {
-            match self.width {
-                ElemWidth::W32 => out.extend_from_slice(&(v as u32).to_le_bytes()),
-                ElemWidth::W64 => out.extend_from_slice(&v.to_le_bytes()),
-            }
-        }
+        kernel::identity_compress(self.width, input, out);
     }
 
     fn decode_frame(
@@ -303,24 +414,7 @@ impl Codec for IdentityCodec {
         pos: &mut usize,
         out: &mut Vec<u64>,
     ) -> Result<(), DecodeError> {
-        let n = varint::read_u64(input, pos)? as usize;
-        let bytes = self.width.bytes();
-        // Header counts are untrusted input: cap the speculative reserve.
-        out.reserve(n.min(input.len()));
-        for _ in 0..n {
-            if *pos + bytes > input.len() {
-                return Err(DecodeError::truncated("identity element"));
-            }
-            let v = match self.width {
-                ElemWidth::W32 => {
-                    u32::from_le_bytes(input[*pos..*pos + 4].try_into().unwrap()) as u64
-                }
-                ElemWidth::W64 => u64::from_le_bytes(input[*pos..*pos + 8].try_into().unwrap()),
-            };
-            *pos += bytes;
-            out.push(v);
-        }
-        Ok(())
+        kernel::identity_decode_frame(self.width, input, pos, out)
     }
 }
 

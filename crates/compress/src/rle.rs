@@ -5,7 +5,7 @@
 //! Effective on highly repetitive streams such as degree counts of low-degree
 //! vertices or dense-frontier bitmaps.
 
-use crate::{varint, Codec, DecodeError};
+use crate::{kernel, varint, Codec, DecodeError};
 
 /// Decompression-bomb guard: [`RleCodec::decompress`] refuses streams that
 /// expand beyond this many elements (a few bytes of RLE can claim billions).
@@ -68,12 +68,18 @@ impl Codec for RleCodec {
         out.reserve(total.min(1 << 20));
         let mut decoded = 0usize;
         while decoded < total {
-            let value = varint::read_u64(input, pos)?;
-            let run = varint::read_u64(input, pos)? as usize;
+            let value = kernel::read_varint_fast(input, pos)?;
+            let run = kernel::read_varint_fast(input, pos)? as usize;
             if run == 0 || decoded + run > total {
                 return Err(DecodeError::new("RLE run length out of range"));
             }
-            out.extend(std::iter::repeat_n(value, run));
+            // Singleton runs dominate incompressible streams; skip the
+            // repeat-iterator machinery for them.
+            if run == 1 {
+                out.push(value);
+            } else {
+                out.extend(std::iter::repeat_n(value, run));
+            }
             decoded += run;
         }
         Ok(())

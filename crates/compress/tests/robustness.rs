@@ -1,0 +1,223 @@
+//! Robustness corpus: truncated and corrupted inputs must come back as
+//! [`DecodeError`] — never a panic, never an out-of-bounds read.
+//!
+//! The corpus is table-driven: every stream codec is run over every
+//! prefix-truncation of a valid encoding and over single-byte corruptions
+//! at every position. Decoding is allowed to *succeed* on a corrupted
+//! stream (flipping a payload byte yields different, but valid, data);
+//! what it may never do is panic or read outside the input slice. BDI
+//! lines get the same treatment through `try_decompress_line`.
+
+use spzip_compress::bdi;
+use spzip_compress::bpc::BpcCodec;
+use spzip_compress::delta::DeltaCodec;
+use spzip_compress::rle::RleCodec;
+use spzip_compress::sorted::SortedChunks;
+use spzip_compress::{Codec, CodecKind, ElemWidth};
+
+/// All six stream codecs, by trajectory name.
+fn all_codecs() -> Vec<(&'static str, Box<dyn Codec>)> {
+    vec![
+        ("delta", Box::new(DeltaCodec::new()) as Box<dyn Codec>),
+        ("bpc32", Box::new(BpcCodec::new(ElemWidth::W32))),
+        ("bpc64", Box::new(BpcCodec::new(ElemWidth::W64))),
+        ("rle", Box::new(RleCodec::new())),
+        (
+            "delta_sorted",
+            Box::new(SortedChunks::new(DeltaCodec::new())),
+        ),
+        ("identity", CodecKind::None.build() as Box<dyn Codec>),
+    ]
+}
+
+/// Streams chosen so encodings exercise every frame shape: empty, single
+/// element, one exact batch, ragged tails, mixed magnitudes, long runs.
+fn corpus_streams() -> Vec<(&'static str, Vec<u64>)> {
+    vec![
+        ("empty", vec![]),
+        ("single", vec![0xDEAD_BEEF]),
+        ("one_batch", (0..32u64).map(|i| i * 3).collect()),
+        ("ragged", (0..45u64).map(|i| i << (i % 23)).collect()),
+        (
+            "mixed_magnitude",
+            (0..100u64)
+                .map(|i| match i % 4 {
+                    0 => i,
+                    1 => i << 13,
+                    2 => i << 29,
+                    _ => i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 8,
+                })
+                .collect(),
+        ),
+        (
+            "runs",
+            std::iter::repeat_n(7u64, 70)
+                .chain(std::iter::repeat_n(0, 30))
+                .collect(),
+        ),
+    ]
+}
+
+/// Encodes `data`, masked to the codec's width (BPC-32 streams must fit).
+fn encode_masked(codec: &dyn Codec, data: &[u64]) -> Vec<u8> {
+    let masked: Vec<u64> = data
+        .iter()
+        .map(|&v| {
+            if codec.name().contains("32") {
+                v & u32::MAX as u64
+            } else {
+                v
+            }
+        })
+        .collect();
+    let mut out = Vec::new();
+    codec.compress(&masked, &mut out);
+    out
+}
+
+#[test]
+fn every_truncation_errors_or_decodes_cleanly() {
+    for (codec_name, codec) in all_codecs() {
+        for (stream_name, data) in corpus_streams() {
+            let valid = encode_masked(codec.as_ref(), &data);
+            // The full encoding must decode.
+            let mut out = Vec::new();
+            codec
+                .decompress(&valid, &mut out)
+                .unwrap_or_else(|e| panic!("{codec_name}/{stream_name}: valid stream failed: {e}"));
+            // Every proper prefix must either error or decode without
+            // panicking (a prefix can end exactly on a frame boundary, in
+            // which case it is itself a valid, shorter stream).
+            for cut in 0..valid.len() {
+                let mut out = Vec::new();
+                let _ = codec.decompress(&valid[..cut], &mut out);
+            }
+        }
+    }
+}
+
+#[test]
+fn truncating_mid_frame_is_a_decode_error() {
+    // Cutting the last byte off a non-empty encoding always leaves a
+    // partial frame: the decoder must report it, not return short data.
+    for (codec_name, codec) in all_codecs() {
+        for (stream_name, data) in corpus_streams() {
+            if data.is_empty() {
+                continue;
+            }
+            let valid = encode_masked(codec.as_ref(), &data);
+            let mut out = Vec::new();
+            let res = codec.decompress(&valid[..valid.len() - 1], &mut out);
+            assert!(
+                res.is_err(),
+                "{codec_name}/{stream_name}: decoded a stream missing its last byte"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_single_byte_corruption_is_handled() {
+    for (codec_name, codec) in all_codecs() {
+        for (stream_name, data) in corpus_streams() {
+            let valid = encode_masked(codec.as_ref(), &data);
+            for pos in 0..valid.len() {
+                for flip in [0x01u8, 0x80, 0xFF] {
+                    let mut bad = valid.clone();
+                    bad[pos] ^= flip;
+                    let mut out = Vec::new();
+                    // Success is fine (payload corruption decodes to other
+                    // data); panics and over-reads are what this guards.
+                    let _ = codec.decompress(&bad, &mut out);
+                    let _ = (codec_name, stream_name);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn header_lies_about_length_are_errors() {
+    // Frames start with a varint element count; inflating it must produce
+    // an error, not a huge allocation or an over-read.
+    for (codec_name, codec) in all_codecs() {
+        let valid = encode_masked(codec.as_ref(), &[1, 2, 3]);
+        // A 5-byte varint claiming ~2^34 elements, then nothing.
+        let bloated: Vec<u8> = vec![0xFF, 0xFF, 0xFF, 0xFF, 0x3F];
+        let mut out = Vec::new();
+        assert!(
+            codec.decompress(&bloated, &mut out).is_err(),
+            "{codec_name}: accepted a length header with no payload"
+        );
+        // Splicing the bloated header onto real payload bytes must fail too.
+        let mut spliced = bloated;
+        spliced.extend_from_slice(&valid);
+        let mut out = Vec::new();
+        assert!(
+            codec.decompress(&spliced, &mut out).is_err(),
+            "{codec_name}: accepted an inflated length header"
+        );
+    }
+}
+
+#[test]
+fn bdi_rejects_truncated_and_malformed_lines() {
+    let mut line = [0u8; bdi::LINE_BYTES];
+    for (i, b) in line.iter_mut().enumerate() {
+        *b = (i as u8).wrapping_mul(7).wrapping_add(3);
+    }
+    for enc in [
+        bdi::compress_line(&line),
+        bdi::compress_line(&[0u8; bdi::LINE_BYTES]),
+        bdi::compress_line(&[0xAA; bdi::LINE_BYTES]),
+    ] {
+        assert_eq!(
+            bdi::try_decompress_line(&enc).unwrap().len(),
+            bdi::LINE_BYTES
+        );
+        // Every truncation must be rejected (BDI encodings are exact-length).
+        for cut in 0..enc.len() {
+            assert!(
+                bdi::try_decompress_line(&enc[..cut]).is_err(),
+                "BDI accepted a {cut}-byte truncation of a {}-byte line",
+                enc.len()
+            );
+        }
+        // Extending is also a length mismatch.
+        let mut long = enc.clone();
+        long.push(0);
+        assert!(bdi::try_decompress_line(&long).is_err());
+    }
+    // Unknown tags.
+    for tag in [0x02u8, 0x0F, 0x20, 0x40, 0x80, 0xFE] {
+        assert!(
+            bdi::try_decompress_line(&[tag]).is_err(),
+            "BDI accepted unknown tag {tag:#x}"
+        );
+    }
+    // Base-delta tags with nonsense geometry (delta width >= base width).
+    for (base_log2, delta_log2) in [(0u8, 0u8), (1, 1), (2, 3), (3, 3)] {
+        let tag = 0x10 | (base_log2 << 2) | delta_log2;
+        if delta_log2 < base_log2 && base_log2 > 0 {
+            continue; // geometrically valid; skip
+        }
+        assert!(
+            bdi::try_decompress_line(&[tag]).is_err(),
+            "BDI accepted malformed base-delta tag {tag:#x}"
+        );
+    }
+}
+
+#[test]
+fn decode_error_messages_name_the_problem() {
+    // The error type should render something a human can act on.
+    let codec = DeltaCodec::new();
+    let mut valid = Vec::new();
+    codec.compress(&[1, 2, 3, 4, 5], &mut valid);
+    let mut out = Vec::new();
+    let err = codec
+        .decompress(&valid[..valid.len() - 1], &mut out)
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(!msg.is_empty());
+}

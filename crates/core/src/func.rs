@@ -16,6 +16,7 @@
 use crate::dcl::{MemQueueMode, OperatorKind, Pipeline, RangeInput};
 use crate::memory::MemoryImage;
 use crate::{QueueId, QueueItem};
+use spzip_compress::CodecCtx;
 use spzip_mem::{Access, DataClass, MemOp, LINE_BYTES};
 use std::collections::VecDeque;
 
@@ -52,6 +53,14 @@ struct OpState {
     lengths: Vec<u64>,
     /// MemQueue Buffer: per-bin element counts.
     bin_counts: Vec<u32>,
+    /// Decompress/Compress: cached codec context, rebuilt only when the
+    /// operator's codec kind changes (i.e. once per pipeline).
+    ctx: Option<CodecCtx>,
+    /// Decompress/Compress: staging for decoded values / emitted byte
+    /// values, reused across markers instead of allocated per chunk.
+    stage_values: Vec<u64>,
+    /// Decompress/Compress: staging for the encoded byte stream.
+    stage_bytes: Vec<u8>,
 }
 
 /// The functional engine. See the module docs.
@@ -360,18 +369,26 @@ impl FuncEngine {
                             self.states[idx].chunk_in_q += cost as u32;
                         }
                         QueueItem::Marker(m) => {
-                            let bytes: Vec<u8> =
-                                self.states[idx].chunk.drain(..).map(|v| v as u8).collect();
-                            let consumed = self.states[idx].chunk_in_q + cost as u32;
-                            self.states[idx].chunk_in_q = 0;
-                            let mut values = Vec::new();
+                            let state = &mut self.states[idx];
+                            let consumed = state.chunk_in_q + cost as u32;
+                            state.chunk_in_q = 0;
+                            // Stage in the operator's reusable buffers; the
+                            // take/put-back dance frees the borrow on
+                            // `self.states` across `emit_transformed`.
+                            let mut bytes = std::mem::take(&mut state.stage_bytes);
+                            bytes.clear();
+                            bytes.extend(state.chunk.drain(..).map(|v| v as u8));
+                            let mut values = std::mem::take(&mut state.stage_values);
+                            values.clear();
                             if !bytes.is_empty() {
-                                codec
-                                    .build()
+                                CodecCtx::ensure(&mut state.ctx, codec)
                                     .decompress_frames(&bytes, &mut values)
                                     .expect("fetcher decompressed a corrupt stream");
                             }
                             self.emit_transformed(idx, &values, elem_bytes, consumed, Some(m));
+                            let state = &mut self.states[idx];
+                            state.stage_bytes = bytes;
+                            state.stage_values = values;
                         }
                     }
                 }
@@ -389,18 +406,30 @@ impl FuncEngine {
                             self.states[idx].chunk_in_q += cost as u32;
                         }
                         QueueItem::Marker(m) => {
-                            let mut values = std::mem::take(&mut self.states[idx].chunk);
-                            let consumed = self.states[idx].chunk_in_q + cost as u32;
-                            self.states[idx].chunk_in_q = 0;
+                            let state = &mut self.states[idx];
+                            let mut values = std::mem::take(&mut state.chunk);
+                            let consumed = state.chunk_in_q + cost as u32;
+                            state.chunk_in_q = 0;
                             if sort_chunks {
                                 values.sort_unstable();
                             }
-                            let mut bytes = Vec::new();
+                            let mut bytes = std::mem::take(&mut state.stage_bytes);
+                            bytes.clear();
                             if !values.is_empty() {
-                                codec.build().compress(&values, &mut bytes);
+                                CodecCtx::ensure(&mut state.ctx, codec)
+                                    .compress(&values, &mut bytes);
                             }
-                            let byte_vals: Vec<u64> = bytes.iter().map(|&b| b as u64).collect();
+                            let mut byte_vals = std::mem::take(&mut state.stage_values);
+                            byte_vals.clear();
+                            byte_vals.extend(bytes.iter().map(|&b| b as u64));
                             self.emit_transformed(idx, &byte_vals, 1, consumed, Some(m));
+                            // Put the staging buffers (and the chunk's
+                            // capacity) back for the next marker.
+                            let state = &mut self.states[idx];
+                            state.stage_bytes = bytes;
+                            state.stage_values = byte_vals;
+                            values.clear();
+                            state.chunk = values;
                         }
                     }
                 }

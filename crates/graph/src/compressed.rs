@@ -68,9 +68,11 @@ impl CompressedCsr {
         let mut stats = CompressionStats::new();
         offsets.push(0u64);
         let mut row = 0usize;
+        // One staging buffer for every group: cleared, never reallocated.
+        let mut stream: Vec<u64> = Vec::new();
         while row < n {
             let hi = (row + group_rows).min(n);
-            let mut stream: Vec<u64> = Vec::new();
+            stream.clear();
             for v in row..hi {
                 let nbrs = g.neighbors(v as VertexId);
                 row_lens.push(nbrs.len() as u32);
