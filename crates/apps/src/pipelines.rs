@@ -763,6 +763,58 @@ pub fn all_builtin_checked() -> Vec<(String, Pipeline, MemorySchema)> {
     out
 }
 
+/// Opt-in auto-codec builder mode: runs the static selection pass
+/// ([`spzip_core::suggest`]) over one checked pipeline and applies its
+/// rewiring plan. The plan only ever contains swaps the selection pass
+/// already validated (re-lint clean, shape-verifier clean against the
+/// matching re-framed schema), and the result is verified again here —
+/// every auto pipeline is E/B-clean by construction.
+///
+/// Returns the (possibly rewired) pipeline, its matching schema, and the
+/// selection report (advisories + plan) for callers that surface it.
+///
+/// # Panics
+///
+/// Panics if the selection pass produced a plan its own validator would
+/// reject — a [`spzip_core::suggest`] bug, not an input condition.
+pub fn auto_codecs(
+    pipeline: &Pipeline,
+    schema: &MemorySchema,
+    params: &spzip_core::perf::PerfParams,
+) -> (Pipeline, MemorySchema, spzip_core::suggest::SuggestReport) {
+    use spzip_core::{shape, suggest};
+    let mut input = suggest::SuggestInput::with_schema(pipeline, schema);
+    input.params = params.clone();
+    let report = suggest::suggest(&input);
+    if report.plan.is_empty() {
+        return (pipeline.clone(), schema.clone(), report);
+    }
+    let auto =
+        suggest::apply_plan(pipeline, &report.plan).expect("suggest plans validated rewirings");
+    let auto_schema = suggest::rewired_schema(schema, pipeline, &report.plan);
+    let verdict = shape::verify(&auto, &auto_schema);
+    assert!(
+        verdict.is_clean(),
+        "auto pipeline must be B-clean by construction: {:?}",
+        verdict.diagnostics
+    );
+    (auto, auto_schema, report)
+}
+
+/// [`all_builtin_checked`] through the [`auto_codecs`] builder mode:
+/// every builtin with its codec selection applied under `params`.
+pub fn all_builtin_auto(
+    params: &spzip_core::perf::PerfParams,
+) -> Vec<(String, Pipeline, MemorySchema)> {
+    all_builtin_checked()
+        .into_iter()
+        .map(|(name, p, s)| {
+            let (auto, auto_schema, _) = auto_codecs(&p, &s, params);
+            (name, auto, auto_schema)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -900,5 +952,49 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn every_auto_builtin_is_lint_and_shape_clean() {
+        // The E/B-clean-by-construction claim of the auto_codecs builder
+        // mode, over the full enumeration (auto_codecs itself asserts
+        // shape cleanliness; this re-checks both from the outside).
+        let params = spzip_core::perf::PerfParams::default();
+        let all = all_builtin_auto(&params);
+        assert!(all.len() >= 40, "got {}", all.len());
+        for (name, p, schema) in &all {
+            let diags = spzip_core::lint::lint(p);
+            assert!(
+                !spzip_core::lint::has_errors(&diags),
+                "{name} (auto) has lint errors:\n{}",
+                spzip_core::lint::render(&diags)
+            );
+            assert!(
+                spzip_core::shape::verify(p, schema).is_clean(),
+                "{name} (auto) has shape errors"
+            );
+        }
+    }
+
+    #[test]
+    fn auto_codecs_applies_plans_it_reports() {
+        // Whenever the selection pass plans a swap on a builtin, the auto
+        // pipeline must actually differ from the original; clean reports
+        // must return it untouched.
+        let params = spzip_core::perf::PerfParams::default();
+        let mut planned = 0usize;
+        for (name, p, schema) in all_builtin_checked() {
+            let (auto, _, report) = auto_codecs(&p, &schema, &params);
+            if report.plan.is_empty() {
+                assert_eq!(auto, p, "{name}");
+            } else {
+                planned += 1;
+                assert_ne!(auto, p, "{name}");
+            }
+        }
+        // The enumeration spans enough codec/stream mismatches that at
+        // least one builtin gets a rewiring plan — the mode is not
+        // vacuously identity.
+        assert!(planned > 0, "no builtin ever received a plan");
     }
 }

@@ -27,9 +27,19 @@
 //!   (default text; both tools share the JSON diagnostic shape).
 //! * `--crosscheck` — `dcl-perf`: run the model-vs-simulator traffic
 //!   gate over the built-in cell matrix.
-//! * `--perturb-ratio X` — `dcl-perf --crosscheck`: scale every
-//!   codec-derived byte prediction by `X` (sanity check that the gate
-//!   catches a mis-modeled codec; `1.0` is the honest model).
+//! * `--perturb-ratio X` — `dcl-perf --crosscheck`/`--auto-gate`: scale
+//!   every codec-derived byte prediction by `X` (sanity check that the
+//!   gates catch a mis-modeled codec; `1.0` is the honest model).
+//! * `--suggest` — `dcl-perf`: run the static codec-selection pass
+//!   ([`spzip_core::suggest`]) instead of the perf report; emits `A0xx`
+//!   advisories plus a machine-readable rewiring plan. Advisories never
+//!   affect the exit code.
+//! * `--rates FILE` — `dcl-perf --suggest`: trajectory file for the rate
+//!   calibration (default `BENCH_codecs.json`; missing file falls back
+//!   to the nominal table, stated in the report header).
+//! * `--auto-gate` — `dcl-perf`: simulate auto-selected vs paper-default
+//!   pipelines over the built-in cell matrix and fail unless auto wins
+//!   or ties every cell.
 //!
 //! Positional arguments (paths for `dcl-lint`) are collected separately.
 
@@ -89,6 +99,13 @@ pub struct CommonArgs {
     pub crosscheck: bool,
     /// Perturb codec-derived predictions (`--perturb-ratio`, `dcl-perf`).
     pub perturb_ratio: Option<f64>,
+    /// Run the codec-selection pass (`--suggest`, `dcl-perf`).
+    pub suggest: bool,
+    /// Trajectory file calibrating `--suggest` (`--rates`, `dcl-perf`).
+    pub rates: PathBuf,
+    /// Run the auto-vs-default simulation gate (`--auto-gate`,
+    /// `dcl-perf`).
+    pub auto_gate: bool,
     /// Positional arguments: `.dcl` files for `dcl-lint`/`dcl-perf`.
     pub paths: Vec<PathBuf>,
 }
@@ -121,6 +138,9 @@ pub fn parse_from(args: &[String]) -> CommonArgs {
         format: OutputFormat::Text,
         crosscheck: false,
         perturb_ratio: None,
+        suggest: false,
+        rates: PathBuf::from("BENCH_codecs.json"),
+        auto_gate: false,
         paths: Vec::new(),
     };
     let value = |i: usize| args.get(i + 1).map(|s| s.as_str());
@@ -203,6 +223,23 @@ pub fn parse_from(args: &[String]) -> CommonArgs {
             "--crosscheck" => {
                 parsed.crosscheck = true;
                 consumed[i] = true;
+            }
+            "--suggest" => {
+                parsed.suggest = true;
+                consumed[i] = true;
+            }
+            "--auto-gate" => {
+                parsed.auto_gate = true;
+                consumed[i] = true;
+            }
+            "--rates" => {
+                if let Some(p) = value(i) {
+                    parsed.rates = PathBuf::from(p);
+                }
+                consumed[i] = true;
+                if i + 1 < consumed.len() {
+                    consumed[i + 1] = true;
+                }
             }
             "--format" => {
                 if value(i) == Some("json") {
@@ -382,6 +419,19 @@ mod tests {
         assert_eq!(a.paths, vec![PathBuf::from("pipe.dcl")]);
         assert_eq!(a.format, OutputFormat::Json);
         assert_eq!(a.perturb_ratio, Some(2.0));
+    }
+
+    #[test]
+    fn parses_suggest_flags() {
+        let a = parse_from(&argv("--suggest --rates other/traj.json --auto-gate"));
+        assert!(a.suggest);
+        assert!(a.auto_gate);
+        assert_eq!(a.rates, PathBuf::from("other/traj.json"));
+        assert!(a.paths.is_empty(), "flag values are not paths");
+        let b = parse_from(&[]);
+        assert!(!b.suggest);
+        assert!(!b.auto_gate);
+        assert_eq!(b.rates, PathBuf::from("BENCH_codecs.json"));
     }
 
     #[test]

@@ -16,6 +16,15 @@
 //!   checked-in trajectory, or
 //! * the checked-in trajectory itself is below a codec's
 //!   [`SPEEDUP_FLOORS`] entry (≥10× for BPC, ≥5× for delta).
+//!
+//! Schema v2 promotes the encode side: encode speedups are reported in
+//! every `--check` summary line and queryable via
+//! [`BenchReport::encode_speedup`], but carry no floors yet — the encode
+//! kernels are younger and their trajectory needs a few quiet runs before
+//! a floor is honest. v2 also feeds the static codec-selection pass: the
+//! kernel arms' absolute GB/s calibrate a
+//! [`RateTable`](spzip_compress::model::RateTable) of *relative* codec
+//! costs ([`BenchReport::rate_table`]) consumed by `dcl-perf --suggest`.
 
 use spzip_compress::reference::ReferenceCodec;
 use spzip_compress::stats::{geometric_mean, CodecPerfRecord, ThroughputStats};
@@ -26,8 +35,10 @@ use spzip_compress::{
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
-/// Schema tag written into (and required of) `BENCH_codecs.json`.
-pub const SCHEMA: &str = "spzip-codec-bench/v1";
+/// Schema tag written into (and required of) `BENCH_codecs.json`. v2 =
+/// encode throughput is load-bearing (reported speedups, rate-table
+/// calibration), not merely recorded.
+pub const SCHEMA: &str = "spzip-codec-bench/v2";
 
 /// Codecs every trajectory must cover (one kernel + one reference arm each).
 pub const REQUIRED_CODECS: [&str; 6] =
@@ -297,6 +308,17 @@ impl BenchReport {
     /// streams both arms measured, per codec. `None` if a codec lacks a
     /// comparable pair.
     pub fn decode_speedup(&self, codec: &str) -> Option<f64> {
+        self.speedup(codec, |r| r.decode_gbps)
+    }
+
+    /// Geometric-mean encode speedup (kernel over reference), the v2
+    /// counterpart of [`BenchReport::decode_speedup`]. Reported, not
+    /// floored (yet).
+    pub fn encode_speedup(&self, codec: &str) -> Option<f64> {
+        self.speedup(codec, |r| r.encode_gbps)
+    }
+
+    fn speedup(&self, codec: &str, gbps: impl Fn(&CodecPerfRecord) -> f64) -> Option<f64> {
         let mut ratios = Vec::new();
         for k in self
             .records
@@ -306,8 +328,8 @@ impl BenchReport {
             if let Some(r) = self.records.iter().find(|r| {
                 r.codec == codec && r.stream == k.stream && r.implementation == "reference"
             }) {
-                if r.decode_gbps > 0.0 {
-                    ratios.push(k.decode_gbps / r.decode_gbps);
+                if gbps(r) > 0.0 {
+                    ratios.push(gbps(k) / gbps(r));
                 }
             }
         }
@@ -316,6 +338,45 @@ impl BenchReport {
         } else {
             Some(geometric_mean(&ratios))
         }
+    }
+
+    /// Builds the codec rate calibration for the static selection pass:
+    /// per codec, the geometric mean of the *kernel* arm's absolute GB/s
+    /// across streams. Only relative magnitudes survive into the table
+    /// (see [`RateTable`](spzip_compress::model::RateTable)), which is
+    /// what makes software-kernel rates an honest calibration for a
+    /// hardware transform-unit model. Codecs without kernel records keep
+    /// their nominal rate. The `delta` trajectory (not `delta_sorted`,
+    /// whose chunk sort is charged to the producer) calibrates
+    /// [`CodecKind::Delta`].
+    pub fn rate_table(&self) -> spzip_compress::model::RateTable {
+        use spzip_compress::model::{codec_trajectory_name, CodecRates, RateTable};
+        let mut table = RateTable::nominal();
+        for kind in CodecKind::all() {
+            let name = codec_trajectory_name(kind, false);
+            let mut dec = Vec::new();
+            let mut enc = Vec::new();
+            for r in self
+                .records
+                .iter()
+                .filter(|r| r.codec == name && r.implementation == "kernel")
+            {
+                if r.decode_gbps > 0.0 && r.encode_gbps > 0.0 {
+                    dec.push(r.decode_gbps);
+                    enc.push(r.encode_gbps);
+                }
+            }
+            if !dec.is_empty() {
+                table.set(
+                    kind,
+                    CodecRates {
+                        decode_gbps: geometric_mean(&dec),
+                        encode_gbps: geometric_mean(&enc),
+                    },
+                );
+            }
+        }
+        table
     }
 }
 
@@ -350,8 +411,19 @@ pub fn check_against(
         ) else {
             continue; // completeness errors already recorded above
         };
+        // Encode speedups ride along in the summary (v2) but are not
+        // gated: no floors, no regression band yet.
+        let enc = match (
+            fresh.encode_speedup(codec),
+            checked_in.encode_speedup(codec),
+        ) {
+            (Some(e_now), Some(e_then)) => {
+                format!(", encode {e_now:.2}x (trajectory {e_then:.2}x)")
+            }
+            _ => String::new(),
+        };
         summary.push(format!(
-            "{codec}: decode speedup {now:.2}x (trajectory {then:.2}x)"
+            "{codec}: decode speedup {now:.2}x (trajectory {then:.2}x){enc}"
         ));
         if now < then * REGRESSION_FLOOR {
             errors.push(format!(
@@ -488,6 +560,66 @@ mod tests {
         let baseline = synthetic(12.0, 1.0);
         let summary = check_against(&now, &baseline).unwrap();
         assert_eq!(summary.len(), REQUIRED_CODECS.len());
+        // v2: every summary line reports the encode side too.
+        for line in &summary {
+            assert!(line.contains("encode"), "{line}");
+        }
+    }
+
+    #[test]
+    fn encode_speedup_mirrors_decode() {
+        // synthetic() gives every arm encode = decode/2, so the ratios
+        // are identical.
+        let report = synthetic(12.0, 1.0);
+        for codec in REQUIRED_CODECS {
+            let dec = report.decode_speedup(codec).unwrap();
+            let enc = report.encode_speedup(codec).unwrap();
+            assert!((dec - enc).abs() < 1e-9, "{codec}: {dec} vs {enc}");
+        }
+    }
+
+    #[test]
+    fn encode_regressions_are_not_gated() {
+        // Encode collapses 6x -> 0.5x while decode holds: v2 reports it
+        // in the summary but deliberately does not fail (no floors yet).
+        let mut now = synthetic(12.0, 1.0);
+        for r in now
+            .records
+            .iter_mut()
+            .filter(|r| r.implementation == "kernel")
+        {
+            r.encode_gbps = 0.5;
+        }
+        let baseline = synthetic(12.0, 1.0);
+        assert!(check_against(&now, &baseline).is_ok());
+    }
+
+    #[test]
+    fn rate_table_is_relative_to_fastest_codec() {
+        use spzip_compress::model::MIN_RATE_SCALE;
+        use spzip_compress::CodecKind;
+        // All codecs measure identically in synthetic(), so every scale
+        // is 1.0 — the calibration of equal rates is the nominal table.
+        let report = synthetic(12.0, 1.0);
+        let table = report.rate_table();
+        for kind in CodecKind::all() {
+            assert_eq!(table.decode_scale(kind), 1.0, "{kind:?}");
+        }
+        // Handicap one codec's kernel records 16x: its scale drops to
+        // 1/16 while the rest stay at 1.0.
+        let mut skewed = synthetic(12.0, 1.0);
+        for r in skewed
+            .records
+            .iter_mut()
+            .filter(|r| r.codec == "bpc64" && r.implementation == "kernel")
+        {
+            r.decode_gbps /= 16.0;
+            r.encode_gbps /= 64.0; // clamps at MIN_RATE_SCALE
+        }
+        let table = skewed.rate_table();
+        assert!((table.decode_scale(CodecKind::Bpc64) - 1.0 / 16.0).abs() < 1e-9);
+        assert_eq!(table.encode_scale(CodecKind::Bpc64), MIN_RATE_SCALE);
+        assert_eq!(table.decode_scale(CodecKind::Delta), 1.0);
     }
 
     #[test]

@@ -13,7 +13,17 @@
 //! `--crosscheck` instead runs the model-vs-simulator gate in
 //! [`crate::crosscheck`]: predicted per-class traffic against simulated
 //! [`TrafficStats`](spzip_mem::stats::TrafficStats) over the built-in cell
-//! matrix.
+//! matrix. `--auto-gate` runs that module's auto-vs-default codec
+//! selection gate.
+//!
+//! `--suggest` runs the static codec-selection pass
+//! ([`spzip_core::suggest`]) instead of the perf report: per pipeline,
+//! `A0xx` advisories plus a machine-readable rewiring plan, calibrated by
+//! the measured kernel rates in `BENCH_codecs.json` (`--rates` overrides
+//! the path; a missing file falls back to the nominal table and says so).
+//! Advisories deliberately never affect the exit code — not even under
+//! `--deny-warnings` — so the counters separate them from true warnings;
+//! only parse failures and unreadable inputs fail a suggest run.
 //!
 //! Exit codes mirror `dcl-lint`: 0 clean (warnings allowed unless
 //! `--deny-warnings`), 1 when any diagnostic — or any cross-check cell —
@@ -21,10 +31,12 @@
 
 use crate::cli::{CommonArgs, OutputFormat};
 use crate::dcl_lint::synthetic_symbols;
-use spzip_core::lint::{self, Severity};
+use spzip_core::lint::{self, Code, Severity};
 use spzip_core::parser;
-use spzip_core::perf::{analyze, BindingResource, PerfInput, PerfReport};
+use spzip_core::perf::{analyze, BindingResource, PerfInput, PerfParams, PerfReport};
+use spzip_core::suggest::{suggest, SuggestInput, SuggestReport};
 use std::fmt::Write as _;
+use std::path::Path;
 
 /// Short per-class labels, in [`spzip_mem::DataClass::index`] order.
 pub const CLASS_LABELS: [&str; 6] = ["Adj", "Src", "Dst", "Upd", "Fro", "Oth"];
@@ -151,10 +163,204 @@ pub fn perf_builtins(report: &mut PerfToolReport) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// --suggest: static codec selection
+// ---------------------------------------------------------------------------
+
+/// Outcome of the codec-selection pass over one batch of pipelines.
+#[derive(Debug, Default)]
+pub struct SuggestToolReport {
+    /// Pipelines (or files) examined.
+    pub checked: usize,
+    /// Parse failures (these *do* fail the run).
+    pub errors: usize,
+    /// Files the tool could not read.
+    pub io_errors: usize,
+    /// `A0xx` advisories emitted (never affect the exit code).
+    pub advisories: usize,
+    /// Pipelines with a non-empty rewiring plan.
+    pub planned: usize,
+    /// `A003` suppressions (verifier-rejected suggestions).
+    pub suppressed: usize,
+    /// Human-readable report.
+    pub output: String,
+    /// Per-pipeline selection results, kept for `--format json`.
+    pub results: Vec<(String, SuggestReport)>,
+    /// Parse/read failures with no structured diagnostic (name, error).
+    pub failures: Vec<(String, String)>,
+}
+
+impl SuggestToolReport {
+    fn absorb(&mut self, name: &str, report: SuggestReport) {
+        self.checked += 1;
+        self.advisories += report.diagnostics.len();
+        self.suppressed += report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == Code::A003)
+            .count();
+        if report.plan.is_empty() {
+            let _ = writeln!(
+                self.output,
+                "{name}: clean ({} transform(s) already best)",
+                report.transforms
+            );
+        } else {
+            self.planned += 1;
+            let gain = 100.0 * (report.baseline_metric - report.auto_metric)
+                / report.baseline_metric.max(f64::MIN_POSITIVE);
+            let _ = writeln!(
+                self.output,
+                "{name}: {} advisory(ies), auto plan predicted {gain:.0}% faster",
+                report.diagnostics.len()
+            );
+            self.output.push_str(&lint::render(&report.diagnostics));
+            let _ = writeln!(self.output, "  plan: {}", report.plan_json());
+        }
+        self.results.push((name.to_string(), report));
+    }
+
+    /// The failure-relevant counters: advisories are deliberately *not*
+    /// warnings here, so `--deny-warnings` cannot promote them.
+    pub fn counts(&self) -> crate::cli::ToolCounts {
+        crate::cli::ToolCounts {
+            checked: self.checked,
+            errors: self.errors,
+            warnings: 0,
+            io_errors: self.io_errors,
+        }
+    }
+}
+
+/// Loads the rate calibration for `--suggest`: the checked-in trajectory
+/// when present (validated against the current schema), the nominal table
+/// when the file is missing. Returns the table plus a human-readable
+/// description of which calibration applies, or an error when the file
+/// exists but cannot be trusted.
+pub fn load_rates(path: &Path) -> Result<(spzip_compress::model::RateTable, String), String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => {
+            let report = crate::codec_bench::BenchReport::from_json(&text)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            Ok((
+                report.rate_table(),
+                format!("{} (measured kernel rates)", path.display()),
+            ))
+        }
+        Err(_) => Ok((
+            spzip_compress::model::RateTable::nominal(),
+            format!("nominal ({} not found)", path.display()),
+        )),
+    }
+}
+
+/// Renders a suggest report as the shared [`crate::cli::json_envelope`];
+/// each pipeline's body carries the selection summary, the machine-
+/// readable plan, and the `A0xx` diagnostics in the `dcl-lint` record
+/// shape.
+pub fn render_suggest_json(report: &SuggestToolReport) -> String {
+    let pipelines: Vec<(String, String)> = report
+        .results
+        .iter()
+        .map(|(name, r)| {
+            let body = format!(
+                "\"transforms\":{},\"advisories\":{},\"baseline_metric\":{:.4},\
+                 \"auto_metric\":{:.4},\"plan\":{},\"diagnostics\":{}",
+                r.transforms,
+                r.diagnostics.len(),
+                r.baseline_metric,
+                r.auto_metric,
+                r.plan_json(),
+                lint::render_json(&r.diagnostics).trim_end()
+            );
+            (name.clone(), body)
+        })
+        .collect();
+    crate::cli::json_envelope(&report.counts(), &pipelines, &report.failures)
+}
+
+/// Runs the codec-selection pass over files and/or builtins.
+pub fn run_suggest(args: &CommonArgs) -> i32 {
+    let (table, calibration) = match load_rates(&args.rates) {
+        Ok(ok) => ok,
+        Err(e) => {
+            eprintln!("dcl-perf: --suggest: {e}");
+            return 2;
+        }
+    };
+    let params = PerfParams {
+        rates: table,
+        ..PerfParams::default()
+    };
+    let mut report = SuggestToolReport::default();
+    for path in &args.paths {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let name = path.display().to_string();
+                let symbols = synthetic_symbols(&text);
+                match parser::parse(&text, &symbols) {
+                    Ok(p) => {
+                        let mut input = SuggestInput::new(&p);
+                        input.params = params.clone();
+                        report.absorb(&name, suggest(&input));
+                    }
+                    Err(e) => {
+                        report.checked += 1;
+                        report.errors += 1;
+                        let _ = writeln!(report.output, "{name}: {e}");
+                        report.failures.push((name, e.to_string()));
+                    }
+                }
+            }
+            Err(e) => {
+                report.checked += 1;
+                report.io_errors += 1;
+                let _ = writeln!(report.output, "{}: {e}", path.display());
+                report
+                    .failures
+                    .push((path.display().to_string(), e.to_string()));
+            }
+        }
+    }
+    if args.all_builtin {
+        for (name, p, schema) in spzip_apps::pipelines::all_builtin_checked() {
+            let mut input = SuggestInput::with_schema(&p, &schema);
+            input.params = params.clone();
+            report.absorb(&name, suggest(&input));
+        }
+    }
+    if report.checked == 0 {
+        println!(
+            "usage: dcl-perf --suggest [--all-builtin] [--rates FILE] \
+             [--format text|json] [file.dcl ...]"
+        );
+        return 2;
+    }
+    match args.format {
+        OutputFormat::Json => print!("{}", render_suggest_json(&report)),
+        OutputFormat::Text => {
+            let trailer = format!(
+                "checked {} pipeline(s): {} advisory(ies), {} plan(s), {} suppressed",
+                report.checked, report.advisories, report.planned, report.suppressed
+            );
+            println!("calibration: {calibration}");
+            print!("{}", report.output);
+            println!("{trailer}");
+        }
+    }
+    crate::cli::tool_exit_code(&report.counts(), false)
+}
+
 /// Runs the tool over parsed arguments; returns the process exit code.
 pub fn run(args: &CommonArgs) -> i32 {
     if args.crosscheck {
         return crate::crosscheck::run_gate(args.perturb_ratio, args.format);
+    }
+    if args.auto_gate {
+        return crate::crosscheck::run_auto_gate(args.perturb_ratio, args.format);
+    }
+    if args.suggest {
+        return run_suggest(args);
     }
     let mut report = PerfToolReport::default();
     for path in &args.paths {
@@ -176,7 +382,8 @@ pub fn run(args: &CommonArgs) -> i32 {
     if report.checked == 0 {
         println!(
             "usage: dcl-perf [--all-builtin] [--deny-warnings] [--format text|json] \
-             [--crosscheck [--perturb-ratio X]] [file.dcl ...]"
+             [--crosscheck | --auto-gate [--perturb-ratio X]] \
+             [--suggest [--rates FILE]] [file.dcl ...]"
         );
         return 2;
     }
@@ -185,7 +392,9 @@ pub fn run(args: &CommonArgs) -> i32 {
         OutputFormat::Text => {
             let _ = writeln!(
                 report.output,
-                "analyzed {} pipeline(s): {} error(s), {} warning(s){}",
+                // Same trailing-summary shape as dcl-lint ("checked N
+                // pipeline(s): ..."), so batch consumers parse one format.
+                "checked {} pipeline(s): {} error(s), {} warning(s){}",
                 report.checked,
                 report.errors,
                 report.warnings,
@@ -270,6 +479,83 @@ mod tests {
         assert!(wjson.contains("\"code\":\"P003\""), "{wjson}");
         assert!(wjson.contains("\"severity\":\"warning\""), "{wjson}");
         assert!(wjson.contains("\"hint\":"), "{wjson}");
+    }
+
+    #[test]
+    fn suggest_covers_every_builtin() {
+        // The acceptance surface of `dcl-perf --suggest --all-builtin`:
+        // all 72 builtins run through the pass, each gets a summary line,
+        // advisories are counted, and nothing counts as a failure.
+        let params = PerfParams::default();
+        let mut report = SuggestToolReport::default();
+        for (name, p, schema) in spzip_apps::pipelines::all_builtin_checked() {
+            let mut input = SuggestInput::with_schema(&p, &schema);
+            input.params = params.clone();
+            report.absorb(&name, suggest(&input));
+        }
+        assert!(report.checked >= 40, "{}", report.checked);
+        assert!(
+            report.advisories > 0,
+            "enumeration should surface advisories"
+        );
+        assert!(report.planned > 0);
+        assert!(report.output.lines().count() >= report.checked);
+        assert_eq!(
+            crate::cli::tool_exit_code(&report.counts(), true),
+            0,
+            "advisories never fail, even under --deny-warnings"
+        );
+    }
+
+    #[test]
+    fn suggest_json_shares_the_envelope() {
+        let mut report = SuggestToolReport::default();
+        let (name, p, schema) = spzip_apps::pipelines::all_builtin_checked().remove(0);
+        report.absorb(&name, suggest(&SuggestInput::with_schema(&p, &schema)));
+        let json = render_suggest_json(&report);
+        assert!(json.contains("\"checked\":1"), "{json}");
+        assert!(json.contains("\"warnings\":0"), "{json}");
+        assert!(json.contains("\"transforms\":"), "{json}");
+        assert!(json.contains("\"plan\":["), "{json}");
+        assert!(json.contains("\"diagnostics\":["), "{json}");
+    }
+
+    #[test]
+    fn load_rates_calibrates_or_falls_back() {
+        use spzip_compress::CodecKind;
+        // Missing file: nominal, stated as such.
+        let (table, desc) = load_rates(Path::new("/nonexistent/traj.json")).unwrap();
+        assert!(desc.starts_with("nominal"), "{desc}");
+        for kind in CodecKind::all() {
+            assert_eq!(table.decode_scale(kind), 1.0);
+        }
+        // The checked-in trajectory: parses, yields a non-nominal table
+        // (software kernels genuinely differ in rate).
+        let repo_traj = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_codecs.json");
+        let (table, desc) = load_rates(&repo_traj).unwrap();
+        assert!(desc.contains("measured"), "{desc}");
+        assert!(
+            CodecKind::all()
+                .into_iter()
+                .any(|k| table.decode_scale(k) < 1.0),
+            "calibrated table should handicap the slower codecs"
+        );
+        // A malformed file is an error, not a silent fallback.
+        let dir = std::env::temp_dir().join("spzip_suggest_rates_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{\"schema\":\"other/v1\"}").unwrap();
+        assert!(load_rates(&bad).is_err());
+    }
+
+    #[test]
+    fn perf_trailing_summary_matches_lint_wording() {
+        // Satellite of the suggest work: dcl-perf's batch trailer uses
+        // the same "checked N pipeline(s)" shape as dcl-lint. The line is
+        // built in run(); this pins the absorb-side output it wraps.
+        let mut r = PerfToolReport::default();
+        perf_text("fig2", TRAVERSAL, &mut r);
+        assert!(r.output.contains("fig2: clean"), "{}", r.output);
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod dcl_perf;
 pub mod driver;
 pub mod figures;
 pub mod shape_corpus;
+pub mod suggest_sweep;
 
 use spzip_apps::{RunOutcome, Scheme};
 use spzip_mem::DataClass;

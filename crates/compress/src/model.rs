@@ -212,6 +212,135 @@ pub fn predicted_ratio(kind: CodecKind, profile: &StreamProfile) -> f64 {
     profile.elem_bytes as f64 / predicted_bytes_per_elem(kind, profile)
 }
 
+/// The trajectory name `codec-bench` measures this kind under in
+/// `BENCH_codecs.json` (`sort_chunks` selects the `delta_sorted` arm).
+pub fn codec_trajectory_name(kind: CodecKind, sort_chunks: bool) -> &'static str {
+    match kind {
+        CodecKind::None => "identity",
+        CodecKind::Delta if sort_chunks => "delta_sorted",
+        CodecKind::Delta => "delta",
+        CodecKind::Bpc32 => "bpc32",
+        CodecKind::Bpc64 => "bpc64",
+        CodecKind::Rle => "rle",
+    }
+}
+
+/// Inverse of [`codec_trajectory_name`]: `(kind, sort_chunks)` for a
+/// trajectory codec name, `None` for an unknown name.
+pub fn codec_from_trajectory_name(name: &str) -> Option<(CodecKind, bool)> {
+    match name {
+        "identity" => Some((CodecKind::None, false)),
+        "delta" => Some((CodecKind::Delta, false)),
+        "delta_sorted" => Some((CodecKind::Delta, true)),
+        "bpc32" => Some((CodecKind::Bpc32, false)),
+        "bpc64" => Some((CodecKind::Bpc64, false)),
+        "rle" => Some((CodecKind::Rle, false)),
+        _ => None,
+    }
+}
+
+/// Measured throughput of one codec, in GB/s of *uncompressed* stream
+/// bytes (the unit `codec-bench` records on both directions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodecRates {
+    /// Decode throughput (GB/s of decoded output).
+    pub decode_gbps: f64,
+    /// Encode throughput (GB/s of raw input).
+    pub encode_gbps: f64,
+}
+
+/// Transform service rates may not be scaled below this fraction of the
+/// fastest codec's rate: measured software kernels differ by orders of
+/// magnitude, but the hardware transform units they calibrate share one
+/// datapath, so relative cost is bounded.
+pub const MIN_RATE_SCALE: f64 = 1.0 / 32.0;
+
+/// Per-[`CodecKind`] throughput calibration for the static analyzers.
+///
+/// The perf flow model charges every (de)compression firing one engine
+/// cycle at a *nominal* rate; a `RateTable` rescales that service cost by
+/// each codec's measured throughput **relative to the fastest codec in
+/// the table**. Relative — not absolute — because the measurements are
+/// software-kernel GB/s while the model prices a hardware transform unit:
+/// what the trajectory can honestly tell the model is how much more one
+/// codec costs per byte than another, never the wall-clock rate of either.
+///
+/// [`RateTable::nominal`] gives every codec the same rate, so all scales
+/// are 1.0 and a default-parameterized analysis is byte-identical to one
+/// with no table at all. Calibration (feeding measured kernel rates from
+/// `BENCH_codecs.json`) is what `dcl-perf --suggest` does.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateTable {
+    rates: [CodecRates; 5],
+}
+
+/// Index of `kind` in [`RateTable`]'s backing array ([`CodecKind::all`]
+/// order).
+fn rate_index(kind: CodecKind) -> usize {
+    match kind {
+        CodecKind::None => 0,
+        CodecKind::Delta => 1,
+        CodecKind::Bpc32 => 2,
+        CodecKind::Bpc64 => 3,
+        CodecKind::Rle => 4,
+    }
+}
+
+impl Default for RateTable {
+    fn default() -> Self {
+        RateTable::nominal()
+    }
+}
+
+impl RateTable {
+    /// The uncalibrated table: every codec at the same rate, so every
+    /// scale is exactly 1.0.
+    pub fn nominal() -> RateTable {
+        RateTable {
+            rates: [CodecRates {
+                decode_gbps: 1.0,
+                encode_gbps: 1.0,
+            }; 5],
+        }
+    }
+
+    /// Records measured rates for `kind`. Non-positive rates are ignored
+    /// (the nominal entry stands).
+    pub fn set(&mut self, kind: CodecKind, rates: CodecRates) {
+        if rates.decode_gbps > 0.0 && rates.encode_gbps > 0.0 {
+            self.rates[rate_index(kind)] = rates;
+        }
+    }
+
+    /// The recorded rates for `kind`.
+    pub fn get(&self, kind: CodecKind) -> CodecRates {
+        self.rates[rate_index(kind)]
+    }
+
+    /// Decode service scale for `kind`: its decode rate relative to the
+    /// fastest decode rate in the table, clamped to
+    /// [[`MIN_RATE_SCALE`], 1.0]. A transform firing costs `1 / scale`
+    /// nominal firings.
+    pub fn decode_scale(&self, kind: CodecKind) -> f64 {
+        let best = self
+            .rates
+            .iter()
+            .map(|r| r.decode_gbps)
+            .fold(f64::MIN_POSITIVE, f64::max);
+        (self.get(kind).decode_gbps / best).clamp(MIN_RATE_SCALE, 1.0)
+    }
+
+    /// Encode service scale for `kind`; see [`RateTable::decode_scale`].
+    pub fn encode_scale(&self, kind: CodecKind) -> f64 {
+        let best = self
+            .rates
+            .iter()
+            .map(|r| r.encode_gbps)
+            .fold(f64::MIN_POSITIVE, f64::max);
+        (self.get(kind).encode_gbps / best).clamp(MIN_RATE_SCALE, 1.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,6 +424,69 @@ mod tests {
             predicted_bytes_per_elem(CodecKind::Delta, &sorted)
                 < predicted_bytes_per_elem(CodecKind::Delta, &unsorted)
         );
+    }
+
+    #[test]
+    fn trajectory_names_roundtrip() {
+        for kind in CodecKind::all() {
+            for sort in [false, true] {
+                let name = codec_trajectory_name(kind, sort);
+                let (back, back_sort) = codec_from_trajectory_name(name).unwrap();
+                assert_eq!(back, kind, "{name}");
+                // Only delta has a distinct sorted arm.
+                assert_eq!(back_sort, sort && kind == CodecKind::Delta, "{name}");
+            }
+        }
+        assert!(codec_from_trajectory_name("zstd").is_none());
+    }
+
+    #[test]
+    fn nominal_rate_table_scales_to_one() {
+        let t = RateTable::nominal();
+        for kind in CodecKind::all() {
+            assert_eq!(t.decode_scale(kind), 1.0, "{kind}");
+            assert_eq!(t.encode_scale(kind), 1.0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn calibrated_rate_table_is_relative_and_clamped() {
+        let mut t = RateTable::nominal();
+        t.set(
+            CodecKind::None,
+            CodecRates {
+                decode_gbps: 16.0,
+                encode_gbps: 16.0,
+            },
+        );
+        t.set(
+            CodecKind::Delta,
+            CodecRates {
+                decode_gbps: 8.0,
+                encode_gbps: 4.0,
+            },
+        );
+        t.set(
+            CodecKind::Bpc64,
+            CodecRates {
+                decode_gbps: 0.01,
+                encode_gbps: 0.01,
+            },
+        );
+        assert_eq!(t.decode_scale(CodecKind::None), 1.0);
+        assert!((t.decode_scale(CodecKind::Delta) - 0.5).abs() < 1e-12);
+        assert!((t.encode_scale(CodecKind::Delta) - 0.25).abs() < 1e-12);
+        // Far-below-floor measurements clamp instead of exploding costs.
+        assert_eq!(t.decode_scale(CodecKind::Bpc64), MIN_RATE_SCALE);
+        // Non-positive rates are rejected; entry stays nominal (1.0 GB/s).
+        t.set(
+            CodecKind::Rle,
+            CodecRates {
+                decode_gbps: 0.0,
+                encode_gbps: 5.0,
+            },
+        );
+        assert_eq!(t.get(CodecKind::Rle).decode_gbps, 1.0);
     }
 
     #[test]

@@ -336,6 +336,38 @@ impl Pipeline {
         }
         Ok(p)
     }
+
+    /// Returns a copy with transform operator `op`'s codec replaced (the
+    /// codec-selection rewiring primitive of [`crate::suggest`]),
+    /// re-validating the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] if the rewired program no longer lints
+    /// error-clean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is out of range or names an operator that is
+    /// neither `compress` nor `decompress` — a codec swap on a fetch or
+    /// writer is a caller bug, not a recoverable condition.
+    pub fn with_op_codec(&self, op: usize, codec: CodecKind) -> Result<Pipeline, ValidateError> {
+        let mut p = self.clone();
+        match &mut p.operators[op].kind {
+            OperatorKind::Decompress { codec: c, .. } | OperatorKind::Compress { codec: c, .. } => {
+                *c = codec;
+            }
+            other => panic!(
+                "operator {op} ({}) carries no codec to replace",
+                other.name()
+            ),
+        }
+        let diags = lint::lint_parts(&p.queues, &p.operators, &p.queue_lines, &p.op_lines);
+        if lint::has_errors(&diags) {
+            return Err(ValidateError::new(diags));
+        }
+        Ok(p)
+    }
 }
 
 /// Incremental builder for [`Pipeline`].

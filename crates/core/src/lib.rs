@@ -21,6 +21,11 @@
 //!   a pipeline against a declared memory layout, proving index streams
 //!   in-bounds and codec framing/widths consistent end-to-end, with `B0xx`
 //!   diagnostics sharing the lint renderers.
+//! * [`suggest`] — static codec auto-selection: prices every candidate
+//!   codec per compressed queue with the [`perf`] model (calibrated by
+//!   measured kernel rates), validates winning rewirings through [`lint`]
+//!   and [`shape`], and emits `A0xx` advisories plus a machine-readable
+//!   rewiring plan.
 //! * [`memory`] — a synthetic address space holding the application's real
 //!   data, which the functional engine reads and writes.
 //! * [`func`] — the functional engine: executes a DCL pipeline against a
@@ -47,6 +52,7 @@ pub mod memory;
 pub mod parser;
 pub mod perf;
 pub mod shape;
+pub mod suggest;
 
 use std::fmt;
 

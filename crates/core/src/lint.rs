@@ -87,8 +87,9 @@ impl fmt::Display for Severity {
 }
 
 /// Stable diagnostic codes. `E0xx` are hard errors, `W0xx` warnings,
-/// `P0xx` performance predictions, `B0xx` shape-and-bounds violations;
-/// codes are never renumbered so tools can match on them.
+/// `P0xx` performance predictions, `B0xx` shape-and-bounds violations,
+/// `A0xx` codec-selection advisories; codes are never renumbered so
+/// tools can match on them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)] // each code is documented via `summary()` and DESIGN.md
 pub enum Code {
@@ -129,6 +130,9 @@ pub enum Code {
     B006,
     B007,
     B008,
+    A001,
+    A002,
+    A003,
 }
 
 impl Code {
@@ -138,7 +142,7 @@ impl Code {
         &[
             E001, E002, E003, E004, E005, E006, E007, E008, E009, E010, E011, E012, E013, E014,
             E015, E016, E017, E018, E019, W001, W002, W003, W004, P001, P002, P003, P004, P005,
-            P006, B001, B002, B003, B004, B005, B006, B007, B008,
+            P006, B001, B002, B003, B004, B005, B006, B007, B008, A001, A002, A003,
         ]
     }
 
@@ -182,6 +186,9 @@ impl Code {
             Code::B006 => "B006",
             Code::B007 => "B007",
             Code::B008 => "B008",
+            Code::A001 => "A001",
+            Code::A002 => "A002",
+            Code::A003 => "A003",
         }
     }
 
@@ -192,7 +199,9 @@ impl Code {
     /// [`shape`](crate::shape), never by [`lint`]) are errors — the
     /// pipeline reads or writes memory its declared layout does not give
     /// it — but since they need a [`MemorySchema`](crate::shape::MemorySchema)
-    /// they cannot be raised by `build()` itself.
+    /// they cannot be raised by `build()` itself. `A0xx` codec-selection
+    /// advisories (emitted by [`suggest`](crate::suggest)) are warnings:
+    /// they recommend a rewiring, they never fail a build or a CI gate.
     pub fn severity(&self) -> Severity {
         if matches!(self.as_str().as_bytes()[0], b'E' | b'B') {
             Severity::Error
@@ -241,6 +250,9 @@ impl Code {
             Code::B006 => "decoded element width disagrees across a queue edge",
             Code::B007 => "core input or index stream has no declared shape",
             Code::B008 => "MemQueue footprint exceeds its region's extent",
+            Code::A001 => "a different codec is predicted measurably faster on this queue",
+            Code::A002 => "compression predicted net-negative on this queue",
+            Code::A003 => "suggestion suppressed: verifier rejects the rewired pipeline",
         }
     }
 }
@@ -1246,7 +1258,7 @@ mod tests {
             assert!(!c.summary().is_empty());
             match c.as_str().as_bytes()[0] {
                 b'E' | b'B' => assert_eq!(c.severity(), Severity::Error),
-                b'W' | b'P' => assert_eq!(c.severity(), Severity::Warning),
+                b'W' | b'P' | b'A' => assert_eq!(c.severity(), Severity::Warning),
                 _ => panic!("bad code prefix"),
             }
         }

@@ -24,7 +24,7 @@ use crate::dcl::{MemQueueMode, OperatorKind, Pipeline, RangeInput, DEFAULT_SCRAT
 use crate::func::FIRE_BYTES;
 use crate::lint::{Code, Diagnostic, Site};
 use crate::QueueId;
-use spzip_compress::model::{predicted_bytes_per_elem, StreamProfile};
+use spzip_compress::model::{predicted_bytes_per_elem, RateTable, StreamProfile};
 use spzip_mem::DataClass;
 use std::collections::BTreeMap;
 
@@ -63,6 +63,11 @@ pub struct PerfParams {
     pub service_dram_margin: f64,
     /// `P005` fires when markers exceed this share of a queue's quarters.
     pub marker_overhead_threshold: f64,
+    /// Per-codec transform throughput calibration. The nominal table
+    /// scales every codec by 1.0, leaving the model exactly as
+    /// uncalibrated; `dcl-perf --suggest` loads measured kernel rates
+    /// from `BENCH_codecs.json` here.
+    pub rates: RateTable,
 }
 
 impl Default for PerfParams {
@@ -77,6 +82,7 @@ impl Default for PerfParams {
             inflation_margin: 1.05,
             service_dram_margin: 2.0,
             marker_overhead_threshold: 0.5,
+            rates: RateTable::nominal(),
         }
     }
 }
@@ -457,7 +463,10 @@ fn eval_op(input: &PerfInput<'_>, index: usize, kind: &OperatorKind, inflow: Flo
             perf.items_out = elems;
             perf.bytes_out = elems * f64::from(*elem_bytes);
             perf.firings = inflow.bytes.max(perf.bytes_out) / fire + inflow.markers;
-            perf.service_cycles = perf.firings + inflow.markers * params.transform_latency;
+            // A slower-than-nominal codec (measured, relative to the
+            // fastest in the rate table) stretches each firing.
+            perf.service_cycles = perf.firings / params.rates.decode_scale(*codec)
+                + inflow.markers * params.transform_latency;
         }
         OperatorKind::Compress {
             codec, elem_bytes, ..
@@ -468,7 +477,8 @@ fn eval_op(input: &PerfInput<'_>, index: usize, kind: &OperatorKind, inflow: Flo
             perf.items_out = out; // a byte stream: one item per byte
             perf.bytes_out = out;
             perf.firings = inflow.bytes.max(out) / fire + inflow.markers;
-            perf.service_cycles = perf.firings + inflow.markers * params.transform_latency;
+            perf.service_cycles = perf.firings / params.rates.encode_scale(*codec)
+                + inflow.markers * params.transform_latency;
         }
         OperatorKind::StreamWrite { class, .. } => {
             perf.mem_write = inflow.bytes;
@@ -949,6 +959,66 @@ mod tests {
             "{:?}",
             report.diagnostics
         );
+    }
+
+    #[test]
+    fn calibrated_rates_stretch_transform_service() {
+        // A rate-handicapped codec costs more service cycles than the
+        // nominal table; the nominal table is exactly a no-op.
+        let mut b = PipelineBuilder::new();
+        let input = b.queue(16);
+        let bytes = b.queue(32);
+        let vals = b.queue(32);
+        b.operator(
+            OperatorKind::RangeFetch {
+                base: 0,
+                idx_bytes: 8,
+                elem_bytes: 1,
+                input: RangeInput::Pairs,
+                marker: Some(1),
+                class: DataClass::AdjacencyMatrix,
+            },
+            input,
+            vec![bytes],
+        );
+        b.operator(
+            OperatorKind::Decompress {
+                codec: CodecKind::Delta,
+                elem_bytes: 4,
+            },
+            bytes,
+            vec![vals],
+        );
+        let p = b.build().unwrap();
+        let nominal = analyze(&PerfInput::new(&p));
+
+        let mut calibrated = PerfInput::new(&p);
+        let mut rates = RateTable::nominal();
+        rates.set(
+            CodecKind::Delta,
+            spzip_compress::model::CodecRates {
+                decode_gbps: 1.0,
+                encode_gbps: 1.0,
+            },
+        );
+        rates.set(
+            CodecKind::None,
+            spzip_compress::model::CodecRates {
+                decode_gbps: 8.0,
+                encode_gbps: 8.0,
+            },
+        );
+        calibrated.params.rates = rates;
+        let scaled = analyze(&calibrated);
+
+        let nom_svc = nominal.ops[1].service_cycles;
+        let cal_svc = scaled.ops[1].service_cycles;
+        assert!(
+            cal_svc > nom_svc * 2.0,
+            "calibration should stretch service: {nom_svc} vs {cal_svc}"
+        );
+        // Traffic is untouched by rate calibration.
+        assert_eq!(nominal.total_bytes(), scaled.total_bytes());
     }
 
     #[test]
