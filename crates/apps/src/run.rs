@@ -362,7 +362,7 @@ mod tests {
             );
             assert!(out.validated, "BFS under {scheme}");
             assert!(san.clean(), "BFS under {scheme}:\n{}", san.render());
-            assert!(!san.trace.events.is_empty());
+            assert!(!san.trace.is_empty());
         }
     }
 

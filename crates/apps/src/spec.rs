@@ -114,18 +114,19 @@ impl RunSpec {
     /// every field, so any parameter change (including the silent kind —
     /// a new knob, a retuned constant) changes the fingerprint and
     /// invalidates stale cached results. The codec, DCL-linter,
-    /// performance-model, and shape-verifier versions are folded in for
-    /// the same reason: a codec bitstream change, a lint- or shape-driven
-    /// pipeline change, or a retuned analytical model alters simulated
-    /// behaviour or its cross-checked interpretation without touching any
-    /// spec field.
+    /// performance-model, shape-verifier, and sanitizer-trace versions
+    /// are folded in for the same reason: a codec bitstream change, a
+    /// lint- or shape-driven pipeline change, a retuned analytical model,
+    /// or a reworked trace format/analysis alters simulated behaviour or
+    /// its cross-checked interpretation without touching any spec field.
     pub fn fingerprint(&self) -> String {
         format!(
-            "v1;codec={};lint={};perf={};shape={};app={};input={};prep={:?};scale={:?};scheme={:?};machine={:?}",
+            "v1;codec={};lint={};perf={};shape={};sanitize_trace={};app={};input={};prep={:?};scale={:?};scheme={:?};machine={:?}",
             spzip_compress::CODEC_VERSION,
             spzip_core::lint::LINT_VERSION,
             spzip_core::perf::PERF_VERSION,
             spzip_core::shape::SHAPE_VERSION,
+            spzip_sim::ctrace::SANITIZE_TRACE_VERSION,
             self.app,
             self.input,
             self.prep,
@@ -364,6 +365,10 @@ mod tests {
             format!("lint={}", spzip_core::lint::LINT_VERSION),
             format!("perf={}", spzip_core::perf::PERF_VERSION),
             format!("shape={}", spzip_core::shape::SHAPE_VERSION),
+            format!(
+                "sanitize_trace={}",
+                spzip_sim::ctrace::SANITIZE_TRACE_VERSION
+            ),
         ] {
             assert!(fp.contains(&component), "{fp} missing {component}");
         }

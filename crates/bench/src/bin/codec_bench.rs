@@ -7,6 +7,8 @@
 //! codec-bench --measure-ms 60 --check BENCH_codecs.json
 //!                                          # CI gate: short windows, compare
 //!                                          # speedups against the trajectory
+//! codec-bench --format json --check BENCH_codecs.json
+//!                                          # same gate, shared JSON envelope
 //! ```
 //!
 //! In `--check` mode nothing is written: the tool re-measures with the
@@ -14,9 +16,12 @@
 //! codec's kernel-over-reference decode speedup regressed more than 20%
 //! below the trajectory, or if the trajectory itself is below a codec's
 //! speedup floor (≥10× for BPC, ≥5× for delta). Exits 0 on success, 1 on
-//! a failed gate, 2 when a file cannot be read.
+//! a failed gate, 2 when a file cannot be read — the `dcl-lint`/`dcl-perf`
+//! ladder, and `--format json` emits the same envelope those tools share
+//! ([`spzip_bench::cli::trajectory_json`]).
 
-use spzip_bench::codec_bench::{check_against, BenchReport};
+use spzip_bench::cli::{tool_exit_code, trajectory_json, ToolCounts};
+use spzip_bench::codec_bench::{check_against, BenchReport, REQUIRED_CODECS};
 
 fn main() {
     std::process::exit(run(&std::env::args().skip(1).collect::<Vec<_>>()));
@@ -26,6 +31,7 @@ fn run(args: &[String]) -> i32 {
     let mut measure_ms = 200u64;
     let mut out_path = String::from("BENCH_codecs.json");
     let mut check_path: Option<String> = None;
+    let mut json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -47,6 +53,10 @@ fn run(args: &[String]) -> i32 {
                 }
                 i += 1;
             }
+            "--format" => {
+                json = args.get(i + 1).map(String::as_str) == Some("json");
+                i += 1;
+            }
             other => {
                 eprintln!("codec-bench: ignoring unknown flag {other:?}");
             }
@@ -55,37 +65,65 @@ fn run(args: &[String]) -> i32 {
     }
 
     if let Some(path) = check_path {
+        let mut counts = ToolCounts::default();
+        let emit = |counts: &ToolCounts,
+                    summary: &[String],
+                    gate_errors: &[String],
+                    failures: &[(String, String)]| {
+            if json {
+                print!(
+                    "{}",
+                    trajectory_json("codec-bench", counts, summary, gate_errors, failures)
+                );
+            } else {
+                for line in summary {
+                    println!("{line}");
+                }
+                for e in gate_errors {
+                    eprintln!("codec-bench: FAIL: {e}");
+                }
+                for (name, e) in failures {
+                    eprintln!("codec-bench: {name}: {e}");
+                }
+                if gate_errors.is_empty() && failures.is_empty() {
+                    println!("codec-bench: trajectory check passed");
+                }
+            }
+        };
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
             Err(e) => {
-                eprintln!("codec-bench: cannot read {path}: {e}");
-                return 2;
+                counts.io_errors = 1;
+                emit(&counts, &[], &[], &[(path, format!("cannot read: {e}"))]);
+                return tool_exit_code(&counts, false);
             }
         };
         let checked_in = match BenchReport::from_json(&text) {
             Ok(r) => r,
             Err(e) => {
-                eprintln!("codec-bench: {path} failed schema validation: {e}");
-                return 1;
+                counts.errors = 1;
+                emit(
+                    &counts,
+                    &[],
+                    &[],
+                    &[(path, format!("failed schema validation: {e}"))],
+                );
+                return tool_exit_code(&counts, false);
             }
         };
         eprintln!("codec-bench: measuring ({measure_ms} ms/cell)...");
         let fresh = BenchReport::measure(measure_ms);
+        counts.checked = REQUIRED_CODECS.len();
         match check_against(&fresh, &checked_in) {
             Ok(summary) => {
-                for line in summary {
-                    println!("{line}");
-                }
-                println!("codec-bench: trajectory check passed");
-                0
+                emit(&counts, &summary, &[], &[]);
             }
             Err(errors) => {
-                for e in errors {
-                    eprintln!("codec-bench: FAIL: {e}");
-                }
-                1
+                counts.errors = errors.len();
+                emit(&counts, &[], &errors, &[]);
             }
         }
+        tool_exit_code(&counts, false)
     } else {
         eprintln!("codec-bench: measuring ({measure_ms} ms/cell)...");
         let report = BenchReport::measure(measure_ms);
@@ -99,7 +137,7 @@ fn run(args: &[String]) -> i32 {
             eprintln!("codec-bench: cannot write {out_path}: {e}");
             return 2;
         }
-        for codec in spzip_bench::codec_bench::REQUIRED_CODECS {
+        for codec in REQUIRED_CODECS {
             if let Some(s) = report.decode_speedup(codec) {
                 println!("{codec}: decode speedup {s:.2}x over scalar reference");
             }

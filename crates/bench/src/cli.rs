@@ -361,6 +361,38 @@ pub fn json_envelope(
     out
 }
 
+/// Renders a trajectory gate run (`codec-bench --check`,
+/// `sanitize-bench --check`) in the shared `--format json` envelope: one
+/// `pipelines` entry named after the gate, carrying the per-cell
+/// `summary` lines and the violated `gate_errors`; read/parse problems
+/// go in the ordinary `failures` array.
+pub fn trajectory_json(
+    gate: &str,
+    counts: &ToolCounts,
+    summary: &[String],
+    gate_errors: &[String],
+    failures: &[(String, String)],
+) -> String {
+    use spzip_core::lint::json_escape;
+    use std::fmt::Write as _;
+    let mut body = String::from("\"summary\":[");
+    for (i, s) in summary.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let _ = write!(body, "\"{}\"", json_escape(s));
+    }
+    body.push_str("],\"gate_errors\":[");
+    for (i, s) in gate_errors.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let _ = write!(body, "\"{}\"", json_escape(s));
+    }
+    body.push(']');
+    json_envelope(counts, &[(gate.to_string(), body)], failures)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -497,6 +529,29 @@ mod tests {
             "{json}"
         );
         assert!(json.ends_with("]}\n"), "{json}");
+    }
+
+    #[test]
+    fn trajectory_json_carries_summary_and_gate_errors() {
+        let counts = ToolCounts {
+            checked: 9,
+            errors: 1,
+            ..Default::default()
+        };
+        let json = trajectory_json(
+            "sanitize-bench",
+            &counts,
+            &["Pr/Push: ratio 8.00x".to_string()],
+            &["Sp/PhiSpzip: \"bad\"".to_string()],
+            &[],
+        );
+        assert!(json.contains("\"name\":\"sanitize-bench\""), "{json}");
+        assert!(
+            json.contains("\"summary\":[\"Pr/Push: ratio 8.00x\"]"),
+            "{json}"
+        );
+        assert!(json.contains("\\\"bad\\\""), "escapes gate errors: {json}");
+        assert!(json.contains("\"failures\":[]"), "{json}");
     }
 
     #[test]

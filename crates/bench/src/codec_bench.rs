@@ -447,7 +447,9 @@ pub fn check_against(
 }
 
 /// Extracts a string field from the envelope (writer-subset JSON).
-fn json_str(text: &str, key: &str) -> Result<String, String> {
+/// Shared with `sanitize_bench`, whose trajectory file uses the same
+/// hand-rolled envelope style.
+pub(crate) fn json_str(text: &str, key: &str) -> Result<String, String> {
     let pat = format!("\"{key}\":");
     let start = text.find(&pat).ok_or(format!("missing field {key:?}"))? + pat.len();
     let rest = text[start..].trim_start();
@@ -459,7 +461,7 @@ fn json_str(text: &str, key: &str) -> Result<String, String> {
 }
 
 /// Extracts a numeric field from the envelope.
-fn json_num(text: &str, key: &str) -> Result<f64, String> {
+pub(crate) fn json_num(text: &str, key: &str) -> Result<f64, String> {
     let pat = format!("\"{key}\":");
     let start = text.find(&pat).ok_or(format!("missing field {key:?}"))? + pat.len();
     let rest = text[start..].trim_start();
@@ -474,7 +476,7 @@ fn json_num(text: &str, key: &str) -> Result<f64, String> {
 
 /// Splits a flat JSON array body into its top-level `{...}` objects
 /// (records contain no nested braces).
-fn split_objects(body: &str) -> Vec<&str> {
+pub(crate) fn split_objects(body: &str) -> Vec<&str> {
     let mut objects = Vec::new();
     let mut start = None;
     for (i, c) in body.char_indices() {

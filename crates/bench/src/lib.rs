@@ -29,6 +29,7 @@ pub mod dcl_lint;
 pub mod dcl_perf;
 pub mod driver;
 pub mod figures;
+pub mod sanitize_bench;
 pub mod shape_corpus;
 pub mod suggest_sweep;
 

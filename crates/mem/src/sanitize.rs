@@ -58,6 +58,19 @@ impl Actor {
         3 * cores
     }
 
+    /// Inverse of [`Actor::index`]: the actor whose dense index is `idx`.
+    /// Total for every `usize` (the compressed-trace decoder maps any
+    /// well-formed column value back to an actor; out-of-range cores are
+    /// caught by the trace-level event-count checks, not here).
+    pub fn from_index(idx: usize) -> Actor {
+        let core = idx / 3;
+        match idx % 3 {
+            0 => Actor::Core(core),
+            1 => Actor::Fetcher(core),
+            _ => Actor::Compressor(core),
+        }
+    }
+
     /// The core this actor belongs to.
     pub fn core(self) -> usize {
         match self {
@@ -148,6 +161,7 @@ mod tests {
                 assert!(!seen[a.index()], "{a} collides");
                 seen[a.index()] = true;
                 assert_eq!(a.core(), i);
+                assert_eq!(Actor::from_index(a.index()), a);
             }
         }
         assert!(seen.iter().all(|&s| s));

@@ -15,6 +15,7 @@
 //! chunks"): the machine pulls the next chunk of work for whichever core
 //! drains its event queue first.
 
+pub mod ctrace;
 pub mod event;
 pub mod machine;
 pub mod report;

@@ -8,10 +8,12 @@
 //! core from the [`WorkSource`] whenever its event queue drains — the
 //! dynamic chunk scheduling of the paper's runtime.
 
+#[cfg(feature = "sanitize")]
+use crate::ctrace::CTrace;
 use crate::event::Event;
 use crate::report::RunReport;
 #[cfg(feature = "sanitize")]
-use crate::sanitize::{RunContext, SanitizeReport, Trace, TraceEvent, Violation};
+use crate::sanitize::{RunContext, SanitizeReport, TraceEvent, Violation};
 use spzip_core::dcl::Pipeline;
 use spzip_core::engine::{EngineConfig, EngineModel};
 use spzip_core::func::Firing;
@@ -24,7 +26,7 @@ use std::collections::VecDeque;
 /// The sanitizer trace slot threaded through the core step. A unit type
 /// in default builds, so the hot path carries no state and no branches.
 #[cfg(feature = "sanitize")]
-type SanitizeSlot = Option<Trace>;
+type SanitizeSlot = Option<CTrace>;
 #[cfg(not(feature = "sanitize"))]
 type SanitizeSlot = ();
 
@@ -146,7 +148,7 @@ impl Machine {
             c.set_queue_logging(true);
         }
         if self.sanitize.is_none() {
-            self.sanitize = Some(Trace::new(self.cfg.mem.cores));
+            self.sanitize = Some(CTrace::new(self.cfg.mem.cores));
         }
     }
 
@@ -359,10 +361,11 @@ impl Machine {
     /// Panics if [`Machine::enable_sanitizer`] was never called.
     #[cfg(feature = "sanitize")]
     pub fn finish_sanitized(mut self) -> (RunReport, SanitizeReport) {
-        let trace = self
+        let mut trace = self
             .sanitize
             .take()
             .expect("finish_sanitized without enable_sanitizer");
+        trace.seal();
         let report = self.build_report();
         let probe = self.mem.take_probe().unwrap_or_default();
         let now = self.now;
@@ -379,7 +382,7 @@ impl Machine {
             dram_writeback_lines: probe.dram_writeback_lines,
             flushed_lines: probe.flushed_lines,
         };
-        let mut violations = crate::sanitize::analyze(&trace, &context);
+        let mut violations = crate::sanitize::analyze_compressed(&trace, &context);
         violations.append(&mut self.external_violations);
         (
             report,
@@ -446,7 +449,7 @@ fn drain_engine_events(
         .collect();
     evs.extend(mem.drain_probe_records().into_iter().map(TraceEvent::Mem));
     evs.sort_by_key(|e| (e.cycle(), e.rank()));
-    tr.events.extend(evs);
+    tr.record_all(evs);
 }
 
 /// Advances one core through `[now, now+quantum)`. Returns whether it made
@@ -496,8 +499,7 @@ fn advance_core(
                 let done = mem.issue(core_id, Port::Core, &acc, core.t);
                 #[cfg(feature = "sanitize")]
                 if let Some(tr) = sanitize.as_mut() {
-                    tr.events
-                        .extend(mem.drain_probe_records().into_iter().map(TraceEvent::Mem));
+                    tr.record_all(mem.drain_probe_records().into_iter().map(TraceEvent::Mem));
                 }
                 if acc.op == spzip_mem::MemOp::Atomic {
                     // Locked read-modify-writes serialize the core (store
@@ -766,16 +768,15 @@ mod tests {
         m.run_phase(&mut src);
         let (report, san) = m.finish_sanitized();
         assert!(san.clean(), "{}", san.render());
+        let events = san.trace.decode_all().expect("trace decodes");
         assert!(
-            san.trace
-                .events
+            events
                 .iter()
                 .any(|e| matches!(e, crate::sanitize::TraceEvent::Mem(_))),
             "watched accesses should be traced"
         );
         assert!(
-            san.trace
-                .events
+            events
                 .iter()
                 .any(|e| matches!(e, crate::sanitize::TraceEvent::Barrier { .. })),
             "phase end should record a barrier"

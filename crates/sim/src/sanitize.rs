@@ -25,6 +25,17 @@
 //! codec byte-conservation checks (S008/S009) live in
 //! `spzip_compress::sanitize` and feed in through the application layer.
 //!
+//! Two analysis paths share one checker implementation:
+//!
+//! * [`analyze`] walks a flat, uncompressed [`Trace`] — the legacy path,
+//!   kept as the differential oracle;
+//! * [`analyze_compressed`] drives the same folds ([`RaceFold`],
+//!   [`QueueFold`]) chunk-by-chunk over a codec-compressed
+//!   [`crate::ctrace::CTrace`], memoizing decode and
+//!   summarization by chunk content hash and adding `S010`
+//!   trace-integrity checks. Both paths emit identical violations on any
+//!   intact trace.
+//!
 //! Everything here is ordinary always-compiled code. The `sanitize`
 //! feature only gates the *collection* hooks in the machine and memory
 //! hierarchy, so default builds pay nothing.
@@ -39,11 +50,12 @@
 //! it consumed, a drain after the engine work it waited for). Cycle
 //! numbers are kept for diagnostics only.
 
+use crate::ctrace::CTrace;
 use spzip_core::QueueId;
 use spzip_mem::sanitize::{Actor, MemRecord};
 use spzip_mem::stats::TrafficStats;
 use spzip_mem::{DataClass, MemOp, LINE_BYTES};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 
 /// Race detection granularity: the 4-byte word, the smallest element the
@@ -79,11 +91,15 @@ pub enum Code {
     /// S009 — a region's framed length does not match the bytes its
     /// frames actually consume.
     FramedLength,
+    /// S010 — the compressed trace itself is damaged: a chunk fails to
+    /// decode, or the chunk sequence is reordered, duplicated, or has
+    /// gaps.
+    TraceIntegrity,
 }
 
 impl Code {
     /// All codes, in registry order.
-    pub fn all() -> [Code; 9] {
+    pub fn all() -> [Code; 10] {
         [
             Code::WriteWriteRace,
             Code::ReadWriteRace,
@@ -94,6 +110,7 @@ impl Code {
             Code::LineAccounting,
             Code::RoundtripMismatch,
             Code::FramedLength,
+            Code::TraceIntegrity,
         ]
     }
 
@@ -109,6 +126,7 @@ impl Code {
             Code::LineAccounting => "S007",
             Code::RoundtripMismatch => "S008",
             Code::FramedLength => "S009",
+            Code::TraceIntegrity => "S010",
         }
     }
 
@@ -124,6 +142,7 @@ impl Code {
             Code::LineAccounting => "DRAM lines not attributed to a class",
             Code::RoundtripMismatch => "codec round-trip not identity",
             Code::FramedLength => "framed length mismatch",
+            Code::TraceIntegrity => "compressed trace chunk corrupt or out of order",
         }
     }
 
@@ -144,6 +163,9 @@ impl Code {
             }
             Code::RoundtripMismatch => "the codec or the region it was framed into is corrupt",
             Code::FramedLength => "recompute the region's framed length after the last append",
+            Code::TraceIntegrity => {
+                "regenerate the trace; a damaged trace cannot vouch for the run it records"
+            }
         }
     }
 }
@@ -381,10 +403,14 @@ fn op_name(op: MemOp) -> &'static str {
 
 /// Last-access state of one watched word: the most recent write and the
 /// reads since it, each stamped with the issuer's epoch at access time.
+/// Reads are kept ordered by actor index so that when a write races more
+/// than one prior reader, the reported one is the same on every analysis
+/// of the same trace (hash-map iteration order would make the diagnostic
+/// nondeterministic).
 #[derive(Default)]
 struct WordState {
     write: Option<(usize, Actor, u64, u64, MemOp)>,
-    reads: HashMap<usize, (Actor, u64, u64)>,
+    reads: BTreeMap<usize, (Actor, u64, u64)>,
 }
 
 /// Vector-clock happens-before race detector over watched words.
@@ -422,131 +448,169 @@ impl Sanitizer for RaceDetector {
     }
 
     fn check(&mut self, trace: &Trace, _ctx: &RunContext) -> Vec<Violation> {
-        let n = Actor::count(trace.cores.max(1));
+        let mut fold = RaceFold::new(trace.cores, self.max_reports);
+        for ev in &trace.events {
+            fold.step(ev);
+        }
+        fold.finish()
+    }
+}
+
+/// The incremental state of the race detector: one [`RaceFold::step`] per
+/// trace event, in execution order.
+///
+/// This is the single implementation behind both analysis paths — the
+/// legacy [`RaceDetector::check`] folds a flat event vector through it,
+/// and [`analyze_compressed`] folds decoded chunks through it — so the
+/// two paths emit identical violations by construction.
+pub struct RaceFold {
+    n: usize,
+    max_reports: usize,
+    clocks: Vec<Vec<u64>>,
+    channels: HashMap<(usize, QueueId), Vec<u64>>,
+    locks: HashMap<u64, Vec<u64>>,
+    words: HashMap<u64, WordState>,
+    reported: HashSet<u64>,
+    out: Vec<Violation>,
+}
+
+impl RaceFold {
+    /// Fresh detector state for a `cores`-core machine, reporting at most
+    /// `max_reports` races.
+    pub fn new(cores: usize, max_reports: usize) -> Self {
+        let n = Actor::count(cores.max(1));
         let mut clocks: Vec<Vec<u64>> = vec![vec![0; n]; n];
         for (i, c) in clocks.iter_mut().enumerate() {
             c[i] = 1;
         }
-        let mut channels: HashMap<(usize, QueueId), Vec<u64>> = HashMap::new();
-        let mut locks: HashMap<u64, Vec<u64>> = HashMap::new();
-        let mut words: HashMap<u64, WordState> = HashMap::new();
-        let mut reported: HashSet<u64> = HashSet::new();
-        let mut out = Vec::new();
+        RaceFold {
+            n,
+            max_reports,
+            clocks,
+            channels: HashMap::new(),
+            locks: HashMap::new(),
+            words: HashMap::new(),
+            reported: HashSet::new(),
+            out: Vec::new(),
+        }
+    }
 
-        for ev in &trace.events {
-            match *ev {
-                TraceEvent::Push {
-                    actor, engine, q, ..
-                } => {
-                    let a = actor.index();
-                    let ch = channels
-                        .entry((engine.index(), q))
-                        .or_insert_with(|| vec![0; n]);
-                    join_into(ch, &clocks[a]);
-                    clocks[a][a] += 1;
+    /// Advances the vector-clock state by one event.
+    pub fn step(&mut self, ev: &TraceEvent) {
+        let n = self.n;
+        match *ev {
+            TraceEvent::Push {
+                actor, engine, q, ..
+            } => {
+                let a = actor.index();
+                let ch = self
+                    .channels
+                    .entry((engine.index(), q))
+                    .or_insert_with(|| vec![0; n]);
+                join_into(ch, &self.clocks[a]);
+                self.clocks[a][a] += 1;
+            }
+            TraceEvent::Pop {
+                actor, engine, q, ..
+            } => {
+                if let Some(ch) = self.channels.get(&(engine.index(), q)) {
+                    let ch = ch.clone();
+                    join_into(&mut self.clocks[actor.index()], &ch);
                 }
-                TraceEvent::Pop {
-                    actor, engine, q, ..
-                } => {
-                    if let Some(ch) = channels.get(&(engine.index(), q)) {
-                        let ch = ch.clone();
-                        join_into(&mut clocks[actor.index()], &ch);
-                    }
+            }
+            TraceEvent::Drain { actor, engine, .. } => {
+                let e = engine.index();
+                let ec = self.clocks[e].clone();
+                join_into(&mut self.clocks[actor.index()], &ec);
+                self.clocks[e][e] += 1;
+            }
+            TraceEvent::Barrier { .. } => {
+                let mut merged = vec![0u64; n];
+                for c in &self.clocks {
+                    join_into(&mut merged, c);
                 }
-                TraceEvent::Drain { actor, engine, .. } => {
-                    let e = engine.index();
-                    let ec = clocks[e].clone();
-                    join_into(&mut clocks[actor.index()], &ec);
-                    clocks[e][e] += 1;
+                for (i, c) in self.clocks.iter_mut().enumerate() {
+                    c.copy_from_slice(&merged);
+                    c[i] += 1;
                 }
-                TraceEvent::Barrier { .. } => {
-                    let mut merged = vec![0u64; n];
-                    for c in &clocks {
-                        join_into(&mut merged, c);
-                    }
-                    for (i, c) in clocks.iter_mut().enumerate() {
-                        c.copy_from_slice(&merged);
-                        c[i] += 1;
-                    }
-                }
-                TraceEvent::Mem(r) => {
-                    let a = r.actor.index();
-                    let first = r.addr / WORD_BYTES;
-                    let last = (r.addr + r.bytes.max(1) as u64 - 1) / WORD_BYTES;
-                    if r.op == MemOp::Atomic {
-                        for w in first..=last {
-                            if let Some(l) = locks.get(&w) {
-                                let l = l.clone();
-                                join_into(&mut clocks[a], &l);
-                            }
-                        }
-                    }
+            }
+            TraceEvent::Mem(r) => {
+                let a = r.actor.index();
+                let first = r.addr / WORD_BYTES;
+                let last = (r.addr + r.bytes.max(1) as u64 - 1) / WORD_BYTES;
+                if r.op == MemOp::Atomic {
                     for w in first..=last {
-                        let st = words.entry(w).or_default();
-                        let mut race: Option<(Actor, u64, MemOp, Code)> = None;
-                        if r.op.is_write() {
-                            if let Some((b, bact, ep, cyc, bop)) = st.write {
-                                let both_atomic = bop == MemOp::Atomic && r.op == MemOp::Atomic;
-                                if b != a && !both_atomic && clocks[a][b] < ep {
-                                    race = Some((bact, cyc, bop, Code::WriteWriteRace));
-                                }
-                            }
-                            if race.is_none() {
-                                for (&b, &(bact, ep, cyc)) in &st.reads {
-                                    if b != a && clocks[a][b] < ep {
-                                        race = Some((bact, cyc, MemOp::Load, Code::ReadWriteRace));
-                                        break;
-                                    }
-                                }
-                            }
-                            st.write = Some((a, r.actor, clocks[a][a], r.cycle, r.op));
-                            st.reads.clear();
-                        } else {
-                            if let Some((b, bact, ep, cyc, bop)) = st.write {
-                                if b != a && clocks[a][b] < ep {
-                                    race = Some((bact, cyc, bop, Code::ReadWriteRace));
-                                }
-                            }
-                            st.reads.insert(a, (r.actor, clocks[a][a], r.cycle));
-                        }
-                        if let Some((bact, cyc, bop, code)) = race {
-                            if reported.insert(w) && out.len() < self.max_reports {
-                                let kind = match code {
-                                    Code::WriteWriteRace => "write/write",
-                                    _ => "read/write",
-                                };
-                                out.push(Violation::new(
-                                    code,
-                                    format!(
-                                        "{kind} race on {} word {:#x}",
-                                        r.class,
-                                        w * WORD_BYTES
-                                    ),
-                                    format!(
-                                        "{} {} at cycle {} vs {} {} at cycle {} (addr {:#x})",
-                                        r.actor,
-                                        op_name(r.op),
-                                        r.cycle,
-                                        bact,
-                                        op_name(bop),
-                                        cyc,
-                                        r.addr
-                                    ),
-                                ));
-                            }
+                        if let Some(l) = self.locks.get(&w) {
+                            let l = l.clone();
+                            join_into(&mut self.clocks[a], &l);
                         }
                     }
-                    if r.op == MemOp::Atomic {
-                        for w in first..=last {
-                            let l = locks.entry(w).or_insert_with(|| vec![0; n]);
-                            join_into(l, &clocks[a]);
+                }
+                for w in first..=last {
+                    let st = self.words.entry(w).or_default();
+                    let mut race: Option<(Actor, u64, MemOp, Code)> = None;
+                    if r.op.is_write() {
+                        if let Some((b, bact, ep, cyc, bop)) = st.write {
+                            let both_atomic = bop == MemOp::Atomic && r.op == MemOp::Atomic;
+                            if b != a && !both_atomic && self.clocks[a][b] < ep {
+                                race = Some((bact, cyc, bop, Code::WriteWriteRace));
+                            }
                         }
-                        clocks[a][a] += 1;
+                        if race.is_none() {
+                            for (&b, &(bact, ep, cyc)) in &st.reads {
+                                if b != a && self.clocks[a][b] < ep {
+                                    race = Some((bact, cyc, MemOp::Load, Code::ReadWriteRace));
+                                    break;
+                                }
+                            }
+                        }
+                        st.write = Some((a, r.actor, self.clocks[a][a], r.cycle, r.op));
+                        st.reads.clear();
+                    } else {
+                        if let Some((b, bact, ep, cyc, bop)) = st.write {
+                            if b != a && self.clocks[a][b] < ep {
+                                race = Some((bact, cyc, bop, Code::ReadWriteRace));
+                            }
+                        }
+                        st.reads.insert(a, (r.actor, self.clocks[a][a], r.cycle));
                     }
+                    if let Some((bact, cyc, bop, code)) = race {
+                        if self.reported.insert(w) && self.out.len() < self.max_reports {
+                            let kind = match code {
+                                Code::WriteWriteRace => "write/write",
+                                _ => "read/write",
+                            };
+                            self.out.push(Violation::new(
+                                code,
+                                format!("{kind} race on {} word {:#x}", r.class, w * WORD_BYTES),
+                                format!(
+                                    "{} {} at cycle {} vs {} {} at cycle {} (addr {:#x})",
+                                    r.actor,
+                                    op_name(r.op),
+                                    r.cycle,
+                                    bact,
+                                    op_name(bop),
+                                    cyc,
+                                    r.addr
+                                ),
+                            ));
+                        }
+                    }
+                }
+                if r.op == MemOp::Atomic {
+                    for w in first..=last {
+                        let l = self.locks.entry(w).or_insert_with(|| vec![0; n]);
+                        join_into(l, &self.clocks[a]);
+                    }
+                    self.clocks[a][a] += 1;
                 }
             }
         }
-        out
+    }
+
+    /// Takes the violations found so far.
+    pub fn finish(&mut self) -> Vec<Violation> {
+        std::mem::take(&mut self.out)
     }
 }
 
@@ -560,56 +624,100 @@ impl Sanitizer for QueueProtocol {
     }
 
     fn check(&mut self, trace: &Trace, _ctx: &RunContext) -> Vec<Violation> {
-        let mut occ: HashMap<(Actor, QueueId), u64> = HashMap::new();
-        let mut flagged: HashSet<(Actor, QueueId)> = HashSet::new();
-        let mut out = Vec::new();
+        let mut fold = QueueFold::new();
         for ev in &trace.events {
-            match *ev {
-                TraceEvent::Push {
-                    engine,
-                    q,
-                    quarters,
-                    ..
-                } => {
-                    *occ.entry((engine, q)).or_default() += quarters as u64;
-                }
-                TraceEvent::Pop {
-                    actor,
-                    engine,
-                    q,
-                    quarters,
-                    cycle,
-                } => {
-                    let o = occ.entry((engine, q)).or_default();
-                    if (quarters as u64) > *o {
-                        if flagged.insert((engine, q)) {
-                            out.push(Violation::new(
-                                Code::PopBeforePush,
-                                format!(
-                                    "pop of {quarters} quarter-words from queue q{q} of {engine} \
-                                     which held only {o}"
-                                ),
-                                format!("{actor} pop at cycle {cycle} (queue q{q} of {engine})"),
-                            ));
-                        }
-                        *o = 0;
-                    } else {
-                        *o -= quarters as u64;
-                    }
-                }
-                _ => {}
-            }
+            fold.step(ev);
         }
-        let mut leaks: Vec<_> = occ.into_iter().filter(|&(_, v)| v > 0).collect();
+        fold.finish()
+    }
+}
+
+/// The incremental state of the queue-protocol checker — the single
+/// implementation behind [`QueueProtocol::check`] and the chunked path,
+/// like [`RaceFold`] is for races.
+#[derive(Default)]
+pub struct QueueFold {
+    occ: HashMap<(Actor, QueueId), u64>,
+    flagged: HashSet<(Actor, QueueId)>,
+    out: Vec<Violation>,
+}
+
+impl QueueFold {
+    /// Fresh state: all queues empty.
+    pub fn new() -> Self {
+        QueueFold::default()
+    }
+
+    /// Advances the occupancy state by one event.
+    pub fn step(&mut self, ev: &TraceEvent) {
+        match *ev {
+            TraceEvent::Push {
+                engine,
+                q,
+                quarters,
+                ..
+            } => {
+                *self.occ.entry((engine, q)).or_default() += quarters as u64;
+            }
+            TraceEvent::Pop {
+                actor,
+                engine,
+                q,
+                quarters,
+                cycle,
+            } => {
+                let o = self.occ.entry((engine, q)).or_default();
+                if (quarters as u64) > *o {
+                    if self.flagged.insert((engine, q)) {
+                        self.out.push(Violation::new(
+                            Code::PopBeforePush,
+                            format!(
+                                "pop of {quarters} quarter-words from queue q{q} of {engine} \
+                                 which held only {o}"
+                            ),
+                            format!("{actor} pop at cycle {cycle} (queue q{q} of {engine})"),
+                        ));
+                    }
+                    *o = 0;
+                } else {
+                    *o -= quarters as u64;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Current occupancy of one queue.
+    fn occupancy(&self, key: (Actor, QueueId)) -> u64 {
+        self.occ.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Applies a whole chunk's net occupancy change to one queue without
+    /// replaying its events. Only sound when the chunk's running balance
+    /// never dips below the queue's current occupancy (see
+    /// [`QueueDelta::need`]), which the caller has checked.
+    fn apply_net(&mut self, key: (Actor, QueueId), net: i64) {
+        let o = self.occ.entry(key).or_default();
+        *o = o
+            .checked_add_signed(net)
+            .expect("summary fast path requires occupancy >= need");
+    }
+
+    /// Appends the end-of-run leak violations and takes everything found.
+    pub fn finish(&mut self) -> Vec<Violation> {
+        let mut leaks: Vec<_> = std::mem::take(&mut self.occ)
+            .into_iter()
+            .filter(|&(_, v)| v > 0)
+            .collect();
         leaks.sort_by_key(|&((e, q), _)| (e, q));
         for ((engine, q), v) in leaks {
-            out.push(Violation::new(
+            self.out.push(Violation::new(
                 Code::QueueSlotLeak,
                 format!("queue q{q} of {engine} ends the run holding {v} quarter-word(s)"),
                 format!("queue q{q} of {engine} at end of run"),
             ));
         }
-        out
+        std::mem::take(&mut self.out)
     }
 }
 
@@ -690,13 +798,375 @@ impl Sanitizer for Accounting {
     }
 }
 
+/// Content-derived summary of one trace chunk: what the chunk-level
+/// checkers need to decide whether they can apply a chunk's *effect*
+/// without replaying its events. Depends only on the chunk payload, so it
+/// is memoized by content hash alongside the decoded events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkSummary {
+    /// Content hash of the chunk this summarizes.
+    pub hash: u64,
+    /// Events in the chunk.
+    pub events: u32,
+    /// Per-queue occupancy effect, sorted by `(engine, queue)`.
+    pub queues: Vec<(Actor, QueueId, QueueDelta)>,
+}
+
+/// A chunk's occupancy effect on one queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueDelta {
+    /// Deepest dip of the chunk's running balance below zero: the minimum
+    /// occupancy the queue must hold *entering* the chunk for no pop in
+    /// it to underflow.
+    pub need: u64,
+    /// Net occupancy change across the whole chunk.
+    pub net: i64,
+}
+
+/// Summarizes a decoded event block (content only — no entry state).
+pub fn summarize_events(hash: u64, events: &[TraceEvent]) -> ChunkSummary {
+    let mut queues: HashMap<(Actor, QueueId), (u64, i64)> = HashMap::new();
+    for ev in events {
+        match *ev {
+            TraceEvent::Push {
+                engine,
+                q,
+                quarters,
+                ..
+            } => {
+                queues.entry((engine, q)).or_default().1 += quarters as i64;
+            }
+            TraceEvent::Pop {
+                engine,
+                q,
+                quarters,
+                ..
+            } => {
+                let (need, running) = queues.entry((engine, q)).or_default();
+                *running -= quarters as i64;
+                if *running < 0 {
+                    *need = (*need).max(running.unsigned_abs());
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut queues: Vec<_> = queues
+        .into_iter()
+        .map(|((e, q), (need, net))| (e, q, QueueDelta { need, net }))
+        .collect();
+    queues.sort_by_key(|&(e, q, _)| (e, q));
+    ChunkSummary {
+        hash,
+        events: events.len() as u32,
+        queues,
+    }
+}
+
+/// One decoded (or memo-recalled) chunk handed to the chunk-level
+/// checkers, in stream order.
+pub struct DecodedChunk<'a> {
+    /// Position in the trace stream.
+    pub seq: u64,
+    /// Content summary (shared across identical chunks).
+    pub summary: &'a ChunkSummary,
+    /// The decoded events.
+    pub events: &'a [TraceEvent],
+}
+
+/// A checker driven chunk-by-chunk over the compressed trace.
+///
+/// The compressed analog of [`Sanitizer`]: `feed_chunk` sees every chunk
+/// once, in order; `finish` sees the post-run context and emits whatever
+/// the checker found. Checkers that can apply a summarized chunk without
+/// walking its events report how often via [`ChunkSanitizer::fast_chunks`].
+pub trait ChunkSanitizer {
+    /// Short name, for reporting which checker fired.
+    fn name(&self) -> &'static str;
+    /// Observes one chunk of the trace, in stream order.
+    fn feed_chunk(&mut self, chunk: &DecodedChunk<'_>);
+    /// Finalizes against the post-run context.
+    fn finish(&mut self, ctx: &RunContext) -> Vec<Violation>;
+    /// Chunks this checker absorbed from their summary alone, without
+    /// replaying events.
+    fn fast_chunks(&self) -> usize {
+        0
+    }
+}
+
+/// Chunk-driven race detection: every chunk's events replay through the
+/// shared [`RaceFold`]. Vector-clock state is entry-dependent, so chunks
+/// cannot be skipped — the memoization win is upstream, where identical
+/// chunks decode and summarize once.
+pub struct RaceChunks {
+    fold: RaceFold,
+}
+
+impl RaceChunks {
+    /// Fresh detector for a `cores`-core machine.
+    pub fn new(cores: usize) -> Self {
+        RaceChunks {
+            fold: RaceFold::new(cores, RaceDetector::default().max_reports),
+        }
+    }
+}
+
+impl ChunkSanitizer for RaceChunks {
+    fn name(&self) -> &'static str {
+        "race"
+    }
+
+    fn feed_chunk(&mut self, chunk: &DecodedChunk<'_>) {
+        for ev in chunk.events {
+            self.fold.step(ev);
+        }
+    }
+
+    fn finish(&mut self, _ctx: &RunContext) -> Vec<Violation> {
+        self.fold.finish()
+    }
+}
+
+/// Chunk-driven queue-protocol checking with a summary fast path: when
+/// every queue the chunk touches holds at least [`QueueDelta::need`]
+/// quarter-words on entry, no pop in the chunk can underflow, so the
+/// chunk provably adds no violation and its whole effect is the per-queue
+/// [`QueueDelta::net`] — applied without replaying events. Otherwise the
+/// chunk replays through the shared [`QueueFold`], preserving exact
+/// messages, ordering, and underflow-clamp semantics.
+#[derive(Default)]
+pub struct QueueChunks {
+    fold: QueueFold,
+    fast: usize,
+}
+
+impl QueueChunks {
+    /// Fresh state: all queues empty.
+    pub fn new() -> Self {
+        QueueChunks::default()
+    }
+}
+
+impl ChunkSanitizer for QueueChunks {
+    fn name(&self) -> &'static str {
+        "queue-protocol"
+    }
+
+    fn feed_chunk(&mut self, chunk: &DecodedChunk<'_>) {
+        let s = chunk.summary;
+        let safe = s
+            .queues
+            .iter()
+            .all(|&(e, q, d)| self.fold.occupancy((e, q)) >= d.need);
+        if safe {
+            for &(e, q, d) in &s.queues {
+                self.fold.apply_net((e, q), d.net);
+            }
+            self.fast += 1;
+        } else {
+            for ev in chunk.events {
+                self.fold.step(ev);
+            }
+        }
+    }
+
+    fn finish(&mut self, _ctx: &RunContext) -> Vec<Violation> {
+        self.fold.finish()
+    }
+
+    fn fast_chunks(&self) -> usize {
+        self.fast
+    }
+}
+
+/// [`WindowCheck`] lifted to the chunk interface (context-only; ignores
+/// the trace).
+pub struct WindowChunks;
+
+impl ChunkSanitizer for WindowChunks {
+    fn name(&self) -> &'static str {
+        "window"
+    }
+
+    fn feed_chunk(&mut self, _chunk: &DecodedChunk<'_>) {}
+
+    fn finish(&mut self, ctx: &RunContext) -> Vec<Violation> {
+        WindowCheck.check(&Trace::new(ctx.cores), ctx)
+    }
+}
+
+/// [`Accounting`] lifted to the chunk interface (context-only; ignores
+/// the trace).
+pub struct AccountingChunks;
+
+impl ChunkSanitizer for AccountingChunks {
+    fn name(&self) -> &'static str {
+        "accounting"
+    }
+
+    fn feed_chunk(&mut self, _chunk: &DecodedChunk<'_>) {}
+
+    fn finish(&mut self, ctx: &RunContext) -> Vec<Violation> {
+        Accounting.check(&Trace::new(ctx.cores), ctx)
+    }
+}
+
+/// The built-in chunk-level checker set, in the same order as
+/// [`default_checkers`] so violation ordering matches the legacy path.
+pub fn default_chunk_checkers(cores: usize) -> Vec<Box<dyn ChunkSanitizer>> {
+    vec![
+        Box::new(RaceChunks::new(cores)),
+        Box::new(QueueChunks::new()),
+        Box::new(WindowChunks),
+        Box::new(AccountingChunks),
+    ]
+}
+
+/// Cap on decoded events held in the chunk memo cache. Steady-state
+/// traces dominated by repeated chunks stay fully memoized; adversarial
+/// all-distinct traces stop caching here instead of re-materializing the
+/// raw trace.
+const MEMO_EVENT_BUDGET: usize = 64 * 1024;
+
+/// What the compressed analysis did, beyond its verdicts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnalyzeStats {
+    /// Sealed chunks in the trace (a non-empty staged tail counts as one
+    /// more).
+    pub chunks: usize,
+    /// Total events analyzed.
+    pub events: usize,
+    /// Distinct chunk contents decoded (memo misses).
+    pub distinct_chunks: usize,
+    /// Chunks recalled from the memo cache instead of decoded.
+    pub memo_hits: usize,
+    /// Chunks the queue checker absorbed from their summary alone.
+    pub queue_fast_chunks: usize,
+    /// S010 violations emitted.
+    pub integrity_violations: usize,
+}
+
+/// Runs the chunk-level checker set over a compressed trace.
+///
+/// Emits the identical violation set as [`analyze`] on the decoded
+/// events, preceded by any `S010` trace-integrity violations (out-of-
+/// order or duplicated chunk sequence numbers, undecodable chunks). On an
+/// intact trace the two paths agree exactly — the differential tests in
+/// `tests/sanitizer_compressed.rs` hold this across the whole app×scheme
+/// matrix.
+pub fn analyze_compressed(trace: &CTrace, ctx: &RunContext) -> Vec<Violation> {
+    analyze_compressed_stats(trace, ctx).0
+}
+
+/// [`analyze_compressed`] plus chunk/memoization statistics.
+pub fn analyze_compressed_stats(
+    trace: &CTrace,
+    ctx: &RunContext,
+) -> (Vec<Violation>, AnalyzeStats) {
+    struct Memo {
+        bytes_len: usize,
+        events: Vec<TraceEvent>,
+        summary: ChunkSummary,
+    }
+    let mut memo: HashMap<u64, Memo> = HashMap::new();
+    let mut memo_events = 0usize;
+    let mut stats = AnalyzeStats::default();
+    let mut integrity = Vec::new();
+    let mut checkers = default_chunk_checkers(trace.cores);
+
+    let feed = |checkers: &mut Vec<Box<dyn ChunkSanitizer>>,
+                stats: &mut AnalyzeStats,
+                seq: u64,
+                summary: &ChunkSummary,
+                events: &[TraceEvent]| {
+        stats.chunks += 1;
+        stats.events += events.len();
+        let chunk = DecodedChunk {
+            seq,
+            summary,
+            events,
+        };
+        for c in checkers.iter_mut() {
+            c.feed_chunk(&chunk);
+        }
+    };
+
+    let mut scratch = Vec::new();
+    for (i, chunk) in trace.chunks().iter().enumerate() {
+        if chunk.seq != i as u64 {
+            integrity.push(Violation::new(
+                Code::TraceIntegrity,
+                format!(
+                    "trace chunk at position {i} carries sequence number {} \
+                     (chunks reordered, duplicated, or lost)",
+                    chunk.seq
+                ),
+                format!("compressed trace chunk {i}"),
+            ));
+        }
+        if let Some(m) = memo.get(&chunk.hash) {
+            if m.bytes_len == chunk.bytes.len() && m.summary.events == chunk.events {
+                stats.memo_hits += 1;
+                feed(&mut checkers, &mut stats, chunk.seq, &m.summary, &m.events);
+                continue;
+            }
+        }
+        scratch.clear();
+        match crate::ctrace::decode_chunk(chunk, &mut scratch) {
+            Ok(()) => {
+                stats.distinct_chunks += 1;
+                let summary = summarize_events(chunk.hash, &scratch);
+                feed(&mut checkers, &mut stats, chunk.seq, &summary, &scratch);
+                if memo_events + scratch.len() <= MEMO_EVENT_BUDGET {
+                    memo_events += scratch.len();
+                    memo.insert(
+                        chunk.hash,
+                        Memo {
+                            bytes_len: chunk.bytes.len(),
+                            events: scratch.clone(),
+                            summary,
+                        },
+                    );
+                }
+            }
+            Err(e) => {
+                integrity.push(Violation::new(
+                    Code::TraceIntegrity,
+                    format!("trace chunk {i} failed to decode: {e}"),
+                    format!("compressed trace chunk {i} ({} event(s))", chunk.events),
+                ));
+            }
+        }
+    }
+    if !trace.pending().is_empty() {
+        let tail = trace.pending();
+        let summary = summarize_events(0, tail);
+        feed(
+            &mut checkers,
+            &mut stats,
+            trace.chunks().len() as u64,
+            &summary,
+            tail,
+        );
+    }
+
+    stats.integrity_violations = integrity.len();
+    let mut out = integrity;
+    for c in checkers.iter_mut() {
+        out.extend(c.finish(ctx));
+        stats.queue_fast_chunks += c.fast_chunks();
+    }
+    (out, stats)
+}
+
 /// Everything a sanitized run produced beyond its timing report.
 #[derive(Debug, Clone)]
 pub struct SanitizeReport {
     /// Violations, built-in checkers first, then externally noted ones.
     pub violations: Vec<Violation>,
-    /// The recorded trace (kept so tests can tamper and re-analyze).
-    pub trace: Trace,
+    /// The recorded compressed trace (kept so tests can decode, tamper,
+    /// re-encode, and re-analyze).
+    pub trace: CTrace,
     /// The post-run context the checkers saw.
     pub context: RunContext,
 }
@@ -959,12 +1429,182 @@ mod tests {
             assert!(!c.summary().is_empty());
             assert!(!c.hint().is_empty());
         }
-        assert_eq!(seen.len(), 9);
+        assert_eq!(seen.len(), 10);
     }
 
     #[test]
     fn clean_trace_analyzes_silent() {
         let t = Trace::new(4);
         assert!(analyze(&t, &RunContext::empty(4)).is_empty());
+    }
+
+    fn assert_verdicts_match(trace: &Trace) {
+        let ctx = RunContext::empty(trace.cores);
+        let legacy = analyze(trace, &ctx);
+        let ct = CTrace::from_trace(trace);
+        let (compressed, stats) = analyze_compressed_stats(&ct, &ctx);
+        assert_eq!(compressed.len(), legacy.len());
+        for (a, b) in legacy.iter().zip(&compressed) {
+            assert_eq!(a.code, b.code);
+            assert_eq!(a.message, b.message);
+            assert_eq!(a.site, b.site);
+        }
+        assert_eq!(stats.events, trace.events.len());
+        assert_eq!(stats.integrity_violations, 0);
+    }
+
+    #[test]
+    fn compressed_analysis_matches_legacy_on_racy_traces() {
+        let mut t = Trace::new(2);
+        t.record(rec(Actor::Core(0), 0x100, 4, MemOp::Store, 10));
+        t.record(rec(Actor::Compressor(1), 0x100, 4, MemOp::Store, 20));
+        t.record(TraceEvent::Pop {
+            actor: Actor::Fetcher(0),
+            engine: Actor::Fetcher(0),
+            q: 2,
+            quarters: 4,
+            cycle: 5,
+        });
+        t.record(TraceEvent::Push {
+            actor: Actor::Core(0),
+            engine: Actor::Compressor(0),
+            q: 0,
+            quarters: 8,
+            cycle: 6,
+        });
+        assert_verdicts_match(&t);
+    }
+
+    #[test]
+    fn compressed_analysis_matches_legacy_across_chunk_boundaries() {
+        // A balanced push/pop loop long enough to span several chunks,
+        // with a race planted near the end so state must survive sealing.
+        let mut t = Trace::new(2);
+        for i in 0..3 * crate::ctrace::CHUNK_EVENTS as u64 {
+            t.record(TraceEvent::Push {
+                actor: Actor::Core(0),
+                engine: Actor::Fetcher(0),
+                q: 1,
+                quarters: 4,
+                cycle: 2 * i,
+            });
+            t.record(TraceEvent::Pop {
+                actor: Actor::Fetcher(0),
+                engine: Actor::Fetcher(0),
+                q: 1,
+                quarters: 4,
+                cycle: 2 * i + 1,
+            });
+        }
+        t.record(rec(Actor::Core(0), 0xA00, 4, MemOp::Store, 1));
+        t.record(rec(Actor::Core(1), 0xA00, 4, MemOp::Store, 2));
+        assert_verdicts_match(&t);
+    }
+
+    #[test]
+    fn repeated_chunks_are_memoized_and_queue_fast_forwarded() {
+        // Identical balanced chunks: one decode, the rest memo hits, and
+        // the queue checker should fast-forward all of them.
+        let mut t = Trace::new(1);
+        for i in 0..4 * crate::ctrace::CHUNK_EVENTS as u64 {
+            let ev = if i % 2 == 0 {
+                TraceEvent::Push {
+                    actor: Actor::Core(0),
+                    engine: Actor::Fetcher(0),
+                    q: 0,
+                    quarters: 4,
+                    cycle: 7,
+                }
+            } else {
+                TraceEvent::Pop {
+                    actor: Actor::Fetcher(0),
+                    engine: Actor::Fetcher(0),
+                    q: 0,
+                    quarters: 4,
+                    cycle: 7,
+                }
+            };
+            t.record(ev);
+        }
+        let ct = CTrace::from_trace(&t);
+        assert_eq!(ct.chunks().len(), 4);
+        let (v, stats) = analyze_compressed_stats(&ct, &RunContext::empty(1));
+        assert!(v.is_empty(), "{}", render(&v));
+        assert_eq!(stats.distinct_chunks, 1);
+        assert_eq!(stats.memo_hits, 3);
+        assert_eq!(stats.queue_fast_chunks, 4);
+        assert_verdicts_match(&t);
+    }
+
+    #[test]
+    fn reordered_chunks_report_s010() {
+        let mut t = Trace::new(1);
+        for i in 0..2 * crate::ctrace::CHUNK_EVENTS as u64 {
+            t.record(TraceEvent::Barrier { cycle: i });
+        }
+        let mut ct = CTrace::from_trace(&t);
+        ct.chunks_mut().swap(0, 1);
+        let (v, stats) = analyze_compressed_stats(&ct, &RunContext::empty(1));
+        assert!(v.iter().any(|x| x.code == Code::TraceIntegrity), "{v:?}");
+        assert_eq!(stats.integrity_violations, 2);
+    }
+
+    #[test]
+    fn duplicated_chunk_reports_s010() {
+        let mut t = Trace::new(1);
+        for i in 0..2 * crate::ctrace::CHUNK_EVENTS as u64 {
+            t.record(TraceEvent::Barrier { cycle: i });
+        }
+        let mut ct = CTrace::from_trace(&t);
+        let dup = ct.chunks()[0].clone();
+        ct.chunks_mut().insert(1, dup);
+        let v = analyze_compressed(&ct, &RunContext::empty(1));
+        assert!(v.iter().any(|x| x.code == Code::TraceIntegrity), "{v:?}");
+    }
+
+    #[test]
+    fn undecodable_chunk_reports_s010_not_panic() {
+        let mut t = Trace::new(1);
+        for i in 0..crate::ctrace::CHUNK_EVENTS as u64 {
+            t.record(TraceEvent::Barrier { cycle: i });
+        }
+        let mut ct = CTrace::from_trace(&t);
+        let b = &mut ct.chunks_mut()[0].bytes;
+        let len = b.len();
+        b.truncate(len / 2);
+        let v = analyze_compressed(&ct, &RunContext::empty(1));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].code, Code::TraceIntegrity);
+        assert!(
+            v[0].message.contains("failed to decode"),
+            "{}",
+            v[0].message
+        );
+    }
+
+    #[test]
+    fn queue_summary_fast_path_matches_replay_on_underflow() {
+        // First chunk ends with a deficit the second chunk's pops deepen:
+        // the second chunk must replay (need > entry occupancy) and flag
+        // exactly what the legacy path flags.
+        let mut t = Trace::new(1);
+        t.record(TraceEvent::Push {
+            actor: Actor::Core(0),
+            engine: Actor::Fetcher(0),
+            q: 0,
+            quarters: 4,
+            cycle: 1,
+        });
+        for i in 0..crate::ctrace::CHUNK_EVENTS as u64 {
+            t.record(TraceEvent::Barrier { cycle: i });
+        }
+        t.record(TraceEvent::Pop {
+            actor: Actor::Fetcher(0),
+            engine: Actor::Fetcher(0),
+            q: 0,
+            quarters: 8,
+            cycle: 99,
+        });
+        assert_verdicts_match(&t);
     }
 }

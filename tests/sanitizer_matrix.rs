@@ -12,7 +12,8 @@ use spzip_apps::run::run_app_sanitized;
 use spzip_apps::{AppName, Scheme};
 use spzip_graph::gen::{community, grid3d, CommunityParams};
 use spzip_mem::cache::{CacheConfig, Replacement};
-use spzip_sim::sanitize::{analyze, render, Code, TraceEvent};
+use spzip_sim::ctrace::CTrace;
+use spzip_sim::sanitize::{analyze_compressed, render, Code, TraceEvent};
 use spzip_sim::MachineConfig;
 use std::sync::Arc;
 
@@ -38,7 +39,7 @@ fn sanitized_matrix_every_app_every_scheme_is_silent() {
             );
             assert!(san.clean(), "{app} under {scheme}:\n{}", san.render());
             assert!(
-                !san.trace.events.is_empty(),
+                !san.trace.is_empty(),
                 "{app} under {scheme} recorded no trace"
             );
         }
@@ -61,18 +62,18 @@ fn removing_sync_edges_from_a_real_trace_is_detected_as_a_race() {
     );
     assert!(san.clean(), "baseline must be clean:\n{}", san.render());
 
-    // Strip exactly those edges and replay the analysis: the same memory
-    // accesses must now race.
-    let mut tampered = san.trace.clone();
-    let before = tampered.events.len();
-    tampered
-        .events
-        .retain(|e| !matches!(e, TraceEvent::Drain { .. } | TraceEvent::Barrier { .. }));
+    // Strip exactly those edges, re-encode through the compressed trace
+    // layer, and replay the analysis: the same memory accesses must now
+    // race.
+    let mut events = san.trace.decode_all().expect("trace decodes");
+    let before = events.len();
+    events.retain(|e| !matches!(e, TraceEvent::Drain { .. } | TraceEvent::Barrier { .. }));
     assert!(
-        tampered.events.len() < before,
+        events.len() < before,
         "the run must contain drain/barrier edges to remove"
     );
-    let violations = analyze(&tampered, &san.context);
+    let tampered = CTrace::from_events(san.trace.cores, &events);
+    let violations = analyze_compressed(&tampered, &san.context);
     let race = violations
         .iter()
         .find(|v| matches!(v.code, Code::WriteWriteRace | Code::ReadWriteRace))
