@@ -11,7 +11,7 @@ use crate::layout::Workload;
 use crate::runtime::{self, AlgoRunStats};
 use crate::scheme::{SchemeConfig, Strategy};
 use spzip_graph::{Csr, VertexId};
-use spzip_sim::{Machine, MachineConfig, RunReport};
+use spzip_sim::{DeadlockReport, Machine, MachineConfig, RunReport};
 use std::fmt;
 use std::sync::Arc;
 
@@ -105,14 +105,15 @@ pub struct RunOutcome {
     pub validated: bool,
     /// Adjacency-matrix compression ratio, when compressed.
     pub adjacency_ratio: Option<f64>,
+    /// The watchdog's wait-for report, if the simulated machine wedged
+    /// (a protocol bug; results and timing are then meaningless).
+    pub deadlock: Option<DeadlockReport>,
 }
 
 /// Runs `app` on `g` under `cfg`, validating against a reference
-/// functional execution.
-///
-/// # Panics
-///
-/// Panics if the simulated machine deadlocks (an instrumentation bug).
+/// functional execution. If the simulated machine deadlocks (an
+/// instrumentation bug), the outcome carries the watchdog's
+/// [`DeadlockReport`] instead of panicking.
 pub fn run_app(app: AppName, g: &Arc<Csr>, cfg: &SchemeConfig, mcfg: MachineConfig) -> RunOutcome {
     run_app_with(app, g, cfg, mcfg, None)
 }
@@ -184,11 +185,13 @@ pub fn run_app_full(
     let validated = results_match(alg.as_ref(), &result, &reference);
 
     let adjacency_ratio = w.cadj.as_ref().map(|c| c.ratio);
+    let deadlock = machine.take_deadlock();
     RunOutcome {
         report: machine.finish(),
         stats,
         validated,
         adjacency_ratio,
+        deadlock,
     }
 }
 
@@ -197,10 +200,8 @@ pub fn run_app_full(
 /// and the outcome is paired with the sanitizer's verdict — race
 /// detection, queue-protocol and accounting checks from the trace, plus
 /// codec byte-conservation over the workload's compressed regions.
-///
-/// # Panics
-///
-/// Panics if the simulated machine deadlocks (an instrumentation bug).
+/// Machine deadlocks surface through [`RunOutcome::deadlock`], as in
+/// [`run_app`].
 #[cfg(feature = "sanitize")]
 pub fn run_app_sanitized(
     app: AppName,
@@ -258,6 +259,7 @@ pub fn run_app_sanitized(
     let validated = results_match(alg.as_ref(), &result, &reference);
 
     let adjacency_ratio = w.cadj.as_ref().map(|c| c.ratio);
+    let deadlock = machine.take_deadlock();
     let (report, sanitize) = machine.finish_sanitized();
     (
         RunOutcome {
@@ -265,6 +267,7 @@ pub fn run_app_sanitized(
             stats,
             validated,
             adjacency_ratio,
+            deadlock,
         },
         sanitize,
     )
@@ -333,6 +336,7 @@ mod tests {
             let input = if app.is_matrix() { &m } else { &g };
             let out = run_app(app, input, &Scheme::Push.config(), tiny_machine());
             assert!(out.validated, "{app} under Push");
+            assert!(out.deadlock.is_none(), "{app}: {:?}", out.deadlock);
             assert!(out.report.cycles > 0);
             assert!(out.report.traffic.total_bytes() > 0);
         }

@@ -21,6 +21,14 @@
 //!   ([`spzip_core::shape`]) that builtin linting runs by default.
 //! * `--shape-corpus` — `dcl-lint`: run the seeded-miswiring differential
 //!   gate (static B-code vs. dynamic functional-engine confirmation).
+//! * `--no-liveness` — `dcl-lint`: skip the liveness model checker
+//!   ([`spzip_core::liveness`]) that builtin linting runs by default.
+//! * `--liveness-corpus` — `dcl-lint`: run the seeded cross-queue
+//!   deadlock differential gate (static D-code vs. dynamic machine
+//!   watchdog confirmation via counterexample replay).
+//! * `--explain CODE` — `dcl-lint`: print the registry entry (summary,
+//!   why it matters, how to fix) for any diagnostic code
+//!   (`E`/`W`/`B`/`P`/`A`/`S`/`D`).
 //! * `--deny-warnings` — `dcl-lint`/`dcl-perf`: exit non-zero on
 //!   warnings too.
 //! * `--format text|json` — `dcl-lint`/`dcl-perf`: report format
@@ -29,7 +37,10 @@
 //!   gate over the built-in cell matrix.
 //! * `--perturb-ratio X` — `dcl-perf --crosscheck`/`--auto-gate`: scale
 //!   every codec-derived byte prediction by `X` (sanity check that the
-//!   gates catch a mis-modeled codec; `1.0` is the honest model).
+//!   gates catch a mis-modeled codec; `1.0` is the honest model). For
+//!   `dcl-lint --liveness-corpus`, `X < 1` instead shrinks the liveness
+//!   drive protocol's per-group budgets (a too-shallow checker must
+//!   fail the gate).
 //! * `--suggest` — `dcl-perf`: run the static codec-selection pass
 //!   ([`spzip_core::suggest`]) instead of the perf report; emits `A0xx`
 //!   advisories plus a machine-readable rewiring plan. Advisories never
@@ -91,13 +102,22 @@ pub struct CommonArgs {
     /// Run the seeded-miswiring differential gate (`--shape-corpus`,
     /// `dcl-lint`).
     pub shape_corpus: bool,
+    /// Skip the liveness checker on builtins (`--no-liveness`,
+    /// `dcl-lint`).
+    pub no_liveness: bool,
+    /// Run the seeded-deadlock differential gate (`--liveness-corpus`,
+    /// `dcl-lint`).
+    pub liveness_corpus: bool,
+    /// Explain a diagnostic code (`--explain CODE`, `dcl-lint`).
+    pub explain: Option<String>,
     /// Treat lint warnings as fatal (`--deny-warnings`, `dcl-lint`).
     pub deny_warnings: bool,
     /// Report format (`--format text|json`).
     pub format: OutputFormat,
     /// Run the model-vs-simulator gate (`--crosscheck`, `dcl-perf`).
     pub crosscheck: bool,
-    /// Perturb codec-derived predictions (`--perturb-ratio`, `dcl-perf`).
+    /// Perturb codec-derived predictions (`dcl-perf`) or the liveness
+    /// drive depth (`dcl-lint --liveness-corpus`) (`--perturb-ratio`).
     pub perturb_ratio: Option<f64>,
     /// Run the codec-selection pass (`--suggest`, `dcl-perf`).
     pub suggest: bool,
@@ -134,6 +154,9 @@ pub fn parse_from(args: &[String]) -> CommonArgs {
         dot: false,
         no_shape: false,
         shape_corpus: false,
+        no_liveness: false,
+        liveness_corpus: false,
+        explain: None,
         deny_warnings: false,
         format: OutputFormat::Text,
         crosscheck: false,
@@ -219,6 +242,21 @@ pub fn parse_from(args: &[String]) -> CommonArgs {
             "--shape-corpus" => {
                 parsed.shape_corpus = true;
                 consumed[i] = true;
+            }
+            "--no-liveness" => {
+                parsed.no_liveness = true;
+                consumed[i] = true;
+            }
+            "--liveness-corpus" => {
+                parsed.liveness_corpus = true;
+                consumed[i] = true;
+            }
+            "--explain" => {
+                parsed.explain = value(i).map(|s| s.to_string());
+                consumed[i] = true;
+                if i + 1 < consumed.len() {
+                    consumed[i + 1] = true;
+                }
             }
             "--crosscheck" => {
                 parsed.crosscheck = true;
@@ -474,6 +512,19 @@ mod tests {
         let b = parse_from(&[]);
         assert!(!b.no_shape);
         assert!(!b.shape_corpus);
+    }
+
+    #[test]
+    fn parses_liveness_flags() {
+        let a = parse_from(&argv("--no-liveness --liveness-corpus --explain D001"));
+        assert!(a.no_liveness);
+        assert!(a.liveness_corpus);
+        assert_eq!(a.explain.as_deref(), Some("D001"));
+        assert!(a.paths.is_empty(), "the explain value is not a path");
+        let b = parse_from(&[]);
+        assert!(!b.no_liveness);
+        assert!(!b.liveness_corpus);
+        assert_eq!(b.explain, None);
     }
 
     #[test]

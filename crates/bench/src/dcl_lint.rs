@@ -17,10 +17,22 @@
 //! for shape-verified builtins the edges are annotated with the inferred
 //! shape domain (region / element width / codec framing).
 //!
+//! Builtins also run the liveness model checker
+//! ([`spzip_core::liveness::verify`]) by default, folding its `D0xx`
+//! findings — each with a rendered counterexample schedule — into the
+//! report; `--no-liveness` skips it. (File mode runs it too: liveness
+//! needs only the pipeline graph, no memory schema.)
+//!
 //! `--shape-corpus` instead runs the seeded-miswiring differential gate in
 //! [`crate::shape_corpus`]: each deliberately miswired pipeline must be
 //! rejected statically with the expected B-code AND misbehave dynamically
-//! under the functional engine.
+//! under the functional engine. `--liveness-corpus` runs the analogous
+//! seeded cross-queue deadlock gate in [`crate::liveness_corpus`]: each
+//! seed must be caught statically with the expected D-code AND its
+//! counterexample must replay to the timing machine's watchdog
+//! [`DeadlockReport`](spzip_sim::machine::DeadlockReport).
+//! `--explain CODE` prints the [`crate::explain`] registry entry for any
+//! diagnostic code.
 //!
 //! Exit codes distinguish *what kind* of failure CI is looking at: 0 when
 //! every pipeline is clean (warnings allowed unless `--deny-warnings`),
@@ -51,6 +63,9 @@ pub struct LintReport {
     pub results: Vec<(String, Vec<lint::Diagnostic>)>,
     /// Parse/read failures with no structured diagnostic (name, error).
     pub failures: Vec<(String, String)>,
+    /// Rendered liveness counterexamples, by pipeline name (at most one
+    /// per pipeline: the checker reports the earliest wedge).
+    pub counterexamples: Vec<(String, String)>,
 }
 
 impl LintReport {
@@ -94,7 +109,10 @@ pub fn render_json_report(report: &LintReport) -> String {
         .results
         .iter()
         .map(|(name, diags)| {
-            let body = format!("\"diagnostics\":{}", lint::render_json(diags).trim_end());
+            let mut body = format!("\"diagnostics\":{}", lint::render_json(diags).trim_end());
+            if let Some((_, cx)) = report.counterexamples.iter().find(|(n, _)| n == name) {
+                let _ = write!(body, ",\"counterexample\":\"{}\"", lint::json_escape(cx));
+            }
             (name.clone(), body)
         })
         .collect();
@@ -124,12 +142,38 @@ pub fn synthetic_symbols(text: &str) -> HashMap<String, u64> {
         .collect()
 }
 
-/// Lints one `.dcl` program text under `name`.
-pub fn lint_text(name: &str, text: &str, dot: bool, report: &mut LintReport) {
+/// Runs the liveness model checker on `p`; returns its diagnostics plus
+/// each finding's rendered counterexample schedule.
+fn liveness_diags(p: &spzip_core::dcl::Pipeline) -> (Vec<lint::Diagnostic>, Vec<String>) {
+    let live = spzip_core::liveness::verify(p);
+    let rendered = live
+        .findings
+        .iter()
+        .map(|f| spzip_core::liveness::render_counterexample(&f.counterexample))
+        .collect();
+    (live.diagnostics(), rendered)
+}
+
+/// Lints one `.dcl` program text under `name`. Unless `no_liveness`,
+/// parsed programs that pass the structural lint are also model-checked
+/// for whole-pipeline liveness (a counterexample for a program the
+/// builder would reject anyway is noise, so lint errors skip it).
+pub fn lint_text(name: &str, text: &str, dot: bool, no_liveness: bool, report: &mut LintReport) {
     let symbols = synthetic_symbols(text);
     match parser::parse(text, &symbols) {
         Ok(p) => {
-            report.absorb(name, lint::lint(&p));
+            let mut diags = lint::lint(&p);
+            let mut rendered = Vec::new();
+            if !no_liveness && !lint::has_errors(&diags) {
+                let (d, r) = liveness_diags(&p);
+                diags.extend(d);
+                rendered = r;
+            }
+            report.absorb(name, diags);
+            for cx in rendered {
+                report.output.push_str(&cx);
+                report.counterexamples.push((name.to_string(), cx));
+            }
             if dot {
                 report.output.push_str(&parser::to_dot(&p));
             }
@@ -147,15 +191,28 @@ pub fn lint_text(name: &str, text: &str, dot: bool, report: &mut LintReport) {
 /// Unless `no_shape`, each pipeline is also run through the shape
 /// verifier against its constructor-declared schema, and its `B0xx`
 /// findings are folded into the same per-pipeline diagnostic list.
+/// Unless `no_liveness`, each pipeline is also model-checked for
+/// whole-pipeline liveness, folding `D0xx` findings (with rendered
+/// counterexample schedules) the same way.
 /// `--dot` output annotates edges with the inferred shape domain.
-pub fn lint_builtins(dot: bool, no_shape: bool, report: &mut LintReport) {
+pub fn lint_builtins(dot: bool, no_shape: bool, no_liveness: bool, report: &mut LintReport) {
     for (name, p, schema) in spzip_apps::pipelines::all_builtin_checked() {
         let mut diags = lint::lint(&p);
         let shape_report = (!no_shape).then(|| spzip_core::shape::verify(&p, &schema));
         if let Some(sr) = &shape_report {
             diags.extend(sr.diagnostics.iter().cloned());
         }
+        let mut rendered = Vec::new();
+        if !no_liveness && !lint::has_errors(&diags) {
+            let (d, r) = liveness_diags(&p);
+            diags.extend(d);
+            rendered = r;
+        }
         report.absorb(&name, diags);
+        for cx in rendered {
+            report.output.push_str(&cx);
+            report.counterexamples.push((name.to_string(), cx));
+        }
         if dot {
             match &shape_report {
                 Some(sr) => report
@@ -170,13 +227,25 @@ pub fn lint_builtins(dot: bool, no_shape: bool, report: &mut LintReport) {
 /// Runs the tool over parsed arguments; returns the process exit code
 /// (0 iff no errors).
 pub fn run(args: &CommonArgs) -> i32 {
+    if let Some(code) = &args.explain {
+        return crate::explain::run(code);
+    }
     if args.shape_corpus {
         return crate::shape_corpus::run_gate(args.format);
+    }
+    if args.liveness_corpus {
+        return crate::liveness_corpus::run_gate(args.format, args.perturb_ratio);
     }
     let mut report = LintReport::default();
     for path in &args.paths {
         match std::fs::read_to_string(path) {
-            Ok(text) => lint_text(&path.display().to_string(), &text, args.dot, &mut report),
+            Ok(text) => lint_text(
+                &path.display().to_string(),
+                &text,
+                args.dot,
+                args.no_liveness,
+                &mut report,
+            ),
             Err(e) => {
                 report.checked += 1;
                 report.io_errors += 1;
@@ -188,12 +257,13 @@ pub fn run(args: &CommonArgs) -> i32 {
         }
     }
     if args.all_builtin {
-        lint_builtins(args.dot, args.no_shape, &mut report);
+        lint_builtins(args.dot, args.no_shape, args.no_liveness, &mut report);
     }
     if report.checked == 0 {
         println!(
-            "usage: dcl-lint [--all-builtin] [--no-shape] [--shape-corpus] [--dot] \
-             [--deny-warnings] [--format text|json] [file.dcl ...]"
+            "usage: dcl-lint [--all-builtin] [--no-shape] [--no-liveness] [--shape-corpus] \
+             [--liveness-corpus] [--explain CODE] [--dot] [--deny-warnings] \
+             [--format text|json] [file.dcl ...]"
         );
         return 2;
     }
@@ -252,7 +322,7 @@ mod tests {
             range offs -> rows base=rows idx=8 elem=8 mode=consecutive marker=0 class=adj
         ";
         let mut r = LintReport::default();
-        lint_text("fig2", text, false, &mut r);
+        lint_text("fig2", text, false, false, &mut r);
         assert_eq!((r.checked, r.errors, r.warnings), (1, 0, 0), "{}", r.output);
         assert!(r.output.contains("fig2: clean"));
     }
@@ -261,7 +331,7 @@ mod tests {
     fn undersized_queue_file_reports_error() {
         let text = "queue a 8\nqueue b 4\nrange a -> b base=0x0 elem=8";
         let mut r = LintReport::default();
-        lint_text("bad", text, false, &mut r);
+        lint_text("bad", text, false, false, &mut r);
         assert_eq!(r.errors, 1, "{}", r.output);
         assert!(r.output.contains("E013"), "{}", r.output);
     }
@@ -276,7 +346,7 @@ mod tests {
             range a -> b base=0x0 elem=8
         ";
         let mut r = LintReport::default();
-        lint_text("warny", text, false, &mut r);
+        lint_text("warny", text, false, false, &mut r);
         assert_eq!(r.errors, 0, "{}", r.output);
         assert_eq!(r.warnings, 1, "{}", r.output);
         assert!(r.output.contains("warning[W001]"), "{}", r.output);
@@ -286,7 +356,7 @@ mod tests {
     fn dot_output_is_appended() {
         let text = "queue a 8\nqueue b 16\nrange a -> b base=0x0 elem=8";
         let mut r = LintReport::default();
-        lint_text("p", text, true, &mut r);
+        lint_text("p", text, true, false, &mut r);
         assert!(r.output.contains("digraph dcl {"), "{}", r.output);
     }
 
@@ -340,9 +410,10 @@ mod tests {
             "warny",
             "queue a 8\nqueue b 16\nqueue unused 8\nrange a -> b base=0x0 elem=8",
             false,
+            false,
             &mut r,
         );
-        lint_text("broken", "queue a", false, &mut r);
+        lint_text("broken", "queue a", false, false, &mut r);
         let json = render_json_report(&r);
         assert!(json.contains("\"checked\":2"), "{json}");
         assert!(json.contains("\"name\":\"warny\""), "{json}");
@@ -356,7 +427,7 @@ mod tests {
     #[test]
     fn all_builtins_lint_and_shape_error_free() {
         let mut r = LintReport::default();
-        lint_builtins(false, false, &mut r);
+        lint_builtins(false, false, false, &mut r);
         assert!(r.checked >= 40, "{}", r.checked);
         assert_eq!(r.errors, 0, "{}", r.output);
     }
@@ -364,9 +435,9 @@ mod tests {
     #[test]
     fn no_shape_skips_the_verifier_but_still_lints() {
         let mut with = LintReport::default();
-        lint_builtins(false, false, &mut with);
+        lint_builtins(false, false, false, &mut with);
         let mut without = LintReport::default();
-        lint_builtins(false, true, &mut without);
+        lint_builtins(false, true, false, &mut without);
         assert_eq!(with.checked, without.checked);
         // Both are clean today; the distinction is observable in the dot
         // annotation test below and in the corpus gate, where only the
@@ -377,7 +448,7 @@ mod tests {
     #[test]
     fn builtin_dot_is_annotated_with_shape_domains() {
         let mut r = LintReport::default();
-        lint_builtins(true, false, &mut r);
+        lint_builtins(true, false, false, &mut r);
         assert!(r.output.contains("digraph dcl {"), "{}", r.output);
         // Edge labels carry the inferred domain: raw widths and codec
         // framings both appear somewhere across the builtin set.
@@ -385,7 +456,7 @@ mod tests {
         assert!(r.output.contains("frames("), "framed labels missing");
         // With --no-shape the plain queue labels come back.
         let mut plain = LintReport::default();
-        lint_builtins(true, true, &mut plain);
+        lint_builtins(true, true, false, &mut plain);
         assert!(!plain.output.contains("frames("), "unexpected annotation");
     }
 }

@@ -19,8 +19,11 @@
 //! shape-and-bounds verifier ([`spzip_core::shape`]); the
 //! [`dcl_perf`] module backs `dcl-perf`, the static traffic/throughput
 //! analyzer ([`spzip_core::perf`]), [`crosscheck`] is its
-//! model-vs-simulator gate, and [`shape_corpus`] is `dcl-lint`'s
-//! seeded-miswiring differential gate.
+//! model-vs-simulator gate, [`shape_corpus`] is `dcl-lint`'s
+//! seeded-miswiring differential gate, [`liveness_corpus`] is its
+//! seeded cross-queue deadlock differential gate (static D-code vs.
+//! counterexample replay to the machine watchdog), and [`explain`] is
+//! the `--explain CODE` registry spanning every diagnostic family.
 
 pub mod cli;
 pub mod codec_bench;
@@ -28,7 +31,9 @@ pub mod crosscheck;
 pub mod dcl_lint;
 pub mod dcl_perf;
 pub mod driver;
+pub mod explain;
 pub mod figures;
+pub mod liveness_corpus;
 pub mod sanitize_bench;
 pub mod shape_corpus;
 pub mod suggest_sweep;

@@ -324,7 +324,9 @@ impl Pipeline {
     /// burst its producer emits, which statically deadlocks the pipeline;
     /// the scaled program is re-linted and any error (typically `E013` or
     /// `E014`) is returned instead of a pipeline that would wedge the
-    /// engine model.
+    /// engine model. The rewired pipeline is also re-checked by the
+    /// [`crate::liveness`] model checker, so whole-pipeline wedges the
+    /// local lints miss come back as `D0xx` errors, not watchdog trips.
     pub fn scale_queues(&self, factor: f64) -> Result<Pipeline, ValidateError> {
         let mut p = self.clone();
         for q in &mut p.queues {
@@ -333,6 +335,10 @@ impl Pipeline {
         let diags = lint::lint_parts(&p.queues, &p.operators, &p.queue_lines, &p.op_lines);
         if lint::has_errors(&diags) {
             return Err(ValidateError::new(diags));
+        }
+        let live = crate::liveness::verify(&p);
+        if !live.is_clean() {
+            return Err(ValidateError::new(live.diagnostics()));
         }
         Ok(p)
     }
@@ -344,7 +350,7 @@ impl Pipeline {
     /// # Errors
     ///
     /// Returns [`ValidateError`] if the rewired program no longer lints
-    /// error-clean.
+    /// error-clean or fails the [`crate::liveness`] model check.
     ///
     /// # Panics
     ///
@@ -365,6 +371,10 @@ impl Pipeline {
         let diags = lint::lint_parts(&p.queues, &p.operators, &p.queue_lines, &p.op_lines);
         if lint::has_errors(&diags) {
             return Err(ValidateError::new(diags));
+        }
+        let live = crate::liveness::verify(&p);
+        if !live.is_clean() {
+            return Err(ValidateError::new(live.diagnostics()));
         }
         Ok(p)
     }

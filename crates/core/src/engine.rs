@@ -423,6 +423,11 @@ impl EngineModel {
     pub fn occupancy(&self, q: QueueId) -> u32 {
         self.queues[q as usize].occupancy_q
     }
+
+    /// Number of queues in the loaded program (0 when none is loaded).
+    pub fn queue_count(&self) -> usize {
+        self.queues.len()
+    }
 }
 
 impl std::fmt::Debug for EngineModel {

@@ -21,6 +21,11 @@
 //!   a pipeline against a declared memory layout, proving index streams
 //!   in-bounds and codec framing/widths consistent end-to-end, with `B0xx`
 //!   diagnostics sharing the lint renderers.
+//! * [`liveness`] — the whole-pipeline liveness model checker: a bounded
+//!   abstract simulation of queues, operator firings, and the core's
+//!   in-order drive protocol that finds the cross-queue deadlocks and
+//!   marker starvations the per-queue lints provably miss, emitting
+//!   `D0xx` diagnostics with replayable counterexample schedules.
 //! * [`suggest`] — static codec auto-selection: prices every candidate
 //!   codec per compressed queue with the [`perf`] model (calibrated by
 //!   measured kernel rates), validates winning rewirings through [`lint`]
@@ -48,6 +53,7 @@ pub mod dcl;
 pub mod engine;
 pub mod func;
 pub mod lint;
+pub mod liveness;
 pub mod memory;
 pub mod parser;
 pub mod perf;

@@ -62,11 +62,11 @@ pub const LINT_VERSION: u32 = 1;
 
 /// Largest payload one firing can move, in quarter-words (32 bytes —
 /// `func::FIRE_BYTES`).
-const FIRING_QUARTERS: u32 = 32;
+pub(crate) const FIRING_QUARTERS: u32 = 32;
 /// Queue cost of a chunk marker, in quarter-words.
-const MARKER_QUARTERS: u32 = 4;
+pub(crate) const MARKER_QUARTERS: u32 = 4;
 /// Largest single item the core enqueues (a u64), in quarter-words.
-const CORE_ENQUEUE_QUARTERS: u32 = 8;
+pub(crate) const CORE_ENQUEUE_QUARTERS: u32 = 8;
 
 /// How bad a diagnostic is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -88,8 +88,9 @@ impl fmt::Display for Severity {
 
 /// Stable diagnostic codes. `E0xx` are hard errors, `W0xx` warnings,
 /// `P0xx` performance predictions, `B0xx` shape-and-bounds violations,
-/// `A0xx` codec-selection advisories; codes are never renumbered so
-/// tools can match on them.
+/// `A0xx` codec-selection advisories, `D0xx` liveness (whole-pipeline
+/// deadlock) violations; codes are never renumbered so tools can match
+/// on them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)] // each code is documented via `summary()` and DESIGN.md
 pub enum Code {
@@ -133,6 +134,12 @@ pub enum Code {
     A001,
     A002,
     A003,
+    D001,
+    D002,
+    D003,
+    D004,
+    D005,
+    D006,
 }
 
 impl Code {
@@ -142,7 +149,8 @@ impl Code {
         &[
             E001, E002, E003, E004, E005, E006, E007, E008, E009, E010, E011, E012, E013, E014,
             E015, E016, E017, E018, E019, W001, W002, W003, W004, P001, P002, P003, P004, P005,
-            P006, B001, B002, B003, B004, B005, B006, B007, B008, A001, A002, A003,
+            P006, B001, B002, B003, B004, B005, B006, B007, B008, A001, A002, A003, D001, D002,
+            D003, D004, D005, D006,
         ]
     }
 
@@ -189,6 +197,12 @@ impl Code {
             Code::A001 => "A001",
             Code::A002 => "A002",
             Code::A003 => "A003",
+            Code::D001 => "D001",
+            Code::D002 => "D002",
+            Code::D003 => "D003",
+            Code::D004 => "D004",
+            Code::D005 => "D005",
+            Code::D006 => "D006",
         }
     }
 
@@ -202,8 +216,12 @@ impl Code {
     /// they cannot be raised by `build()` itself. `A0xx` codec-selection
     /// advisories (emitted by [`suggest`](crate::suggest)) are warnings:
     /// they recommend a rewiring, they never fail a build or a CI gate.
+    /// `D0xx` liveness violations (emitted by
+    /// [`liveness`](crate::liveness), never by [`lint`]) are errors — the
+    /// pipeline provably wedges under its only schedule — but, like shape
+    /// codes, they come from a separate verification pass, not `build()`.
     pub fn severity(&self) -> Severity {
-        if matches!(self.as_str().as_bytes()[0], b'E' | b'B') {
+        if matches!(self.as_str().as_bytes()[0], b'E' | b'B' | b'D') {
             Severity::Error
         } else {
             Severity::Warning
@@ -253,6 +271,12 @@ impl Code {
             Code::A001 => "a different codec is predicted measurably faster on this queue",
             Code::A002 => "compression predicted net-negative on this queue",
             Code::A003 => "suggestion suppressed: verifier rejects the rewired pipeline",
+            Code::D001 => "cyclic wait among engine operators: a capacity cycle wedges",
+            Code::D002 => "cyclic wait through the core's coupled enqueue/dequeue",
+            Code::D003 => "chunk consumer starves waiting for a marker that never arrives",
+            Code::D004 => "fan-out imbalance: one full output blocks the others forever",
+            Code::D005 => "chunk in flight exceeds downstream capacity mid-stream",
+            Code::D006 => "pipeline admits no initial firing from its start state",
         }
     }
 }
@@ -335,8 +359,9 @@ impl fmt::Display for Diagnostic {
 ///    = help: declare at least 8 words
 /// ```
 pub fn render(diags: &[Diagnostic]) -> String {
+    let diags = sorted_for_render(diags);
     let mut out = String::new();
-    for d in diags {
+    for d in &diags {
         out.push_str(&format!("{d}\n"));
         match d.line {
             Some(l) => out.push_str(&format!("  --> line {l} ({})\n", d.site)),
@@ -356,6 +381,24 @@ pub fn render(diags: &[Diagnostic]) -> String {
     } else if warnings > 0 {
         out.push_str(&format!("{warnings} warning(s)\n"));
     }
+    out
+}
+
+/// Deterministic rendering order: a stable sort by (code, site, source
+/// line), so multi-pass output — lint, shape, perf, and liveness
+/// diagnostics folded into one list — is identical across runs no matter
+/// how the passes interleaved. Within one (code, site, line) key the
+/// original emission order is preserved (the sort is stable).
+pub fn sorted_for_render(diags: &[Diagnostic]) -> Vec<Diagnostic> {
+    let mut out = diags.to_vec();
+    out.sort_by_key(|d| {
+        let (site_rank, site_idx) = match d.site {
+            Site::Program => (0u8, 0usize),
+            Site::Queue(q) => (1, q as usize),
+            Site::Operator(i) => (2, i),
+        };
+        (d.code.as_str(), site_rank, site_idx, d.line)
+    });
     out
 }
 
@@ -384,6 +427,7 @@ pub fn json_escape(s: &str) -> String {
 /// and optional hint; the field set is append-only so downstream tooling
 /// can match on it.
 pub fn render_json(diags: &[Diagnostic]) -> String {
+    let diags = sorted_for_render(diags);
     let mut out = String::from("[");
     for (i, d) in diags.iter().enumerate() {
         if i > 0 {
@@ -431,7 +475,7 @@ pub fn has_errors(diags: &[Diagnostic]) -> bool {
 
 /// Largest number of quarter-words `kind` can push into each of its output
 /// queues in a single firing; `None` for sinks that never push.
-fn producer_burst_quarters(kind: &OperatorKind) -> Option<u32> {
+pub(crate) fn producer_burst_quarters(kind: &OperatorKind) -> Option<u32> {
     match kind {
         // Range fetches emit <=32-byte segments, then a 4-quarter marker.
         OperatorKind::RangeFetch { .. } => Some(FIRING_QUARTERS),
@@ -461,7 +505,7 @@ fn producer_burst_quarters(kind: &OperatorKind) -> Option<u32> {
 /// Largest number of quarter-words one firing of `kind` removes from its
 /// input queue. A firing only happens once its demand is resident, so the
 /// input queue must be at least this big.
-fn consumer_demand_quarters(kind: &OperatorKind) -> u32 {
+pub(crate) fn consumer_demand_quarters(kind: &OperatorKind) -> u32 {
     match kind {
         // One index / value / marker item per firing (<= a u64's 8 quarters).
         OperatorKind::RangeFetch { .. }
@@ -523,7 +567,7 @@ fn expected_input_width(kind: &OperatorKind) -> Option<u8> {
 
 /// Whether `kind` only makes progress on marker-delimited chunks: without a
 /// marker-emitting producer somewhere upstream it accumulates forever.
-fn requires_markers(kind: &OperatorKind) -> bool {
+pub(crate) fn requires_markers(kind: &OperatorKind) -> bool {
     matches!(
         kind,
         OperatorKind::Decompress { .. }
@@ -1257,7 +1301,7 @@ mod tests {
             assert_eq!(c.as_str().len(), 4);
             assert!(!c.summary().is_empty());
             match c.as_str().as_bytes()[0] {
-                b'E' | b'B' => assert_eq!(c.severity(), Severity::Error),
+                b'E' | b'B' | b'D' => assert_eq!(c.severity(), Severity::Error),
                 b'W' | b'P' | b'A' => assert_eq!(c.severity(), Severity::Warning),
                 _ => panic!("bad code prefix"),
             }
@@ -1680,6 +1724,45 @@ mod tests {
             assert!(out.contains("  --> "), "{out}");
             assert!(out.contains("   = help: "), "{out}");
             assert!(out.contains("1 warning(s)"), "{out}");
+        }
+    }
+
+    #[test]
+    fn render_order_is_sorted_by_code_then_site() {
+        // Feed diagnostics deliberately out of order, as interleaved
+        // lint/shape/perf/liveness passes would; both renderers must sort.
+        let d = |code, site, line| Diagnostic::new(code, site, line, "x".into());
+        let diags = vec![
+            d(Code::W003, Site::Program, None),
+            d(Code::E013, Site::Queue(2), Some(7)),
+            d(Code::D001, Site::Program, None),
+            d(Code::E013, Site::Queue(1), Some(3)),
+            d(Code::B002, Site::Operator(4), None),
+        ];
+        let order: Vec<String> = sorted_for_render(&diags)
+            .iter()
+            .map(|d| format!("{} {}", d.code, d.site))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                "B002 operator 4",
+                "D001 program",
+                "E013 queue q1",
+                "E013 queue q2",
+                "W003 program",
+            ]
+        );
+        for renderer in [render(&diags), render_json(&diags)] {
+            let pos = |c: &str| {
+                renderer
+                    .find(c)
+                    .unwrap_or_else(|| panic!("{c}: {renderer}"))
+            };
+            assert!(pos("B002") < pos("D001"), "{renderer}");
+            assert!(pos("D001") < pos("E013"), "{renderer}");
+            assert!(pos("queue q1") < pos("queue q2"), "{renderer}");
+            assert!(pos("queue q2") < pos("W003"), "{renderer}");
         }
     }
 

@@ -22,5 +22,5 @@ pub mod report;
 pub mod sanitize;
 
 pub use event::Event;
-pub use machine::{CoreWork, Machine, MachineConfig, WorkSource};
+pub use machine::{CoreWork, DeadlockReport, Machine, MachineConfig, WaitForEdge, WorkSource};
 pub use report::{RunReport, REPORT_FORMAT};

@@ -30,6 +30,69 @@ type SanitizeSlot = Option<CTrace>;
 #[cfg(not(feature = "sanitize"))]
 type SanitizeSlot = ();
 
+/// One blocked actor in a wedged machine and what it waits on — an edge
+/// of the wait-for graph at the moment the watchdog tripped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaitForEdge {
+    /// The blocked actor, e.g. `"core 0"` or `"fetcher 1"`.
+    pub actor: String,
+    /// What it waits for: the core's front event, or the engine's
+    /// stall diagnosis (`InputEmpty`, `OutputFull`, ...).
+    pub waits_on: String,
+}
+
+/// Structured diagnosis of a machine deadlock: the watchdog's wait-for
+/// report, produced instead of a panic when no component makes progress
+/// for [`MachineConfig::deadlock_cycles`]. The liveness corpus asserts on
+/// this report to confirm statically predicted deadlocks dynamically.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DeadlockReport {
+    /// Cycle at which the watchdog tripped.
+    pub at_cycle: u64,
+    /// Last cycle on which any core or engine made progress.
+    pub last_progress: u64,
+    /// Every blocked actor and its pending wait.
+    pub edges: Vec<WaitForEdge>,
+    /// Fetcher queue occupancies in quarter-words, indexed `[core][queue]`.
+    pub fetcher_occupancy: Vec<Vec<u32>>,
+    /// Compressor queue occupancies in quarter-words, `[core][queue]`.
+    pub compressor_occupancy: Vec<Vec<u32>>,
+}
+
+impl DeadlockReport {
+    /// Multi-line human-readable rendering (used by the `Display` impl).
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "machine deadlock at cycle {} (last progress at {}):\n",
+            self.at_cycle, self.last_progress
+        );
+        for e in &self.edges {
+            s.push_str(&format!("  {} blocked on {}\n", e.actor, e.waits_on));
+        }
+        let occ = |name: &str, per_core: &[Vec<u32>], out: &mut String| {
+            for (i, qs) in per_core.iter().enumerate() {
+                if qs.iter().any(|&q| q > 0) {
+                    let list: Vec<String> = qs
+                        .iter()
+                        .enumerate()
+                        .map(|(q, &o)| format!("q{q}={o}"))
+                        .collect();
+                    out.push_str(&format!("  {name} {i} occupancy: {}\n", list.join(" ")));
+                }
+            }
+        };
+        occ("fetcher", &self.fetcher_occupancy, &mut s);
+        occ("compressor", &self.compressor_occupancy, &mut s);
+        s
+    }
+}
+
+impl std::fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
 /// Machine-level configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MachineConfig {
@@ -109,6 +172,8 @@ pub struct Machine {
     fetchers: Vec<EngineModel>,
     compressors: Vec<EngineModel>,
     now: u64,
+    /// Set when the watchdog trips; poisons subsequent phases.
+    deadlock: Option<DeadlockReport>,
     /// SimSanitizer trace; `Some` only while a sanitized run is active.
     sanitize: SanitizeSlot,
     /// Violations noted by outer layers (codec checks, drain discipline).
@@ -128,6 +193,7 @@ impl Machine {
                 .map(|i| EngineModel::new(cfg.compressor, i))
                 .collect(),
             now: 0,
+            deadlock: None,
             sanitize: Default::default(),
             #[cfg(feature = "sanitize")]
             external_violations: Vec::new(),
@@ -231,11 +297,20 @@ impl Machine {
     /// Runs one phase: pulls work from `source` per core until everything
     /// is drained, then returns the cycles this phase took.
     ///
-    /// # Panics
-    ///
-    /// Panics with a stall diagnosis if no component makes progress for
-    /// `deadlock_cycles` (a protocol bug in the instrumented application).
+    /// If no component makes progress for `deadlock_cycles` (a protocol
+    /// bug in the instrumented application, or a liveness-corpus seed),
+    /// the phase stops and records a structured [`DeadlockReport`]
+    /// ([`Machine::deadlock`]); the machine is poisoned — later phases
+    /// drain their source without simulating and return 0 cycles.
     pub fn run_phase(&mut self, source: &mut dyn WorkSource) -> u64 {
+        if self.deadlock.is_some() {
+            // Poisoned: consume the source (so callers that feed a fixed
+            // batch list terminate) but simulate nothing further.
+            for i in 0..self.cores.len() {
+                while source.next(i).is_some() {}
+            }
+            return 0;
+        }
         let start = self.now;
         for c in &mut self.cores {
             c.exhausted = false;
@@ -301,9 +376,8 @@ impl Machine {
             if progressed {
                 last_progress = self.now;
             } else if self.now - last_progress > self.cfg.deadlock_cycles {
-                let at = self.now;
-                let report = self.stall_report();
-                panic!("machine deadlock at cycle {at}: {report}");
+                self.deadlock = Some(self.deadlock_report(last_progress));
+                break;
             }
         }
         // A phase ends only once every core and engine is quiescent: a
@@ -325,26 +399,54 @@ impl Machine {
             && self.compressors.iter().all(|c| c.idle())
     }
 
-    fn stall_report(&mut self) -> String {
-        let mut s = String::new();
+    /// The watchdog's structured wait-for report, if this machine wedged.
+    pub fn deadlock(&self) -> Option<&DeadlockReport> {
+        self.deadlock.as_ref()
+    }
+
+    /// Takes the deadlock report out of the machine (for embedding in
+    /// the apps crate's `RunOutcome` before `finish()` consumes the
+    /// machine).
+    pub fn take_deadlock(&mut self) -> Option<DeadlockReport> {
+        self.deadlock.take()
+    }
+
+    fn deadlock_report(&mut self, last_progress: u64) -> DeadlockReport {
+        let mut edges = Vec::new();
+        let mut fetcher_occupancy = Vec::new();
+        let mut compressor_occupancy = Vec::new();
         for i in 0..self.cores.len() {
             if let Some(ev) = self.cores[i].events.front() {
-                s.push_str(&format!("core {i} blocked on {ev:?}; "));
+                edges.push(WaitForEdge {
+                    actor: format!("core {i}"),
+                    waits_on: format!("{ev:?}"),
+                });
             }
             if !self.fetchers[i].idle() {
-                s.push_str(&format!(
-                    "fetcher {i}: {:?}; ",
-                    self.fetchers[i].stall_reason(self.now)
-                ));
+                edges.push(WaitForEdge {
+                    actor: format!("fetcher {i}"),
+                    waits_on: format!("{:?}", self.fetchers[i].stall_reason(self.now)),
+                });
             }
             if !self.compressors[i].idle() {
-                s.push_str(&format!(
-                    "compressor {i}: {:?}; ",
-                    self.compressors[i].stall_reason(self.now)
-                ));
+                edges.push(WaitForEdge {
+                    actor: format!("compressor {i}"),
+                    waits_on: format!("{:?}", self.compressors[i].stall_reason(self.now)),
+                });
             }
+            let occ = |e: &EngineModel| -> Vec<u32> {
+                (0..e.queue_count()).map(|q| e.occupancy(q as u8)).collect()
+            };
+            fetcher_occupancy.push(occ(&self.fetchers[i]));
+            compressor_occupancy.push(occ(&self.compressors[i]));
         }
-        s
+        DeadlockReport {
+            at_cycle: self.now,
+            last_progress,
+            edges,
+            fetcher_occupancy,
+            compressor_occupancy,
+        }
     }
 
     /// Flushes dirty cached data to DRAM and produces the run report.
@@ -782,6 +884,76 @@ mod tests {
             "phase end should record a barrier"
         );
         assert_eq!(report.traffic.read_bytes(DataClass::Frontier), 64 * 64);
+    }
+
+    #[test]
+    fn watchdog_records_structured_report_and_poisons_later_phases() {
+        let mut cfg = tiny_config();
+        cfg.deadlock_cycles = 2_000;
+        let mut m = Machine::new(cfg);
+        // A lint-clean one-operator program whose trace is never appended:
+        // the engine consumes nothing, so the core's enqueues eventually
+        // block forever on a full queue.
+        let mut b = spzip_core::dcl::PipelineBuilder::new();
+        let q0 = b.queue(16);
+        let q1 = b.queue(16);
+        b.operator(
+            spzip_core::dcl::OperatorKind::RangeFetch {
+                base: 0x1000,
+                idx_bytes: 8,
+                elem_bytes: 8,
+                input: spzip_core::dcl::RangeInput::Pairs,
+                marker: None,
+                class: DataClass::AdjacencyMatrix,
+            },
+            q0,
+            vec![q1],
+        );
+        let p = b.build().unwrap();
+        m.load_fetcher_program_for(0, &p);
+        let events: Vec<Event> = (0..200)
+            .map(|_| Event::FetcherEnqueue { q: q0, quarters: 8 })
+            .collect();
+        let mut src = ListSource {
+            batches: vec![
+                VecDeque::from([CoreWork {
+                    events,
+                    ..Default::default()
+                }]),
+                VecDeque::new(),
+            ],
+        };
+        m.run_phase(&mut src);
+        let report = m.deadlock().expect("watchdog must trip").clone();
+        assert!(report.at_cycle > report.last_progress);
+        assert!(
+            report
+                .edges
+                .iter()
+                .any(|e| e.actor == "core 0" && e.waits_on.contains("FetcherEnqueue")),
+            "{report}"
+        );
+        assert!(
+            report.fetcher_occupancy[0][q0 as usize] > 0,
+            "wedged queue must show occupancy: {report}"
+        );
+        assert!(report.render().contains("machine deadlock at cycle"));
+        // Poisoned: a later phase drains its source and simulates nothing.
+        let mut src2 = ListSource {
+            batches: vec![
+                VecDeque::from([CoreWork {
+                    events: vec![Event::Compute(1000)],
+                    ..Default::default()
+                }]),
+                VecDeque::new(),
+            ],
+        };
+        assert_eq!(m.run_phase(&mut src2), 0);
+        assert!(
+            src2.batches[0].is_empty(),
+            "poisoned phase drains its source"
+        );
+        assert!(m.take_deadlock().is_some());
     }
 
     #[test]

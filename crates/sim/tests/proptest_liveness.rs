@@ -1,0 +1,153 @@
+//! Property-based tests for the liveness checker against the machine's
+//! deadlock watchdog: over a randomized family of binning pipelines, the
+//! static verdict and the dynamic outcome must agree in both directions —
+//! liveness-clean pipelines never trip the watchdog, and every finding's
+//! counterexample schedule replays to a wedge.
+
+use proptest::prelude::*;
+use spzip_core::dcl::{MemQueueMode, OperatorKind, Pipeline, PipelineBuilder};
+use spzip_core::func::FuncEngine;
+use spzip_core::liveness::{self, CoreStep, LivenessConfig};
+use spzip_core::memory::MemoryImage;
+use spzip_mem::DataClass;
+use spzip_sim::{CoreWork, DeadlockReport, Event, Machine, MachineConfig};
+
+/// The randomized family: core pairs -> buffer MemQueue -> core output.
+/// Chunk size and output capacity decide whether the chunk backlog fits;
+/// the declared total always fills the 128-word scratchpad so the
+/// checker's capacity model matches the engine's exactly.
+fn binning_pipeline(chunk_elems: u32, out_words: u16) -> (Pipeline, MemoryImage) {
+    let mut img = MemoryImage::new();
+    let stride = 4096;
+    let data_base = img.alloc("mqu-bins", stride, DataClass::Updates);
+    let meta_addr = img.alloc("mqu-meta", 64, DataClass::Updates);
+    let mut b = PipelineBuilder::new();
+    let q0 = b.queue(16);
+    let q1 = b.queue(out_words);
+    let _pad = b.queue(128 - 16 - out_words);
+    b.operator(
+        OperatorKind::MemQueue {
+            num_queues: 1,
+            data_base,
+            stride,
+            meta_addr,
+            chunk_elems,
+            elem_bytes: 8,
+            mode: MemQueueMode::Buffer,
+            class: DataClass::Updates,
+        },
+        q0,
+        vec![q1],
+    );
+    (b.build().expect("lint-clean by construction"), img)
+}
+
+/// Replays a core drive program through the functional engine and the
+/// machine; returns the watchdog report if the machine wedged.
+fn replay(p: &Pipeline, img: &mut MemoryImage, program: &[CoreStep]) -> Option<DeadlockReport> {
+    let mut func = FuncEngine::new(p.clone());
+    let mut pair_count = 0u64;
+    let mut events = Vec::new();
+    for step in program {
+        match *step {
+            CoreStep::Enqueue {
+                q,
+                quarters,
+                marker,
+            } => {
+                let cost = if marker {
+                    func.enqueue_marker(q, 0)
+                } else {
+                    // (bin, payload) alternation for the single-bin MQU.
+                    let v = if pair_count.is_multiple_of(2) {
+                        0
+                    } else {
+                        pair_count
+                    };
+                    pair_count += 1;
+                    func.enqueue_value(q, v, quarters as u8)
+                };
+                events.push(Event::FetcherEnqueue { q, quarters: cost });
+            }
+            CoreStep::Absorb { q } => {
+                func.run(img);
+                for (_, cost) in func.drain_output_costed(q) {
+                    events.push(Event::FetcherDequeue {
+                        q,
+                        quarters: cost as u16,
+                    });
+                }
+            }
+        }
+    }
+    func.run(img);
+    let trace = func.take_firings();
+    let mut cfg = MachineConfig::paper_scaled();
+    cfg.mem.cores = 2;
+    cfg.deadlock_cycles = 30_000;
+    let mut m = Machine::new(cfg);
+    m.load_fetcher_program_for(0, p);
+    let mut work = Some(CoreWork {
+        events,
+        fetcher_trace: Some(trace),
+        compressor_trace: None,
+    });
+    let mut source = move |core: usize| if core == 0 { work.take() } else { None };
+    m.run_phase(&mut source);
+    m.take_deadlock()
+}
+
+/// Checks one family member both ways and asserts agreement.
+fn check_agreement(chunk_elems: u32, out_words: u16) {
+    let (p, mut img) = binning_pipeline(chunk_elems, out_words);
+    let report = liveness::verify(&p);
+    match report.findings.first() {
+        None => {
+            let program = liveness::drive_program(&p, &LivenessConfig::default());
+            let wedge = replay(&p, &mut img, &program);
+            prop_assert!(
+                wedge.is_none(),
+                "liveness-clean (chunk {chunk_elems}, out {out_words}w) but the watchdog \
+                 tripped: {wedge:?}"
+            );
+        }
+        Some(f) => {
+            let wedge = replay(&p, &mut img, &f.counterexample.core_program);
+            prop_assert!(
+                wedge.is_some(),
+                "{} reported (chunk {chunk_elems}, out {out_words}w) but its counterexample \
+                 replayed cleanly",
+                f.diagnostic.code
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Static and dynamic verdicts agree across the whole family.
+    #[test]
+    fn liveness_verdicts_match_the_watchdog(
+        chunk_elems in 2u32..=8,
+        out_words in 16u16..=56,
+    ) {
+        check_agreement(chunk_elems, out_words);
+    }
+}
+
+/// Both directions of the property are reachable: a known-wedging member
+/// (the corpus's mqu-backlog shape) and a known-clean one.
+#[test]
+fn family_spans_both_verdicts() {
+    let (dirty, _) = binning_pipeline(4, 16);
+    assert!(
+        !liveness::verify(&dirty).is_clean(),
+        "chunk 4 into a 16-word queue must backlog"
+    );
+    let (clean, _) = binning_pipeline(4, 40);
+    assert!(
+        liveness::verify(&clean).is_clean(),
+        "chunk 4 into a 40-word queue must drain"
+    );
+}
