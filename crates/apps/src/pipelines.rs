@@ -765,18 +765,23 @@ pub fn all_builtin_checked() -> Vec<(String, Pipeline, MemorySchema)> {
 
 /// Opt-in auto-codec builder mode: runs the static selection pass
 /// ([`spzip_core::suggest`]) over one checked pipeline and applies its
-/// rewiring plan. The plan only ever contains swaps the selection pass
-/// already validated (re-lint clean, shape-verifier clean against the
-/// matching re-framed schema), and the result is verified again here —
-/// every auto pipeline is E/B-clean by construction.
+/// rewiring plan through the *certified* path
+/// ([`spzip_core::suggest::apply_plan_certified`]): the rewired pipeline
+/// and its re-framed schema must be proven observationally equivalent to
+/// the original by the [`spzip_core::equiv`] translation validator. A
+/// plan that fails certification is never applied — it is demoted to an
+/// `A003` suppression citing the refuting `V0xx` code, and the original
+/// pipeline is returned unchanged. Certified results are additionally
+/// re-verified by the shape pass, so every auto pipeline is E/B/V-clean
+/// by construction.
 ///
 /// Returns the (possibly rewired) pipeline, its matching schema, and the
 /// selection report (advisories + plan) for callers that surface it.
 ///
 /// # Panics
 ///
-/// Panics if the selection pass produced a plan its own validator would
-/// reject — a [`spzip_core::suggest`] bug, not an input condition.
+/// Panics if a certified rewiring fails the shape verifier — a
+/// [`spzip_core::suggest`] bug, not an input condition.
 pub fn auto_codecs(
     pipeline: &Pipeline,
     schema: &MemorySchema,
@@ -785,20 +790,26 @@ pub fn auto_codecs(
     use spzip_core::{shape, suggest};
     let mut input = suggest::SuggestInput::with_schema(pipeline, schema);
     input.params = params.clone();
-    let report = suggest::suggest(&input);
+    let mut report = suggest::suggest(&input);
     if report.plan.is_empty() {
         return (pipeline.clone(), schema.clone(), report);
     }
-    let auto =
-        suggest::apply_plan(pipeline, &report.plan).expect("suggest plans validated rewirings");
-    let auto_schema = suggest::rewired_schema(schema, pipeline, &report.plan);
-    let verdict = shape::verify(&auto, &auto_schema);
-    assert!(
-        verdict.is_clean(),
-        "auto pipeline must be B-clean by construction: {:?}",
-        verdict.diagnostics
-    );
-    (auto, auto_schema, report)
+    match suggest::apply_plan_certified(pipeline, Some(schema), &report.plan) {
+        Ok((auto, auto_schema)) => {
+            let auto_schema = auto_schema.expect("a schema in yields a schema out");
+            let verdict = shape::verify(&auto, &auto_schema);
+            assert!(
+                verdict.is_clean(),
+                "auto pipeline must be B-clean by construction: {:?}",
+                verdict.diagnostics
+            );
+            (auto, auto_schema, report)
+        }
+        Err(rejection) => {
+            suggest::demote_uncertified(&mut report, &rejection);
+            (pipeline.clone(), schema.clone(), report)
+        }
+    }
 }
 
 /// [`all_builtin_checked`] through the [`auto_codecs`] builder mode:
@@ -996,5 +1007,103 @@ mod tests {
         // least one builtin gets a rewiring plan — the mode is not
         // vacuously identity.
         assert!(planned > 0, "no builtin ever received a plan");
+    }
+
+    #[test]
+    fn every_auto_builtin_certifies_against_its_original() {
+        // The V-clean-by-construction claim, re-checked from the outside:
+        // each auto pipeline must validate as equivalent to the builtin it
+        // was rewired from under both schemas.
+        let params = spzip_core::perf::PerfParams::default();
+        for (name, p, schema) in all_builtin_checked() {
+            let (auto, auto_schema, _) = auto_codecs(&p, &schema, &params);
+            let report = spzip_core::equiv::validate(&spzip_core::equiv::EquivInput::with_schemas(
+                &p,
+                &auto,
+                &schema,
+                &auto_schema,
+            ));
+            assert!(
+                report.is_clean(),
+                "{name} (auto) fails translation validation:\n{}",
+                spzip_core::lint::render(&report.diagnostics())
+            );
+        }
+    }
+
+    #[test]
+    fn auto_codecs_cannot_apply_an_uncertified_plan() {
+        use spzip_compress::CodecKind;
+        use spzip_core::dcl::{OperatorKind, PipelineBuilder};
+        use spzip_core::shape::{InputDomain, MemorySchema, RegionSchema};
+        use spzip_core::suggest::{apply_plan_certified, PlanEntry};
+
+        // An internal compress/decompress roundtrip: a plan swapping only
+        // the compress side breaks the pair, so certification must refuse
+        // it — there is no path by which the rewiring gets applied.
+        let mut b = PipelineBuilder::new();
+        let q0 = b.queue(32);
+        let q1 = b.queue(32);
+        let q2 = b.queue(32);
+        b.operator(
+            OperatorKind::Compress {
+                codec: CodecKind::Delta,
+                elem_bytes: 8,
+                sort_chunks: false,
+            },
+            q0,
+            vec![q1],
+        );
+        b.operator(
+            OperatorKind::Decompress {
+                codec: CodecKind::Delta,
+                elem_bytes: 8,
+            },
+            q1,
+            vec![q2],
+        );
+        let p = b.build().unwrap();
+        let mut schema = MemorySchema::new();
+        schema.add_region(RegionSchema::raw("scratch", 0x1000, 0x1000, 8));
+        schema.declare_input(
+            q0,
+            InputDomain::Values {
+                elem_bytes: 8,
+                max: None,
+            },
+        );
+
+        let forged = vec![PlanEntry {
+            op: 0,
+            queue: q0,
+            current: "delta".to_string(),
+            suggested: "rle".to_string(),
+            gain: 0.5,
+        }];
+        let rejection = apply_plan_certified(&p, Some(&schema), &forged)
+            .expect_err("a one-sided pair swap must not certify");
+        assert!(
+            rejection.iter().any(|d| d.code.as_str() == "V002"),
+            "expected V002, got {rejection:?}"
+        );
+
+        // The builder mode demotes the same failure instead of applying:
+        // forge it through a report to exercise the demotion path.
+        let mut report = spzip_core::suggest::SuggestReport {
+            diagnostics: vec![],
+            plan: forged,
+            transforms: 1,
+            baseline_metric: 10.0,
+            auto_metric: 5.0,
+        };
+        spzip_core::suggest::demote_uncertified(&mut report, &rejection);
+        assert!(report.plan.is_empty());
+        assert_eq!(report.auto_metric, report.baseline_metric);
+        let a003 = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code.as_str() == "A003")
+            .expect("demotion surfaces as an A003 suppression");
+        assert!(a003.message.contains("V002"), "{}", a003.message);
     }
 }

@@ -114,17 +114,19 @@ impl RunSpec {
     /// every field, so any parameter change (including the silent kind —
     /// a new knob, a retuned constant) changes the fingerprint and
     /// invalidates stale cached results. The codec, DCL-linter,
-    /// liveness-checker, performance-model, shape-verifier, and
-    /// sanitizer-trace versions
+    /// translation-validator, liveness-checker, performance-model,
+    /// shape-verifier, and sanitizer-trace versions
     /// are folded in for the same reason: a codec bitstream change, a
-    /// lint- or shape-driven pipeline change, a retuned analytical model,
+    /// lint-, equiv-, or shape-driven pipeline change, a retuned
+    /// analytical model,
     /// or a reworked trace format/analysis alters simulated behaviour or
     /// its cross-checked interpretation without touching any spec field.
     pub fn fingerprint(&self) -> String {
         format!(
-            "v1;codec={};lint={};liveness={};perf={};shape={};sanitize_trace={};app={};input={};prep={:?};scale={:?};scheme={:?};machine={:?}",
+            "v1;codec={};lint={};equiv={};liveness={};perf={};shape={};sanitize_trace={};app={};input={};prep={:?};scale={:?};scheme={:?};machine={:?}",
             spzip_compress::CODEC_VERSION,
             spzip_core::lint::LINT_VERSION,
+            spzip_core::equiv::EQUIV_VERSION,
             spzip_core::liveness::LIVENESS_VERSION,
             spzip_core::perf::PERF_VERSION,
             spzip_core::shape::SHAPE_VERSION,
@@ -368,6 +370,7 @@ mod tests {
         for component in [
             format!("codec={}", spzip_compress::CODEC_VERSION),
             format!("lint={}", spzip_core::lint::LINT_VERSION),
+            format!("equiv={}", spzip_core::equiv::EQUIV_VERSION),
             format!("liveness={}", spzip_core::liveness::LIVENESS_VERSION),
             format!("perf={}", spzip_core::perf::PERF_VERSION),
             format!("shape={}", spzip_core::shape::SHAPE_VERSION),

@@ -26,13 +26,23 @@
 //! * `--liveness-corpus` — `dcl-lint`: run the seeded cross-queue
 //!   deadlock differential gate (static D-code vs. dynamic machine
 //!   watchdog confirmation via counterexample replay).
+//! * `--equiv` — `dcl-lint`: certify every builtin pipeline against its
+//!   auto-codec rewiring with the translation validator
+//!   ([`spzip_core::equiv`]), plus every codec's kernel-vs-reference
+//!   binding (cross-roundtrip bit-identity).
+//! * `--equiv-corpus` — `dcl-lint`: run the seeded semantics-breaking
+//!   rewrite differential gate (static V-code vs. divergent
+//!   functional-engine output confirmation).
 //! * `--explain CODE` — `dcl-lint`: print the registry entry (summary,
 //!   why it matters, how to fix) for any diagnostic code
-//!   (`E`/`W`/`B`/`P`/`A`/`S`/`D`).
+//!   (`E`/`W`/`B`/`P`/`A`/`S`/`D`/`V`).
 //! * `--deny-warnings` — `dcl-lint`/`dcl-perf`: exit non-zero on
 //!   warnings too.
-//! * `--format text|json` — `dcl-lint`/`dcl-perf`: report format
-//!   (default text; both tools share the JSON diagnostic shape).
+//! * `--format text|json|sarif` — `dcl-lint`/`dcl-perf`: report format
+//!   (default text; both tools share the JSON diagnostic shape, and
+//!   `sarif` renders the same records as a SARIF 2.1.0 log for CI
+//!   annotation; gate modes without per-diagnostic records fall back to
+//!   text).
 //! * `--crosscheck` — `dcl-perf`: run the model-vs-simulator traffic
 //!   gate over the built-in cell matrix.
 //! * `--perturb-ratio X` — `dcl-perf --crosscheck`/`--auto-gate`: scale
@@ -68,6 +78,11 @@ pub enum OutputFormat {
     /// Machine-readable JSON; `dcl-lint` and `dcl-perf` share the
     /// diagnostic element shape ([`spzip_core::lint::render_json`]).
     Json,
+    /// SARIF 2.1.0 ([`sarif_report`]): the same diagnostic records as
+    /// [`Json`](Self::Json), rendered as a static-analysis log CI can
+    /// annotate onto PRs. Modes without per-diagnostic records (the
+    /// corpus and crosscheck gates) fall back to text.
+    Sarif,
 }
 
 /// Parsed common flags.
@@ -108,6 +123,12 @@ pub struct CommonArgs {
     /// Run the seeded-deadlock differential gate (`--liveness-corpus`,
     /// `dcl-lint`).
     pub liveness_corpus: bool,
+    /// Certify builtin auto-rewirings and codec bindings with the
+    /// translation validator (`--equiv`, `dcl-lint`).
+    pub equiv: bool,
+    /// Run the seeded semantics-breaking rewrite differential gate
+    /// (`--equiv-corpus`, `dcl-lint`).
+    pub equiv_corpus: bool,
     /// Explain a diagnostic code (`--explain CODE`, `dcl-lint`).
     pub explain: Option<String>,
     /// Treat lint warnings as fatal (`--deny-warnings`, `dcl-lint`).
@@ -156,6 +177,8 @@ pub fn parse_from(args: &[String]) -> CommonArgs {
         shape_corpus: false,
         no_liveness: false,
         liveness_corpus: false,
+        equiv: false,
+        equiv_corpus: false,
         explain: None,
         deny_warnings: false,
         format: OutputFormat::Text,
@@ -251,6 +274,14 @@ pub fn parse_from(args: &[String]) -> CommonArgs {
                 parsed.liveness_corpus = true;
                 consumed[i] = true;
             }
+            "--equiv" => {
+                parsed.equiv = true;
+                consumed[i] = true;
+            }
+            "--equiv-corpus" => {
+                parsed.equiv_corpus = true;
+                consumed[i] = true;
+            }
             "--explain" => {
                 parsed.explain = value(i).map(|s| s.to_string());
                 consumed[i] = true;
@@ -280,8 +311,10 @@ pub fn parse_from(args: &[String]) -> CommonArgs {
                 }
             }
             "--format" => {
-                if value(i) == Some("json") {
-                    parsed.format = OutputFormat::Json;
+                match value(i) {
+                    Some("json") => parsed.format = OutputFormat::Json,
+                    Some("sarif") => parsed.format = OutputFormat::Sarif,
+                    _ => {}
                 }
                 consumed[i] = true;
                 if i + 1 < consumed.len() {
@@ -399,6 +432,86 @@ pub fn json_envelope(
     out
 }
 
+/// Renders the shared `--format sarif` log: the same per-pipeline
+/// diagnostic records `dcl-lint` and `dcl-perf` emit as JSON, as a SARIF
+/// 2.1.0 run CI can annotate onto PRs. Each distinct code becomes a rule
+/// (id + registry summary), each diagnostic a result whose artifact URI
+/// is the pipeline (or file) name and whose region is the source line
+/// when one is known; unreadable inputs become `io-error` results.
+/// Output is deterministic: rules sort by code, results follow
+/// [`spzip_core::lint::sorted_for_render`] within each pipeline.
+pub fn sarif_report(
+    tool: &str,
+    results: &[(String, Vec<spzip_core::lint::Diagnostic>)],
+    failures: &[(String, String)],
+) -> String {
+    use spzip_core::lint::{json_escape, sorted_for_render, Severity};
+    use std::collections::BTreeMap;
+    use std::fmt::Write as _;
+
+    let mut rules: BTreeMap<&'static str, &'static str> = BTreeMap::new();
+    for (_, diags) in results {
+        for d in diags {
+            rules.insert(d.code.as_str(), d.code.summary());
+        }
+    }
+    if !failures.is_empty() {
+        rules.insert("io-error", "input could not be read or parsed");
+    }
+
+    let mut out = String::from(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{",
+    );
+    let _ = write!(out, "\"name\":\"{}\",\"rules\":[", json_escape(tool));
+    for (i, (id, summary)) in rules.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n{{\"id\":\"{id}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+            json_escape(summary)
+        );
+    }
+    out.push_str("]}},\"results\":[");
+    let mut first = true;
+    let mut push_result =
+        |out: &mut String, rule: &str, level: &str, text: &str, uri: &str, line: Option<u32>| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n{{\"ruleId\":\"{rule}\",\"level\":\"{level}\",\
+                 \"message\":{{\"text\":\"{}\"}},\"locations\":[{{\"physicalLocation\":\
+                 {{\"artifactLocation\":{{\"uri\":\"{}\"}},\"region\":{{\"startLine\":{}}}}}}}]}}",
+                json_escape(text),
+                json_escape(uri),
+                line.unwrap_or(1)
+            );
+        };
+    for (name, diags) in results {
+        for d in sorted_for_render(diags) {
+            let level = match d.severity() {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            };
+            let text = match &d.hint {
+                Some(h) => format!("{} ({}) — help: {h}", d.message, d.site),
+                None => format!("{} ({})", d.message, d.site),
+            };
+            push_result(&mut out, d.code.as_str(), level, &text, name, d.line);
+        }
+    }
+    for (name, err) in failures {
+        push_result(&mut out, "io-error", "error", err, name, None);
+    }
+    out.push_str("]}]}\n");
+    out
+}
+
 /// Renders a trajectory gate run (`codec-bench --check`,
 /// `sanitize-bench --check`) in the shared `--format json` envelope: one
 /// `pipelines` entry named after the gate, carrying the per-cell
@@ -481,6 +594,18 @@ mod tests {
         assert_eq!(b.format, OutputFormat::Text);
         assert_eq!(b.perturb_ratio, None);
         assert!(!b.crosscheck);
+        let c = parse_from(&argv("--format sarif"));
+        assert_eq!(c.format, OutputFormat::Sarif);
+    }
+
+    #[test]
+    fn parses_equiv_flags() {
+        let a = parse_from(&argv("--equiv --equiv-corpus"));
+        assert!(a.equiv);
+        assert!(a.equiv_corpus);
+        let b = parse_from(&[]);
+        assert!(!b.equiv);
+        assert!(!b.equiv_corpus);
     }
 
     #[test]

@@ -279,7 +279,8 @@ pub fn run_gate(perturb_ratio: Option<f64>, format: OutputFormat) -> i32 {
     let report = evaluate(&measured, &g, &m, scale);
     match format {
         OutputFormat::Json => print!("{}", report.render_json()),
-        OutputFormat::Text => print!("{}", report.render()),
+        // Gate cells carry no per-diagnostic records; SARIF falls back to text.
+        OutputFormat::Text | OutputFormat::Sarif => print!("{}", report.render()),
     }
     if report.failures() > 0 {
         1
@@ -519,7 +520,8 @@ pub fn run_auto_gate(perturb_ratio: Option<f64>, format: OutputFormat) -> i32 {
     }
     match format {
         OutputFormat::Json => print!("{}", render_auto_json(&cells)),
-        OutputFormat::Text => print!("{}", render_auto(&cells)),
+        // Gate cells carry no per-diagnostic records; SARIF falls back to text.
+        OutputFormat::Text | OutputFormat::Sarif => print!("{}", render_auto(&cells)),
     }
     if cells.iter().all(AutoCell::passes) {
         0

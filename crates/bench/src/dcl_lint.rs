@@ -31,6 +31,12 @@
 //! seed must be caught statically with the expected D-code AND its
 //! counterexample must replay to the timing machine's watchdog
 //! [`DeadlockReport`](spzip_sim::machine::DeadlockReport).
+//! `--equiv-corpus` runs the seeded semantics-breaking rewrite gate in
+//! [`crate::equiv_corpus`]: each seed must be refuted statically with the
+//! expected V-code AND produce divergent output under the functional
+//! engine. `--equiv` certifies every builtin against its auto-codec
+//! rewiring with the [`spzip_core::equiv`] translation validator and
+//! cross-checks every codec's kernel-vs-reference binding.
 //! `--explain CODE` prints the [`crate::explain`] registry entry for any
 //! diagnostic code.
 //!
@@ -224,6 +230,94 @@ pub fn lint_builtins(dot: bool, no_shape: bool, no_liveness: bool, report: &mut 
     }
 }
 
+/// `--equiv` over the builtins: runs the auto-codec selection on every
+/// built-in pipeline and certifies the rewiring with the
+/// [`spzip_core::equiv`] translation validator — original vs rewritten,
+/// each against its own schema. Planless builtins certify as identity
+/// rewrites; any `V0xx` finding is folded into the report like a lint
+/// error.
+pub fn equiv_builtins(report: &mut LintReport) {
+    let params = spzip_core::perf::PerfParams::default();
+    for (name, p, schema) in spzip_apps::pipelines::all_builtin_checked() {
+        let (auto, auto_schema, suggest) = spzip_apps::pipelines::auto_codecs(&p, &schema, &params);
+        let verdict = spzip_core::equiv::validate(&spzip_core::equiv::EquivInput::with_schemas(
+            &p,
+            &auto,
+            &schema,
+            &auto_schema,
+        ));
+        let label = if suggest.plan.is_empty() {
+            format!("{name} (auto: identity)")
+        } else {
+            format!("{name} (auto: {} swap(s))", suggest.plan.len())
+        };
+        report.absorb(&label, verdict.diagnostics());
+    }
+}
+
+/// `--equiv` codec-binding arm: certifies the roundtrip premise the
+/// validator's algebra rests on — for every codec, the optimized kernel
+/// and the scalar reference implementation must be wire-compatible
+/// inverses of each other (kernel-compressed frames decode through the
+/// reference and vice versa, byte-identical values). A mismatch means
+/// "compress then decompress cancels" is unsound for that codec, so it
+/// is reported as a failure, not a diagnostic.
+pub fn codec_bindings(report: &mut LintReport) {
+    use spzip_compress::{reference::ReferenceCodec, CodecKind};
+    // A stream with runs, deltas, and full-width values, so every codec's
+    // encoder paths are exercised.
+    let sample: Vec<u64> = (0..256u64)
+        .map(|i| match i % 4 {
+            0 => i / 7,
+            1 => i * 3,
+            2 => 0xffff_ff00 + i,
+            _ => i,
+        })
+        .collect();
+    for kind in CodecKind::all() {
+        let kernel = kind.build();
+        let reference = ReferenceCodec::new(kind);
+        let name = format!("codec binding {kind}");
+        let sample = match kind.natural_elem_bytes() {
+            Some(4) => sample.iter().map(|v| v & 0xffff_ffff).collect(),
+            _ => sample.clone(),
+        };
+        let kernel_ref: &dyn spzip_compress::Codec = &*kernel;
+        let reference_ref: &dyn spzip_compress::Codec = &reference;
+        let check = || -> Result<(), String> {
+            for (enc, dec, dir) in [
+                (kernel_ref, reference_ref, "kernel->reference"),
+                (reference_ref, kernel_ref, "reference->kernel"),
+            ] {
+                let mut bytes = Vec::new();
+                enc.compress(&sample, &mut bytes);
+                let mut back = Vec::new();
+                dec.decompress(&bytes, &mut back)
+                    .map_err(|e| format!("{dir}: frame rejected: {e:?}"))?;
+                if back != sample {
+                    return Err(format!(
+                        "{dir}: roundtrip diverges at element {}",
+                        back.iter()
+                            .zip(&sample)
+                            .position(|(a, b)| a != b)
+                            .unwrap_or(sample.len().min(back.len()))
+                    ));
+                }
+            }
+            Ok(())
+        };
+        match check() {
+            Ok(()) => report.absorb(&name, vec![]),
+            Err(e) => {
+                report.checked += 1;
+                report.errors += 1;
+                let _ = writeln!(report.output, "{name}: {e}");
+                report.failures.push((name, e));
+            }
+        }
+    }
+}
+
 /// Runs the tool over parsed arguments; returns the process exit code
 /// (0 iff no errors).
 pub fn run(args: &CommonArgs) -> i32 {
@@ -236,7 +330,14 @@ pub fn run(args: &CommonArgs) -> i32 {
     if args.liveness_corpus {
         return crate::liveness_corpus::run_gate(args.format, args.perturb_ratio);
     }
+    if args.equiv_corpus {
+        return crate::equiv_corpus::run_gate(args.format, args.perturb_ratio);
+    }
     let mut report = LintReport::default();
+    if args.equiv {
+        equiv_builtins(&mut report);
+        codec_bindings(&mut report);
+    }
     for path in &args.paths {
         match std::fs::read_to_string(path) {
             Ok(text) => lint_text(
@@ -262,13 +363,17 @@ pub fn run(args: &CommonArgs) -> i32 {
     if report.checked == 0 {
         println!(
             "usage: dcl-lint [--all-builtin] [--no-shape] [--no-liveness] [--shape-corpus] \
-             [--liveness-corpus] [--explain CODE] [--dot] [--deny-warnings] \
-             [--format text|json] [file.dcl ...]"
+             [--liveness-corpus] [--equiv] [--equiv-corpus] [--explain CODE] [--dot] \
+             [--deny-warnings] [--format text|json|sarif] [file.dcl ...]"
         );
         return 2;
     }
     match args.format {
         crate::cli::OutputFormat::Json => print!("{}", render_json_report(&report)),
+        crate::cli::OutputFormat::Sarif => print!(
+            "{}",
+            crate::cli::sarif_report("dcl-lint", &report.results, &report.failures)
+        ),
         crate::cli::OutputFormat::Text => {
             let _ = writeln!(
                 report.output,

@@ -332,12 +332,23 @@ pub fn run_suggest(args: &CommonArgs) -> i32 {
     if report.checked == 0 {
         println!(
             "usage: dcl-perf --suggest [--all-builtin] [--rates FILE] \
-             [--format text|json] [file.dcl ...]"
+             [--format text|json|sarif] [file.dcl ...]"
         );
         return 2;
     }
     match args.format {
         OutputFormat::Json => print!("{}", render_suggest_json(&report)),
+        OutputFormat::Sarif => {
+            let results: Vec<(String, Vec<lint::Diagnostic>)> = report
+                .results
+                .iter()
+                .map(|(name, r)| (name.clone(), r.diagnostics.clone()))
+                .collect();
+            print!(
+                "{}",
+                crate::cli::sarif_report("dcl-perf", &results, &report.failures)
+            );
+        }
         OutputFormat::Text => {
             let trailer = format!(
                 "checked {} pipeline(s): {} advisory(ies), {} plan(s), {} suppressed",
@@ -381,7 +392,7 @@ pub fn run(args: &CommonArgs) -> i32 {
     }
     if report.checked == 0 {
         println!(
-            "usage: dcl-perf [--all-builtin] [--deny-warnings] [--format text|json] \
+            "usage: dcl-perf [--all-builtin] [--deny-warnings] [--format text|json|sarif] \
              [--crosscheck | --auto-gate [--perturb-ratio X]] \
              [--suggest [--rates FILE]] [file.dcl ...]"
         );
@@ -389,6 +400,17 @@ pub fn run(args: &CommonArgs) -> i32 {
     }
     match args.format {
         OutputFormat::Json => print!("{}", render_json_report(&report)),
+        OutputFormat::Sarif => {
+            let results: Vec<(String, Vec<lint::Diagnostic>)> = report
+                .results
+                .iter()
+                .map(|(name, r)| (name.clone(), r.diagnostics.clone()))
+                .collect();
+            print!(
+                "{}",
+                crate::cli::sarif_report("dcl-perf", &results, &report.failures)
+            );
+        }
         OutputFormat::Text => {
             let _ = writeln!(
                 report.output,

@@ -2,10 +2,11 @@
 //! why it matters, how to fix — for every stable diagnostic code the
 //! toolchain can emit.
 //!
-//! One lookup spans all seven families: `E`/`W` (the structural linter),
+//! One lookup spans all eight families: `E`/`W` (the structural linter),
 //! `B` (the shape-and-bounds verifier), `P` (the performance analyzer),
-//! `A` (codec-selection advisories), `D` (the liveness model checker) —
-//! all from [`spzip_core::lint::Code`] — plus `S` (the simulator
+//! `A` (codec-selection advisories), `D` (the liveness model checker),
+//! `V` (the translation validator) — all from
+//! [`spzip_core::lint::Code`] — plus `S` (the simulator
 //! sanitizer, [`spzip_sim::sanitize::Code`]). The one-line summaries come
 //! from the owning registries, so `--explain` can never drift from the
 //! rendered diagnostics; this module adds the *why* and *fix* prose.
@@ -247,6 +248,44 @@ fn lint_why_fix(c: lint::Code) -> (&'static str, &'static str) {
              model-level capacity overrides",
             "raise the first core-input queue's capacity above one input item",
         ),
+        V001 => (
+            "the translation validator's symbolic chains for this sink disagree after the \
+             rewrite in a way no certified codec roundtrip explains: the pipeline computes \
+             a different value stream",
+            "compare the two witness chains in the message; restore the dropped or altered \
+             stage, or re-certify the codec roundtrip that no longer cancels",
+        ),
+        V002 => (
+            "a decode must be the formal inverse of the encode (or declared framing) that \
+             produced its bytes; pairing different codecs decodes garbage — the exact \
+             wrong-answer failure transparent compression must exclude",
+            "swap both sides of an internal compress/decompress pair together, or re-encode \
+             the stored region so its framing matches the transform",
+        ),
+        V003 => (
+            "the rewritten sink consumes a different core-input stream (or a stream is \
+             dropped or duplicated), so the sink observes values from the wrong source",
+            "reconnect the operator to the queue it consumed before the rewrite; rewrites \
+             may change transforms, never the stream wiring",
+        ),
+        V004 => (
+            "the chains match shape-for-shape but an element width changed, so the sink \
+             reinterprets the same bytes at a different granularity",
+            "keep element widths fixed across the rewrite, or change producer and consumer \
+             widths together",
+        ),
+        V005 => (
+            "the same fetch/transform atoms appear in a different order; indirections are \
+             uninterpreted functions and A[B[i]] is not B[A[i]]",
+            "restore the original operator order — reordering is only sound for stages the \
+             validator can prove commute, which indirection chains never do",
+        ),
+        V006 => (
+            "an observable sink (memory writer or terminal queue) exists on one side only, \
+             so the rewrite silently drops or invents output",
+            "preserve the full sink set: every memory-writing operator and core-dequeued \
+             queue of the original must survive the rewrite",
+        ),
     }
 }
 
@@ -308,7 +347,7 @@ pub fn run(code: &str) -> i32 {
         None => {
             eprintln!(
                 "unknown diagnostic code `{code}` (known families: E/W lint, B shape, \
-                 P perf, A suggest, D liveness, S sanitizer)"
+                 P perf, A suggest, D liveness, V equiv, S sanitizer)"
             );
             2
         }

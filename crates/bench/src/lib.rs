@@ -22,8 +22,10 @@
 //! model-vs-simulator gate, [`shape_corpus`] is `dcl-lint`'s
 //! seeded-miswiring differential gate, [`liveness_corpus`] is its
 //! seeded cross-queue deadlock differential gate (static D-code vs.
-//! counterexample replay to the machine watchdog), and [`explain`] is
-//! the `--explain CODE` registry spanning every diagnostic family.
+//! counterexample replay to the machine watchdog), [`equiv_corpus`] is
+//! the translation validator's seeded-rewrite differential gate (static
+//! V-code vs. divergence under the functional engine), and [`explain`]
+//! is the `--explain CODE` registry spanning every diagnostic family.
 
 pub mod cli;
 pub mod codec_bench;
@@ -31,6 +33,7 @@ pub mod crosscheck;
 pub mod dcl_lint;
 pub mod dcl_perf;
 pub mod driver;
+pub mod equiv_corpus;
 pub mod explain;
 pub mod figures;
 pub mod liveness_corpus;

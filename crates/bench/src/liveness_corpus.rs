@@ -659,7 +659,8 @@ pub fn run_gate(format: OutputFormat, perturb: Option<f64>) -> i32 {
     let rows = run_corpus_with(&drive_config(perturb));
     match format {
         OutputFormat::Json => print!("{}", render_json(&rows)),
-        OutputFormat::Text => print!("{}", render_text(&rows)),
+        // Gate rows carry no per-diagnostic records; SARIF falls back to text.
+        OutputFormat::Text | OutputFormat::Sarif => print!("{}", render_text(&rows)),
     }
     i32::from(rows.iter().any(|r| !r.passes()))
 }

@@ -884,7 +884,8 @@ pub fn run_gate(format: OutputFormat) -> i32 {
     let rows = run_corpus();
     match format {
         OutputFormat::Json => print!("{}", render_json(&rows)),
-        OutputFormat::Text => print!("{}", render_text(&rows)),
+        // Gate rows carry no per-diagnostic records; SARIF falls back to text.
+        OutputFormat::Text | OutputFormat::Sarif => print!("{}", render_text(&rows)),
     }
     i32::from(rows.iter().any(|r| !r.passes()))
 }

@@ -1,0 +1,151 @@
+//! Golden-file test for the shared SARIF renderer: known diagnostics
+//! from the lint (`E`/`W`), shape (`B`), and translation-validator (`V`)
+//! families must render to a byte-stable SARIF 2.1.0 log.
+//!
+//! Regenerate the golden after an intentional renderer change with
+//! `BLESS=1 cargo test -p spzip-bench --test sarif_golden`.
+
+use spzip_bench::cli::sarif_report;
+use spzip_compress::CodecKind;
+use spzip_core::dcl::{OperatorKind, Pipeline, PipelineBuilder, RangeInput};
+use spzip_core::equiv::{self, EquivInput};
+use spzip_core::lint::Diagnostic;
+use spzip_core::shape::{self, InputDomain, MemorySchema, RegionSchema};
+use spzip_core::QueueId;
+use spzip_mem::DataClass;
+
+/// A queue consumed twice plus a compressor that drops its result: a
+/// deterministic `E`-error / `W`-warning mix straight from the linter.
+fn lint_diagnostics() -> Vec<Diagnostic> {
+    let mut b = PipelineBuilder::new();
+    let in_q = b.queue(8);
+    let out_q = b.queue(8);
+    b.operator(
+        OperatorKind::Decompress {
+            codec: CodecKind::Delta,
+            elem_bytes: 4,
+        },
+        in_q,
+        vec![out_q],
+    );
+    b.operator(
+        OperatorKind::Compress {
+            codec: CodecKind::Delta,
+            elem_bytes: 4,
+            sort_chunks: false,
+        },
+        in_q,
+        vec![],
+    );
+    b.lint()
+}
+
+/// The `B004` template: a byte fetch from a Delta-framed region feeding
+/// an RLE decompressor.
+fn shape_diagnostics() -> Vec<Diagnostic> {
+    let mut b = PipelineBuilder::new();
+    let in_q = b.queue(8);
+    let bytes_q = b.queue(48);
+    let out_q = b.queue(48);
+    b.operator(
+        OperatorKind::RangeFetch {
+            base: 0x1000,
+            idx_bytes: 8,
+            elem_bytes: 1,
+            input: RangeInput::Pairs,
+            marker: Some(0),
+            class: DataClass::AdjacencyMatrix,
+        },
+        in_q,
+        vec![bytes_q],
+    );
+    b.operator(
+        OperatorKind::Decompress {
+            codec: CodecKind::Rle,
+            elem_bytes: 4,
+        },
+        bytes_q,
+        vec![out_q],
+    );
+    let p = b.build().expect("structurally valid");
+    let mut s = MemorySchema::new();
+    s.add_region(RegionSchema::framed(
+        "cbytes",
+        0x1000,
+        256,
+        CodecKind::Delta,
+        4,
+        None,
+    ));
+    s.declare_input(
+        in_q,
+        InputDomain::Ranges {
+            region: "cbytes".into(),
+        },
+    );
+    shape::verify(&p, &s).diagnostics
+}
+
+/// The `V002` template: a compress/decompress roundtrip whose rewrite
+/// swaps only the decompressor's codec.
+fn equiv_diagnostics() -> Vec<Diagnostic> {
+    fn roundtrip(dec: CodecKind) -> (Pipeline, QueueId) {
+        let mut b = PipelineBuilder::new();
+        let in_q = b.queue(16);
+        let bytes_q = b.queue(64);
+        let out_q = b.queue(16);
+        b.operator(
+            OperatorKind::Compress {
+                codec: CodecKind::Delta,
+                elem_bytes: 8,
+                sort_chunks: false,
+            },
+            in_q,
+            vec![bytes_q],
+        );
+        b.operator(
+            OperatorKind::Decompress {
+                codec: dec,
+                elem_bytes: 8,
+            },
+            bytes_q,
+            vec![out_q],
+        );
+        (b.build().expect("valid"), in_q)
+    }
+    let (orig, _) = roundtrip(CodecKind::Delta);
+    let (rew, _) = roundtrip(CodecKind::Rle);
+    equiv::validate(&EquivInput::new(&orig, &rew)).diagnostics()
+}
+
+#[test]
+fn known_diagnostics_render_to_the_golden_sarif_log() {
+    let results = vec![
+        ("examples/miswired.dcl".to_string(), lint_diagnostics()),
+        ("examples/misframed.dcl".to_string(), shape_diagnostics()),
+        ("examples/rewrite.dcl".to_string(), equiv_diagnostics()),
+    ];
+    let failures = vec![(
+        "examples/missing.dcl".to_string(),
+        "No such file or directory (os error 2)".to_string(),
+    )];
+    let actual = sarif_report("dcl-lint", &results, &failures);
+
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/diagnostics.sarif"
+    );
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(golden_path, &actual).expect("write golden");
+    }
+    let expected = std::fs::read_to_string(golden_path).expect("golden file checked in");
+    assert_eq!(
+        actual, expected,
+        "SARIF output drifted from the golden; rerun with BLESS=1 if intentional"
+    );
+
+    // The log must carry all three families plus the io-error rule.
+    for needle in ["\"E0", "\"W0", "\"B004\"", "\"V002\"", "\"io-error\""] {
+        assert!(actual.contains(needle), "missing {needle} in {actual}");
+    }
+}

@@ -1,4 +1,5 @@
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! Compression codecs used by the SpZip engines.
 //!
 //! This crate implements the (de)compression algorithms that the SpZip paper's

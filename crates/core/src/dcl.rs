@@ -326,7 +326,10 @@ impl Pipeline {
     /// `E014`) is returned instead of a pipeline that would wedge the
     /// engine model. The rewired pipeline is also re-checked by the
     /// [`crate::liveness`] model checker, so whole-pipeline wedges the
-    /// local lints miss come back as `D0xx` errors, not watchdog trips.
+    /// local lints miss come back as `D0xx` errors, not watchdog trips,
+    /// and certified equivalent to `self` by the [`crate::equiv`]
+    /// translation validator (capacity changes never alter dataflow, so a
+    /// `V0xx` here would indicate a validator or builder bug).
     pub fn scale_queues(&self, factor: f64) -> Result<Pipeline, ValidateError> {
         let mut p = self.clone();
         for q in &mut p.queues {
@@ -340,6 +343,10 @@ impl Pipeline {
         if !live.is_clean() {
             return Err(ValidateError::new(live.diagnostics()));
         }
+        let equiv = crate::equiv::validate(&crate::equiv::EquivInput::new(self, &p));
+        if !equiv.is_clean() {
+            return Err(ValidateError::new(equiv.diagnostics()));
+        }
         Ok(p)
     }
 
@@ -350,7 +357,14 @@ impl Pipeline {
     /// # Errors
     ///
     /// Returns [`ValidateError`] if the rewired program no longer lints
-    /// error-clean or fails the [`crate::liveness`] model check.
+    /// error-clean, fails the [`crate::liveness`] model check, or is
+    /// refuted by the [`crate::equiv`] translation validator (`V0xx`):
+    /// boundary swaps — a compress feeding storage, a decompress fed from
+    /// storage — certify under the rewiring contract (the caller
+    /// re-encodes the stored stream, see
+    /// [`crate::suggest::rewired_schema`]), but swapping only one side of
+    /// an internal compress/decompress pair breaks the roundtrip and is
+    /// rejected here.
     ///
     /// # Panics
     ///
@@ -375,6 +389,10 @@ impl Pipeline {
         let live = crate::liveness::verify(&p);
         if !live.is_clean() {
             return Err(ValidateError::new(live.diagnostics()));
+        }
+        let equiv = crate::equiv::validate(&crate::equiv::EquivInput::new(self, &p));
+        if !equiv.is_clean() {
+            return Err(ValidateError::new(equiv.diagnostics()));
         }
         Ok(p)
     }

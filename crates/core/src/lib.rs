@@ -1,5 +1,5 @@
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! SpZip: programmable traversal, decompression, and compression engines.
 //!
 //! This crate implements the paper's primary contribution:
@@ -31,6 +31,14 @@
 //!   measured kernel rates), validates winning rewirings through [`lint`]
 //!   and [`shape`], and emits `A0xx` advisories plus a machine-readable
 //!   rewiring plan.
+//! * [`equiv`] — the translation validator: compares an original pipeline
+//!   against a rewritten one by symbolic per-sink dataflow summaries
+//!   (compress/decompress as formal codec inverses, fetches as
+//!   uninterpreted functions over the [`shape`] region/width domain) and
+//!   certifies every observable sink unchanged, emitting `V0xx` errors
+//!   with two-sided chain witnesses otherwise. Every applied rewrite —
+//!   [`suggest`] plans, queue rescaling, codec swaps — is certified
+//!   through this pass at construction.
 //! * [`memory`] — a synthetic address space holding the application's real
 //!   data, which the functional engine reads and writes.
 //! * [`func`] — the functional engine: executes a DCL pipeline against a
@@ -51,6 +59,7 @@
 pub mod area;
 pub mod dcl;
 pub mod engine;
+pub mod equiv;
 pub mod func;
 pub mod lint;
 pub mod liveness;

@@ -89,8 +89,9 @@ impl fmt::Display for Severity {
 /// Stable diagnostic codes. `E0xx` are hard errors, `W0xx` warnings,
 /// `P0xx` performance predictions, `B0xx` shape-and-bounds violations,
 /// `A0xx` codec-selection advisories, `D0xx` liveness (whole-pipeline
-/// deadlock) violations; codes are never renumbered so tools can match
-/// on them.
+/// deadlock) violations, `V0xx` translation-validation (rewrite
+/// equivalence) violations; codes are never renumbered so tools can
+/// match on them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)] // each code is documented via `summary()` and DESIGN.md
 pub enum Code {
@@ -140,6 +141,12 @@ pub enum Code {
     D004,
     D005,
     D006,
+    V001,
+    V002,
+    V003,
+    V004,
+    V005,
+    V006,
 }
 
 impl Code {
@@ -150,7 +157,7 @@ impl Code {
             E001, E002, E003, E004, E005, E006, E007, E008, E009, E010, E011, E012, E013, E014,
             E015, E016, E017, E018, E019, W001, W002, W003, W004, P001, P002, P003, P004, P005,
             P006, B001, B002, B003, B004, B005, B006, B007, B008, A001, A002, A003, D001, D002,
-            D003, D004, D005, D006,
+            D003, D004, D005, D006, V001, V002, V003, V004, V005, V006,
         ]
     }
 
@@ -203,6 +210,12 @@ impl Code {
             Code::D004 => "D004",
             Code::D005 => "D005",
             Code::D006 => "D006",
+            Code::V001 => "V001",
+            Code::V002 => "V002",
+            Code::V003 => "V003",
+            Code::V004 => "V004",
+            Code::V005 => "V005",
+            Code::V006 => "V006",
         }
     }
 
@@ -220,8 +233,12 @@ impl Code {
     /// [`liveness`](crate::liveness), never by [`lint`]) are errors — the
     /// pipeline provably wedges under its only schedule — but, like shape
     /// codes, they come from a separate verification pass, not `build()`.
+    /// `V0xx` translation-validation violations (emitted by
+    /// [`equiv`](crate::equiv), never by [`lint`]) are errors — a rewrite
+    /// changed what an observable sink carries — raised when two
+    /// pipelines are compared, so again outside `build()`.
     pub fn severity(&self) -> Severity {
-        if matches!(self.as_str().as_bytes()[0], b'E' | b'B' | b'D') {
+        if matches!(self.as_str().as_bytes()[0], b'E' | b'B' | b'D' | b'V') {
             Severity::Error
         } else {
             Severity::Warning
@@ -277,6 +294,12 @@ impl Code {
             Code::D004 => "fan-out imbalance: one full output blocks the others forever",
             Code::D005 => "chunk in flight exceeds downstream capacity mid-stream",
             Code::D006 => "pipeline admits no initial firing from its start state",
+            Code::V001 => "observable sink carries a different value stream after the rewrite",
+            Code::V002 => "rewrite pairs a codec with a transform that is not its inverse",
+            Code::V003 => "rewrite drops or duplicates a value stream",
+            Code::V004 => "rewrite changes an observable element width",
+            Code::V005 => "rewrite reorders an indirection chain",
+            Code::V006 => "rewrite changes the set of observable sinks",
         }
     }
 }
@@ -1301,7 +1324,7 @@ mod tests {
             assert_eq!(c.as_str().len(), 4);
             assert!(!c.summary().is_empty());
             match c.as_str().as_bytes()[0] {
-                b'E' | b'B' | b'D' => assert_eq!(c.severity(), Severity::Error),
+                b'E' | b'B' | b'D' | b'V' => assert_eq!(c.severity(), Severity::Error),
                 b'W' | b'P' | b'A' => assert_eq!(c.severity(), Severity::Warning),
                 _ => panic!("bad code prefix"),
             }

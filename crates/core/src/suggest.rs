@@ -33,9 +33,12 @@
 //!
 //! Alongside the diagnostics the pass emits a machine-readable rewiring
 //! plan ([`PlanEntry`]); [`apply_plan`] and [`rewired_schema`] turn a
-//! plan back into a validated pipeline + schema pair, which is how the
-//! `auto_codecs` builder mode in `spzip-apps` constructs E/B-clean auto
-//! pipelines.
+//! plan back into a validated pipeline + schema pair, and
+//! [`apply_plan_certified`] additionally proves the pair observationally
+//! equivalent to the original through the [`crate::equiv`] translation
+//! validator — the only path the `auto_codecs` builder mode in
+//! `spzip-apps` uses, so an uncertified plan is demoted to an `A003`
+//! suppression ([`demote_uncertified`]) instead of ever being applied.
 
 use crate::dcl::{OperatorKind, Pipeline};
 use crate::lint::{Code, Diagnostic, Site};
@@ -456,6 +459,81 @@ pub fn rewired_schema(schema: &MemorySchema, p: &Pipeline, plan: &[PlanEntry]) -
         }
     }
     out
+}
+
+/// Applies a rewiring plan *with end-to-end certification*: the rewired
+/// pipeline (and, when a schema is declared, its re-framed schema) is
+/// proven observationally equivalent to the original by the
+/// [`crate::equiv`] translation validator before it is returned. This is
+/// the only application path `auto_codecs` uses — a plan that cannot be
+/// certified is never applied.
+///
+/// # Errors
+///
+/// Returns the refuting diagnostics: the `V0xx` witnesses from the
+/// validator, or the rewiring's own validation errors when a plan entry
+/// does not even apply (unknown codec name, lint/liveness rejection).
+pub fn apply_plan_certified(
+    p: &Pipeline,
+    schema: Option<&MemorySchema>,
+    plan: &[PlanEntry],
+) -> Result<(Pipeline, Option<MemorySchema>), Vec<Diagnostic>> {
+    let mut current = p.clone();
+    for e in plan {
+        let Some((kind, _)) = spzip_compress::model::codec_from_trajectory_name(&e.suggested)
+        else {
+            return Err(vec![Diagnostic::new(
+                Code::V002,
+                Site::Operator(e.op),
+                None,
+                format!(
+                    "plan entry op {} names unknown codec {:?}: no inverse transform exists",
+                    e.op, e.suggested
+                ),
+            )]);
+        };
+        current = current
+            .with_op_codec(e.op, kind)
+            .map_err(|err| err.diagnostics().to_vec())?;
+    }
+    let rewired = schema.map(|s| rewired_schema(s, p, plan));
+    let report = match (schema, &rewired) {
+        (Some(os), Some(rs)) => {
+            crate::equiv::validate(&crate::equiv::EquivInput::with_schemas(p, &current, os, rs))
+        }
+        _ => crate::equiv::validate(&crate::equiv::EquivInput::new(p, &current)),
+    };
+    if !report.is_clean() {
+        return Err(report.diagnostics());
+    }
+    Ok((current, rewired))
+}
+
+/// Demotes a report whose plan failed certification: the plan is cleared
+/// (so it can never be applied), the predicted auto metric collapses to
+/// the baseline, and an `A003` advisory citing the refuting code is
+/// appended — the same suppressed-suggestion surface a per-candidate
+/// rejection uses, so downstream tooling needs no new case.
+pub fn demote_uncertified(report: &mut SuggestReport, rejection: &[Diagnostic]) {
+    let code = rejection
+        .iter()
+        .find(|d| d.severity() == crate::lint::Severity::Error)
+        .map_or("V001", |d| d.code.as_str());
+    let entries = report.plan.len();
+    report.plan.clear();
+    report.auto_metric = report.baseline_metric;
+    report.diagnostics.push(
+        Diagnostic::new(
+            Code::A003,
+            Site::Program,
+            None,
+            format!(
+                "auto-codec plan ({entries} entries) fails translation validation with {code}: \
+                 plan suppressed, baseline pipeline kept",
+            ),
+        )
+        .hint("an uncertified rewrite is never applied; re-frame storage or fix the plan"),
+    );
 }
 
 #[cfg(test)]

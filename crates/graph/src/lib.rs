@@ -1,4 +1,5 @@
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! Sparse data structures for irregular applications.
 //!
 //! This crate provides the substrate data structures that the SpZip paper's

@@ -1,4 +1,5 @@
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! Memory-hierarchy timing model: the simulation substrate.
 //!
 //! The paper evaluates SpZip with execution-driven microarchitectural

@@ -1,4 +1,5 @@
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! Multicore simulation engine.
 //!
 //! Ties the substrates together into the Table II system: 16 cores, each
